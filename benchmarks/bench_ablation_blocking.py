@@ -1,0 +1,104 @@
+"""Ablation: token blocking vs. schema-based blocking baselines, and
+Meta-blocking weighting schemes.
+
+Backs the paper's section-5 arguments with measurements:
+
+* schema-agnostic **token blocking** reaches near-total recall on
+  heterogeneous KBs, while **Sorted Neighborhood** (key-based windows)
+  and **MinHash LSH** (Jaccard-threshold buckets) miss nearly similar
+  matches;
+* among Meta-blocking weighting schemes, the ARCS family that
+  MinoanER's ``beta`` extends retains at least as much recall as the
+  block-counting schemes under the same top-K (CNP) pruning.
+"""
+
+from conftest import emit
+
+from repro.blocking.lsh import lsh_blocks
+from repro.blocking.metrics import evaluate_blocks
+from repro.blocking.purging import purge_blocks
+from repro.blocking.sorted_neighborhood import sorted_neighborhood_blocks
+from repro.blocking.token_blocking import token_blocks
+from repro.metablocking.graph import build_pair_graph
+from repro.metablocking.pruning import cardinality_node_pruning
+from repro.metablocking.weights import WEIGHT_SCHEMES
+
+DATASETS = ("restaurant", "bbc_dbpedia")
+
+
+def blocking_rows(pair):
+    kb1, kb2 = pair.kb1, pair.kb2
+    rows = []
+    token = purge_blocks(
+        token_blocks(kb1, kb2), cartesian=len(kb1) * len(kb2)
+    )
+    rows.append(("token (purged)", evaluate_blocks([token], pair.ground_truth)))
+    for window in (10, 40):
+        blocks = sorted_neighborhood_blocks(kb1, kb2, window=window)
+        rows.append(
+            (f"sorted-nbhd w={window}", evaluate_blocks([blocks], pair.ground_truth))
+        )
+    blocks = lsh_blocks(kb1, kb2, bands=20, rows=5)
+    rows.append(("lsh 20x5", evaluate_blocks([blocks], pair.ground_truth)))
+    return rows
+
+
+def metablocking_rows(pair, k: int = 15):
+    kb1, kb2 = pair.kb1, pair.kb2
+    token = purge_blocks(token_blocks(kb1, kb2), cartesian=len(kb1) * len(kb2))
+    graph = build_pair_graph(token, len(kb1), len(kb2))
+    rows = []
+    for name, scheme in WEIGHT_SCHEMES.items():
+        survivors = cardinality_node_pruning(graph.weighted_edges(scheme), k)
+        covered = len(survivors & pair.ground_truth)
+        rows.append((name, covered / len(pair.ground_truth), len(survivors)))
+    return rows
+
+
+def test_blocking_method_comparison(benchmark, profiles, results_dir):
+    data = benchmark.pedantic(
+        lambda: {name: blocking_rows(profiles[name]) for name in DATASETS},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Ablation: blocking methods (recall % / suggested comparisons)", ""]
+    for name, rows in data.items():
+        lines.append(f"-- {name} --")
+        for method, report in rows:
+            lines.append(
+                f"  {method:18s} recall={report.recall * 100:6.2f}%  "
+                f"||B||={report.total_comparisons:.2e}"
+            )
+        lines.append("")
+    emit(results_dir, "ablation_blocking_methods", "\n".join(lines))
+
+    for name, rows in data.items():
+        by_method = dict(rows)
+        token_recall = by_method["token (purged)"].recall
+        assert token_recall > 0.97, name
+        # The key-based and threshold-based baselines miss far more,
+        # dramatically so on the heterogeneous pair.
+        assert by_method["sorted-nbhd w=10"].recall < token_recall - 0.2, name
+        assert by_method["lsh 20x5"].recall < token_recall - 0.2, name
+
+
+def test_metablocking_scheme_comparison(benchmark, profiles, results_dir):
+    data = benchmark.pedantic(
+        lambda: {name: metablocking_rows(profiles[name]) for name in DATASETS},
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Ablation: Meta-blocking weighting schemes under CNP (top-15)", ""]
+    for name, rows in data.items():
+        lines.append(f"-- {name} --")
+        for scheme, recall, pairs in rows:
+            lines.append(f"  {scheme:10s} recall={recall * 100:6.2f}%  pairs={pairs:,}")
+        lines.append("")
+    emit(results_dir, "ablation_metablocking_schemes", "\n".join(lines))
+
+    for name, rows in data.items():
+        recalls = {scheme: recall for scheme, recall, _ in rows}
+        # The ARCS family (MinoanER's beta) is at least as complete as
+        # raw block counting under the same candidate budget.
+        assert recalls["arcs_log"] >= recalls["cbs"] - 0.02, name
+        assert recalls["arcs"] >= recalls["cbs"] - 0.02, name

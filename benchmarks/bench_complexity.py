@@ -1,0 +1,62 @@
+"""Complexity check: matching scales (near-)linearly with input size.
+
+Section 4: "the overall complexity [of Algorithm 2] is linear with
+respect to the number of input descriptions, O(|E1| + |E2|)", because
+the pruned graph holds at most 2K directed edges per node.  This bench
+measures the *matching* phase (and, separately, graph construction) on
+the yago_imdb profile at three population scales and asserts the growth
+is far below quadratic.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.core.config import MinoanERConfig
+from repro.core.matcher import NonIterativeMatcher
+from repro.core.pipeline import MinoanER
+from repro.datasets.profiles import scaled_profile
+
+SCALES = (0.5, 1.0, 2.0)
+
+
+def measure(scale: float) -> tuple[int, float, float]:
+    pair = scaled_profile("yago_imdb", scale)
+    pipeline = MinoanER(MinoanERConfig())
+    result = pipeline.resolve(pair.kb1, pair.kb2)
+    population = len(pair.kb1) + len(pair.kb2)
+    # Re-time the matching phase alone over several repetitions for a
+    # stable number (it is fast relative to graph construction).
+    matcher = NonIterativeMatcher(pipeline.config)
+    repetitions = 3
+    started = time.perf_counter()
+    for _ in range(repetitions):
+        matcher.match(result.graph)
+    matching_seconds = (time.perf_counter() - started) / repetitions
+    return population, matching_seconds, result.timings["graph"]
+
+
+def test_matching_scales_linearly(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: [measure(scale) for scale in SCALES], rounds=1, iterations=1
+    )
+    lines = ["Complexity check: matching time vs population (yago_imdb profile)", ""]
+    lines.append(f"{'population':>12} {'matching (s)':>14} {'graph (s)':>12}")
+    for population, matching_seconds, graph_seconds in rows:
+        lines.append(
+            f"{population:12,} {matching_seconds:14.3f} {graph_seconds:12.3f}"
+        )
+    (small_n, small_t, _), _, (large_n, large_t, large_graph) = rows
+    growth = (large_t / small_t) / (large_n / small_n)
+    lines.append("")
+    lines.append(
+        f"matching growth factor per population factor: {growth:.2f} "
+        "(1.0 = perfectly linear)"
+    )
+    emit(results_dir, "complexity_matching", "\n".join(lines))
+
+    # 4x the population must cost well below 16x (quadratic) matching
+    # time; allow generous constant-factor noise around linear.
+    population_factor = large_n / small_n
+    time_factor = large_t / small_t
+    assert time_factor < population_factor ** 1.5, (time_factor, population_factor)

@@ -1,0 +1,41 @@
+"""Figure 6: scalability of matching with growing worker pools.
+
+Regenerates the paper's scalability panels on the simulated-cluster
+timing model (see DESIGN.md: the kernels run for real, serially and
+per-partition; only the W-worker schedule is modelled, because CPython
+cannot demonstrate in-process CPU parallelism).  Asserted shapes:
+
+* run time decreases monotonically as workers grow;
+* speedup is sub-linear everywhere (synchronisation barriers);
+* the matching phase (Algorithm 2) takes well below half the total
+  time, like the paper's 20-45%.
+"""
+
+from conftest import emit
+
+from repro.evaluation.experiments import scalability
+from repro.evaluation.reporting import format_scalability
+
+WORKERS = (1, 2, 4, 8, 16)
+
+
+def test_figure6_scalability(benchmark, profiles, results_dir):
+    results = benchmark.pedantic(
+        lambda: [scalability(pair, workers=WORKERS) for pair in profiles.values()],
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "figure6_scalability", format_scalability(results))
+
+    for result in results:
+        times = [point.total_seconds for point in result.points]
+        speedups = [point.speedup for point in result.points]
+        # Monotone decrease in time, increase in speedup.
+        assert times == sorted(times, reverse=True), result.name
+        assert speedups == sorted(speedups), result.name
+        # Sub-linear speedup at every scale.
+        for point in result.points:
+            assert point.speedup <= point.workers + 1e-9, result.name
+        assert result.points[-1].speedup > 1.5, result.name
+        # Matching (Algorithm 2) is a minority of total time.
+        assert result.matching_share() < 0.5, result.name

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the pipeline's hot kernels.
+
+Unlike the table/figure benches (one-shot experiment regenerations),
+these measure the kernels that dominate the pipeline's run time with
+proper repetition, so performance regressions show up in the
+pytest-benchmark comparison output:
+
+* ``accumulate_beta`` -- the O(||B_T||) value-evidence pass;
+* ``neighbor_evidence`` -- gamma propagation through in-neighbors;
+* ``top_k_candidates`` -- per-node pruning;
+* ``unique_mapping_clustering`` -- the final 1-1 assignment;
+* ``KnowledgeBase`` construction -- tokenisation + index building.
+"""
+
+import random
+
+from repro.blocking.purging import purge_blocks
+from repro.blocking.token_blocking import token_blocks
+from repro.clustering.unique_mapping import unique_mapping_clustering
+from repro.graph.construction import (
+    accumulate_beta,
+    neighbor_evidence,
+    retained_beta_edges,
+    value_evidence,
+)
+from repro.graph.pruning import top_k_candidates
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.statistics import KBStatistics
+
+
+def test_kb_construction(benchmark, profiles):
+    pair = profiles["bbc_dbpedia"]
+    entities = list(pair.kb2.entities)
+    result = benchmark(lambda: KnowledgeBase(entities, name="rebuild"))
+    assert len(result) == len(entities)
+
+
+def test_beta_accumulation(benchmark, profiles):
+    pair = profiles["bbc_dbpedia"]
+    blocks = purge_blocks(
+        token_blocks(pair.kb1, pair.kb2), cartesian=len(pair.kb1) * len(pair.kb2)
+    )
+    rows = benchmark(lambda: accumulate_beta(blocks, len(pair.kb1)))
+    assert any(rows)
+
+
+def test_gamma_propagation(benchmark, profiles):
+    pair = profiles["bbc_dbpedia"]
+    stats1 = KBStatistics(pair.kb1)
+    stats2 = KBStatistics(pair.kb2)
+    blocks = purge_blocks(
+        token_blocks(pair.kb1, pair.kb2), cartesian=len(pair.kb1) * len(pair.kb2)
+    )
+    value_1, value_2 = value_evidence(blocks, len(pair.kb1), len(pair.kb2), 15)
+    edges = retained_beta_edges(value_1, value_2)
+    side1, side2 = benchmark(lambda: neighbor_evidence(edges, stats1, stats2, 15))
+    assert len(side1) == len(pair.kb1)
+
+
+def test_top_k_pruning(benchmark):
+    rng = random.Random(3)
+    rows = [
+        {rng.randrange(5000): rng.random() * 3 for _ in range(rng.randrange(1, 120))}
+        for _ in range(2000)
+    ]
+    result = benchmark(lambda: [top_k_candidates(row, 15) for row in rows])
+    assert len(result) == len(rows)
+
+
+def test_unique_mapping(benchmark):
+    rng = random.Random(4)
+    scored = [
+        (rng.randrange(3000), rng.randrange(3000), rng.random()) for _ in range(40_000)
+    ]
+    matches = benchmark(lambda: unique_mapping_clustering(scored))
+    assert matches

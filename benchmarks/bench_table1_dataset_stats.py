@@ -1,0 +1,42 @@
+"""Table 1: dataset statistics of the four benchmark profiles.
+
+Regenerates the paper's Table 1 for the synthetic stand-ins.  Absolute
+sizes are scaled down (see DESIGN.md); the *relative* shapes the paper
+highlights are asserted: Rexa-DBLP's KB-size imbalance, BBC-DBpedia's
+attribute heterogeneity, YAGO-IMDb being the largest and most balanced
+pair.
+"""
+
+from conftest import emit
+
+from repro.evaluation.experiments import dataset_statistics
+from repro.evaluation.reporting import format_dataset_statistics
+
+
+def test_table1_dataset_statistics(benchmark, profiles, results_dir):
+    columns = benchmark.pedantic(
+        lambda: [dataset_statistics(pair) for pair in profiles.values()],
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "table1_dataset_statistics", format_dataset_statistics(columns))
+
+    by_name = {column.name: column for column in columns}
+    restaurant = by_name["restaurant"]
+    rexa = by_name["rexa_dblp"]
+    bbc = by_name["bbc_dbpedia"]
+    yago = by_name["yago_imdb"]
+
+    # Restaurant: smallest dataset on every axis.
+    assert restaurant.entities1 + restaurant.entities2 == min(
+        c.entities1 + c.entities2 for c in columns
+    )
+    # Rexa-DBLP: heavy KB-size imbalance (paper: 2 orders of magnitude).
+    assert rexa.entities2 > 8 * rexa.entities1
+    # BBC-DBpedia: an order of magnitude more attributes in E2, and many
+    # more tokens per E2 entity.
+    assert bbc.attributes2 > 10 * bbc.attributes1
+    assert bbc.avg_tokens2 > 2 * bbc.avg_tokens1
+    # YAGO-IMDb: largest first KB and the most balanced pair.
+    assert yago.entities1 == max(c.entities1 for c in columns)
+    assert 0.5 < yago.entities1 / yago.entities2 < 2.0

@@ -1,0 +1,64 @@
+"""Table 2: block statistics of the composite blocking scheme.
+
+Regenerates the paper's Table 2: numbers and comparison counts of name
+and token blocks, plus blocking precision/recall.  Asserted shapes
+(section 6.1): token comparisons dominate name comparisons by at least
+an order of magnitude; the total candidate space is >= 2 orders of
+magnitude below the Cartesian product; blocking recall stays above 99%
+while precision is tiny.
+"""
+
+from conftest import emit
+
+from repro.evaluation.experiments import block_statistics
+from repro.evaluation.reporting import format_block_statistics
+
+
+def test_table2_block_statistics(benchmark, profiles, results_dir):
+    columns = benchmark.pedantic(
+        lambda: [block_statistics(pair) for pair in profiles.values()],
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "table2_block_statistics", format_block_statistics(columns))
+
+    for column in columns:
+        total = column.name_comparisons + column.token_comparisons
+        # ||BT|| >= 1 order of magnitude above ||BN||.
+        assert column.token_comparisons >= 10 * column.name_comparisons, column.name
+        # Total comparisons >= 2 orders of magnitude below |E1| x |E2|.
+        assert total * 50 <= column.cartesian, column.name
+        # Recall above 99%, precision far below 50%.
+        assert column.report.recall > 0.99, column.name
+        assert column.report.precision < 0.5, column.name
+
+
+def test_table2_purging_ablation(benchmark, profiles, results_dir):
+    """Design-choice ablation: Block Purging on vs. off.
+
+    Purging must shrink the token-comparison count by a large factor
+    while giving up (almost) no blocking recall -- the claim of
+    section 3.3.
+    """
+    from repro.core.config import MinoanERConfig
+
+    def run():
+        rows = []
+        for name, pair in profiles.items():
+            purged = block_statistics(pair)
+            unpurged = block_statistics(pair, MinoanERConfig(purge_blocks=False))
+            rows.append((name, purged, unpurged))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: Block Purging on/off", ""]
+    for name, purged, unpurged in rows:
+        reduction = unpurged.token_comparisons / max(1, purged.token_comparisons)
+        lines.append(
+            f"{name:12s} ||BT|| {unpurged.token_comparisons:.2e} -> "
+            f"{purged.token_comparisons:.2e} ({reduction:7.1f}x) | "
+            f"recall {unpurged.report.recall * 100:.2f}% -> {purged.report.recall * 100:.2f}%"
+        )
+        assert purged.token_comparisons * 5 < unpurged.token_comparisons, name
+        assert purged.report.recall > unpurged.report.recall - 0.01, name
+    emit(results_dir, "ablation_block_purging", "\n".join(lines))

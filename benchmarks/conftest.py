@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures: the four calibrated profiles, generated once.
+
+Every bench regenerates one of the paper's tables/figures on the four
+synthetic benchmark profiles and writes the paper-style table to
+``benchmarks/results/<artifact>.txt`` (also echoed to stdout, visible
+with ``pytest -s``).  Timings are recorded by pytest-benchmark with a
+single round: the interesting output is the table, not microsecond
+noise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.profiles import load_profile, profile_names
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    """All four benchmark KB pairs, keyed by profile name."""
+    return {name: load_profile(name) for name in profile_names()}
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, artifact: str, table: str) -> None:
+    """Persist a rendered table and echo it."""
+    path = results_dir / f"{artifact}.txt"
+    path.write_text(table + "\n", encoding="utf-8")
+    print()
+    print(table)

@@ -1,0 +1,48 @@
+"""Scenario: deduplicating a single dirty catalog (dirty ER).
+
+The paper's techniques generalise beyond clean-clean matching: with a
+single KB containing duplicates, the disjunctive blocking graph simply
+stops being bipartite (section 2, Definition 3.3).  This script builds
+a dirty catalog by concatenating the two halves of a benchmark pair --
+so the ground-truth duplicates are known -- and deduplicates it with
+:class:`repro.core.dirty.DirtyMinoanER`.
+
+Run:  python examples/deduplicate_catalog.py
+"""
+
+from repro.core.dirty import DirtyMinoanER
+from repro.datasets import load_profile
+from repro.evaluation.metrics import evaluate_matches
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def main() -> None:
+    pair = load_profile("restaurant")
+    dirty = KnowledgeBase(
+        list(pair.kb1.entities) + list(pair.kb2.entities), name="dirty-catalog"
+    )
+    offset = len(pair.kb1)
+    gold = {(a, b + offset) for a, b in pair.ground_truth}
+    print(f"dirty catalog: {len(dirty)} records, {len(gold)} known duplicate pairs")
+
+    result = DirtyMinoanER().resolve(dirty)
+    print(f"\nfound {len(result.matches)} duplicate pairs "
+          f"in {len(result.clusters)} clusters")
+    report = evaluate_matches(result.matches, gold)
+    print(f"quality against the known duplicates: {report}")
+
+    print("\nlargest clusters:")
+    for cluster in sorted(result.cluster_uris(), key=len, reverse=True)[:3]:
+        print(f"  {cluster}")
+
+    by_rule = {}
+    for pair_ids, rule in result.rule_of.items():
+        by_rule[rule] = by_rule.get(rule, 0) + 1
+    print(f"\npairs per rule: {by_rule}")
+    print("R3 runs in its strict mutual-best form here: without the")
+    print("clean-clean guarantee, an entity may have no duplicate at all,")
+    print("so both endpoints must prefer each other.")
+
+
+if __name__ == "__main__":
+    main()

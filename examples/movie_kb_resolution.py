@@ -1,0 +1,48 @@
+"""Scenario: aligning two movie KBs full of sequels and near-duplicates.
+
+The paper's YAGO-IMDb regime: matches share few tokens (low value
+similarity), franchises make titles mutually confusable, but the
+relation graph (movie-actor-director) is dense, so neighbor similarity
+is strong.  This script shows how rank aggregation (rule R3) uses that
+neighbor evidence, and what happens when it is turned off or mis-weighted.
+
+Run:  python examples/movie_kb_resolution.py
+"""
+
+from repro import MinoanER, MinoanERConfig
+from repro.datasets import load_profile
+
+
+def main() -> None:
+    pair = load_profile("yago_imdb", n_matches=900, extras1=700, extras2=1350)
+    print(f"Dataset: {pair} (franchises + distractors: value evidence is weak)")
+
+    # -- Default configuration -----------------------------------------
+    default = MinoanER().resolve(pair.kb1, pair.kb2)
+    print(f"\nMinoanER (k,K,N,theta = 2,15,3,0.6): {default.evaluate(pair.ground_truth)}")
+    for rule in ("R1", "R2", "R3"):
+        pairs = default.matching.matches_by_rule(rule)
+        correct = len(pairs & pair.ground_truth)
+        print(f"  {rule}: {len(pairs):4d} matches ({correct} correct)")
+
+    # -- Without neighbor evidence --------------------------------------
+    blind = MinoanER(MinoanERConfig(use_neighbor_evidence=False)).resolve(
+        pair.kb1, pair.kb2
+    )
+    print(f"\nWithout neighbor evidence: {blind.evaluate(pair.ground_truth)}")
+    print("  (rank aggregation falls back to value rankings only)")
+
+    # -- The theta trade-off --------------------------------------------
+    print("\nF1 as theta shifts weight from neighbor to value rankings:")
+    for theta in (0.3, 0.5, 0.6, 0.8):
+        result = MinoanER(MinoanERConfig(theta=theta)).resolve(pair.kb1, pair.kb2)
+        f1 = result.evaluate(pair.ground_truth).f1
+        bar = "#" * round(f1 * 40)
+        print(f"  theta={theta:.1f}  F1={f1 * 100:5.1f}  {bar}")
+    print("\nOn nearly similar KBs, over-weighting the value rankings "
+          "(theta -> 1) costs F1: neighbor evidence carries matches "
+          "that value similarity alone cannot.")
+
+
+if __name__ == "__main__":
+    main()

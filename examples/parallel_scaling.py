@@ -1,0 +1,49 @@
+"""Scenario: running MinoanER on the stage-parallel engine.
+
+The paper implements MinoanER on Spark (Figure 4): graph construction
+and the four matching rules run as partitioned stages separated by
+synchronisation barriers.  This script runs the same dataflow on the
+bundled engine, verifies it returns exactly the serial pipeline's
+matches, and prints a Figure-6-style scalability table using the
+simulated-cluster timing model.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+from repro import MinoanER
+from repro.datasets import load_profile
+from repro.evaluation.experiments import scalability
+from repro.evaluation.reporting import format_scalability
+from repro.parallel import ParallelContext, ParallelMinoanER
+
+
+def main() -> None:
+    pair = load_profile("yago_imdb", n_matches=1400, extras1=1100, extras2=2100)
+    print(f"Dataset: {pair}\n")
+
+    # -- Serial vs stage-parallel: identical matches -------------------
+    serial = MinoanER().resolve(pair.kb1, pair.kb2)
+    with ParallelContext(num_workers=4, backend="thread") as context:
+        parallel = ParallelMinoanER(context=context).resolve(pair.kb1, pair.kb2)
+    assert parallel.matches == serial.matches
+    print(f"serial and stage-parallel pipelines agree on all "
+          f"{len(parallel.matches)} matches")
+    print("\nstages executed (barriers between them, as in the paper's Figure 4):")
+    seen = []
+    for record in context.stage_log:
+        if record.name not in seen:
+            seen.append(record.name)
+    for name in seen:
+        print(f"  {name}")
+
+    # -- Figure-6-style scalability curve ------------------------------
+    print()
+    result = scalability(pair, workers=(1, 2, 4, 8, 16))
+    print(format_scalability([result]))
+    print("Speedup is sub-linear, as in the paper: every stage ends at a")
+    print("barrier, and partition skew plus the serial driver residue cap")
+    print("the achievable parallelism (Amdahl).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: resolve the paper's Figure 1 example with MinoanER.
+
+Two tiny knowledge bases describe the same restaurant, its chef and its
+location -- with different schemas, different attribute names and
+partially different values.  MinoanER aligns them with no schema
+mapping, no training data and no configuration beyond the defaults.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EntityDescription, KnowledgeBase, MinoanER
+
+# A Wikidata-flavoured KB: attribute names and values in one style...
+wikidata = KnowledgeBase(
+    [
+        EntityDescription(
+            "wd:Restaurant1",
+            [
+                ("label", "The Fat Duck"),
+                ("hasChef", "wd:JohnLakeA"),
+                ("territorial", "wd:Bray"),
+                ("inCountry", "wd:UK"),
+            ],
+        ),
+        EntityDescription("wd:JohnLakeA", [("label", "John Lake A"), ("name", "J. Lake")]),
+        EntityDescription("wd:Bray", [("label", "Bray village")]),
+        EntityDescription("wd:UK", [("label", "United Kingdom")]),
+    ],
+    name="wikidata",
+)
+
+# ... and a DBpedia-flavoured KB: different attributes, overlapping words.
+dbpedia = KnowledgeBase(
+    [
+        EntityDescription(
+            "db:Restaurant2",
+            [
+                ("title", "Fat Duck restaurant"),
+                ("headChef", "db:JonnyLake"),
+                ("county", "db:Berkshire"),
+            ],
+        ),
+        EntityDescription("db:JonnyLake", [("title", "Jonny Lake"), ("alias", "J. Lake")]),
+        EntityDescription("db:Berkshire", [("title", "Berkshire county near Bray")]),
+        EntityDescription("db:BrayStudios", [("title", "Bray Studios film stage")]),
+    ],
+    name="dbpedia",
+)
+
+
+def main() -> None:
+    result = MinoanER().resolve(wikidata, dbpedia)
+
+    print(f"Resolved {wikidata.name} vs {dbpedia.name}: {len(result.matches)} matches\n")
+    for eid1, eid2 in sorted(result.matches):
+        rule = result.matching.rule_of[(eid1, eid2)]
+        print(f"  [{rule}] {wikidata.uri_of(eid1):18s} == {dbpedia.uri_of(eid2)}")
+
+    print("\nHow each match was found:")
+    print("  R1  the chefs exclusively share the name 'J. Lake'")
+    print("  R2  the restaurants share rare tokens ('fat', 'duck')")
+    print("  R3  Bray/Berkshire share no strong signal; rank aggregation")
+    print("      still finds no better candidate for either of them")
+    print("\nPhase timings (seconds):")
+    for phase, seconds in result.timings.items():
+        print(f"  {phase:12s} {seconds:.4f}")
+
+    # Every decision is explainable.
+    from repro.core.explain import explain_pair
+
+    print("\nWhy did the restaurants match?")
+    print(explain_pair(result, wikidata.id_of("wd:Restaurant1"),
+                       dbpedia.id_of("db:Restaurant2")).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""MinoanER reproduction: schema-agnostic, non-iterative, parallel Web-entity resolution.
+
+This package reproduces the system described in
+
+    Efthymiou, Papadakis, Stefanidis, Christophides.
+    "MinoanER: Schema-Agnostic, Non-Iterative, Massively Parallel
+    Resolution of Web Entities". EDBT 2019.
+
+The top-level namespace re-exports the pieces most users need:
+
+* :class:`~repro.kb.entity.EntityDescription` and
+  :class:`~repro.kb.knowledge_base.KnowledgeBase` -- the data model.
+* :class:`~repro.core.config.MinoanERConfig` and
+  :class:`~repro.core.pipeline.MinoanER` -- the end-to-end resolver.
+* :func:`~repro.datasets.load_profile` -- the four benchmark KB-pair
+  profiles used throughout the paper's evaluation.
+
+Quickstart::
+
+    from repro import MinoanER, MinoanERConfig
+    from repro.datasets import load_profile
+
+    pair = load_profile("restaurant")
+    matcher = MinoanER(MinoanERConfig())
+    result = matcher.resolve(pair.kb1, pair.kb2)
+    print(result.evaluate(pair.ground_truth))
+"""
+
+from repro.core.config import MinoanERConfig
+from repro.core.dirty import DirtyMinoanER
+from repro.core.multi import MultiKBResolver
+from repro.core.pipeline import MinoanER, ResolutionResult
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DirtyMinoanER",
+    "EntityDescription",
+    "KnowledgeBase",
+    "MinoanER",
+    "MinoanERConfig",
+    "MultiKBResolver",
+    "ResolutionResult",
+    "__version__",
+]

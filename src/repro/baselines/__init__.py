@@ -1,0 +1,31 @@
+"""Baselines the paper compares against (section 6).
+
+* :mod:`bsl` -- the paper's custom baseline: value-only matching over
+  the unpruned blocking graph, grid-searched over 420 configurations
+  (token n-grams x TF/TF-IDF x four similarity measures x thresholds)
+  against the ground truth.
+* :mod:`sigma` -- a SiGMa-like iterative greedy matcher: seed matches
+  from identical names, then similarity propagation along *pre-aligned*
+  relations (the extra assumption SiGMa makes that MinoanER does not).
+* :mod:`paris` -- a PARIS-like probabilistic matcher based on exact
+  value equality and relation functionality, run for a fixed number of
+  fixpoint iterations.
+
+LINDA and RiMOM are quoted-only in the paper as well (no runnable
+artifacts), so they are reported from the paper's numbers in
+EXPERIMENTS.md rather than re-implemented.
+"""
+
+from repro.baselines.bsl import BSLBaseline, BSLConfig, BSLResult
+from repro.baselines.paris import ParisBaseline, ParisConfig
+from repro.baselines.sigma import SigmaBaseline, SigmaConfig
+
+__all__ = [
+    "BSLBaseline",
+    "BSLConfig",
+    "BSLResult",
+    "ParisBaseline",
+    "ParisConfig",
+    "SigmaBaseline",
+    "SigmaConfig",
+]

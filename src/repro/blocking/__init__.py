@@ -1,0 +1,34 @@
+"""Composite blocking: token blocks, name blocks, purging, quality metrics.
+
+Implements section 3 of the paper.  Blocking reduces the candidate-pair
+search space: two entities are candidate matches iff they co-occur in at
+least one block.  MinoanER's composite scheme is the disjunction of
+
+* **name blocking** -- one block per name value shared by both KBs, and
+* **token blocking** -- one block per token shared by both KBs
+  (which doubles as the evidence from which valueSim is derived).
+
+Oversized token blocks (stopword-like tokens) are removed by
+**block purging** before graph construction.
+"""
+
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.lsh import lsh_blocks
+from repro.blocking.metrics import BlockingReport, evaluate_blocks
+from repro.blocking.name_blocking import name_blocks, normalize_name
+from repro.blocking.purging import purge_blocks
+from repro.blocking.sorted_neighborhood import sorted_neighborhood_blocks
+from repro.blocking.token_blocking import token_blocks
+
+__all__ = [
+    "Block",
+    "BlockCollection",
+    "BlockingReport",
+    "evaluate_blocks",
+    "lsh_blocks",
+    "name_blocks",
+    "normalize_name",
+    "purge_blocks",
+    "sorted_neighborhood_blocks",
+    "token_blocks",
+]

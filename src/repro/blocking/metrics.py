@@ -1,0 +1,87 @@
+"""Blocking quality metrics: the numbers behind the paper's Table 2.
+
+For a block collection and a ground truth of matching ``(eid1, eid2)``
+pairs we report:
+
+* ``recall`` (pair completeness): fraction of ground-truth pairs that
+  co-occur in at least one block;
+* ``precision`` (pair quality): ground-truth pairs found per suggested
+  comparison, where comparisons are counted per block occurrence
+  (``||B||``), exactly as Table 2 does;
+* ``f1``: their harmonic mean.
+
+Values are fractions in [0, 1]; the reporting layer renders them as
+percentages like the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.blocking.base import BlockCollection
+
+
+@dataclass(frozen=True)
+class BlockingReport:
+    """Aggregate statistics of one or more block collections."""
+
+    num_blocks: int
+    total_comparisons: int
+    distinct_pairs: int
+    matches_covered: int
+    total_matches: int
+
+    @property
+    def recall(self) -> float:
+        """Pair completeness: covered matches / all matches."""
+        if self.total_matches == 0:
+            return 0.0
+        return self.matches_covered / self.total_matches
+
+    @property
+    def precision(self) -> float:
+        """Pair quality: covered matches / suggested comparisons (``||B||``)."""
+        if self.total_comparisons == 0:
+            return 0.0
+        return self.matches_covered / self.total_comparisons
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+
+def evaluate_blocks(
+    collections: Iterable[BlockCollection],
+    ground_truth: set[tuple[int, int]],
+) -> BlockingReport:
+    """Evaluate the union of several block collections against ground truth.
+
+    ``ground_truth`` holds ``(eid1, eid2)`` id pairs (KB1 id, KB2 id).
+    """
+    collections = list(collections)
+    covered: set[tuple[int, int]] = set()
+    distinct: set[tuple[int, int]] = set()
+    total_comparisons = 0
+    num_blocks = 0
+    for collection in collections:
+        num_blocks += len(collection)
+        total_comparisons += collection.total_comparisons()
+        for block in collection:
+            side2 = set(block.side2)
+            for eid1 in block.side1:
+                for eid2 in side2:
+                    pair = (eid1, eid2)
+                    distinct.add(pair)
+                    if pair in ground_truth:
+                        covered.add(pair)
+    return BlockingReport(
+        num_blocks=num_blocks,
+        total_comparisons=total_comparisons,
+        distinct_pairs=len(distinct),
+        matches_covered=len(covered),
+        total_matches=len(ground_truth),
+    )

@@ -1,0 +1,97 @@
+"""Block purging: discard oversized (stopword-like) token blocks.
+
+Section 3.3: "we bound the number of computations by removing
+excessively large blocks that correspond to highly frequent tokens
+(e.g., stop-words)", citing the Block Purging of Papadakis et al.
+(TKDE 2013).  The paper reports that after purging, the retained blocks
+"involve two orders of magnitude fewer comparisons than the brute-force
+approach, without any significant impact on recall" (Table 2 confirms:
+0.08%-1.3% of the Cartesian product across the four datasets).
+
+This module implements purging as a *comparison budget*: blocks are
+admitted in ascending order of their suggested comparisons (small,
+discriminative blocks first -- these carry the valueSim signal) until
+the cumulative count reaches ``budget_ratio`` of the Cartesian product;
+every larger block is dropped.  A token frequent enough to overflow the
+budget behaves like a stopword and carries almost no matching evidence
+anyway, since its blocks would contribute ``1/log2(|b1|*|b2|+1) ~ 0``.
+
+The threshold is a whole cardinality level: blocks with equally many
+comparisons are kept or dropped together, so the result does not depend
+on tie order.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.base import BlockCollection
+
+DEFAULT_BUDGET_RATIO = 0.01
+"""Retain ~1% of the brute-force comparisons (two orders of magnitude
+fewer), the regime the paper's Table 2 reports."""
+
+MIN_BUDGET = 1000
+"""Purging exists to bound a quadratic blowup; below this many
+comparisons there is nothing to bound, so tiny inputs keep all blocks."""
+
+
+def purging_threshold(
+    blocks: BlockCollection,
+    cartesian: int,
+    budget_ratio: float = DEFAULT_BUDGET_RATIO,
+) -> int:
+    """Maximum per-block comparison count retained by the budget.
+
+    Admits whole cardinality levels (ascending by per-block comparisons)
+    while the running total stays within ``budget_ratio * cartesian``.
+    At least the smallest level is always kept, so purging never empties
+    a non-empty collection.
+    """
+    if budget_ratio <= 0:
+        raise ValueError(f"budget_ratio must be > 0, got {budget_ratio}")
+    per_level: dict[int, int] = {}
+    for block in blocks:
+        per_level[block.comparisons] = per_level.get(block.comparisons, 0) + block.comparisons
+    levels = sorted(per_level)
+    if not levels:
+        return 0
+    budget = max(budget_ratio * cartesian, float(MIN_BUDGET))
+    threshold = levels[0]
+    cumulative = 0
+    for level in levels:
+        cumulative += per_level[level]
+        if cumulative > budget and level != levels[0]:
+            break
+        threshold = level
+    return threshold
+
+
+def purge_blocks(
+    blocks: BlockCollection,
+    cartesian: int | None = None,
+    budget_ratio: float = DEFAULT_BUDGET_RATIO,
+    max_comparisons: int | None = None,
+) -> BlockCollection:
+    """Drop blocks suggesting more comparisons than the purging threshold.
+
+    Parameters
+    ----------
+    blocks:
+        The collection to purge (typically token blocks).
+    cartesian:
+        ``|E1| * |E2|``, the brute-force comparison count the budget is
+        relative to.  Defaults to the collection's own total comparisons
+        (a conservative stand-in when the KB sizes are unknown).
+    budget_ratio:
+        Fraction of the Cartesian product the retained blocks may
+        suggest in total.
+    max_comparisons:
+        Manual override: when given, the budget logic is skipped and
+        blocks with more comparisons than this are dropped.
+
+    Returns a *new* collection; the input is never mutated.
+    """
+    if max_comparisons is None:
+        if cartesian is None:
+            cartesian = blocks.total_comparisons()
+        max_comparisons = purging_threshold(blocks, cartesian, budget_ratio)
+    return blocks.filter(lambda block: block.comparisons <= max_comparisons)

@@ -1,0 +1,34 @@
+"""Token blocking (section 3.1): one block per shared token.
+
+Token blocking is the parameter-free, schema-agnostic workhorse of the
+composite scheme: every token appearing in literal values of *both* KBs
+defines a block containing every entity (from either KB) whose values
+contain it.  Block sizes equal the token's Entity Frequencies, so
+``valueSim`` can later be read off the blocks without re-tokenising
+(``beta`` accumulation in Algorithm 1, lines 10-18).
+"""
+
+from __future__ import annotations
+
+from repro.blocking.base import Block, BlockCollection
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def token_blocks(kb1: KnowledgeBase, kb2: KnowledgeBase) -> BlockCollection:
+    """Build the token block collection ``B_T`` for a clean-clean pair.
+
+    Only tokens present in both KBs produce blocks: a block whose
+    entities all come from one KB suggests no cross-KB comparison and
+    carries no matching evidence.
+
+    The result is deterministic: blocks are emitted in sorted token
+    order and each side preserves ascending entity ids (the KB token
+    index is built in entity order).
+    """
+    index1 = kb1.token_index
+    index2 = kb2.token_index
+    shared = sorted(set(index1) & set(index2))
+    collection = BlockCollection(kind="token")
+    for token in shared:
+        collection.add(Block(token, index1[token], index2[token]))
+    return collection

@@ -1,0 +1,235 @@
+"""Command-line interface: resolve, dedupe, generate, experiment.
+
+Usage::
+
+    python -m repro resolve kb1.nt kb2.nt -o matches.tsv
+    python -m repro dedupe kb.nt -o duplicates.tsv
+    python -m repro generate restaurant --out-dir data/ --scale 0.5
+    python -m repro experiment table3 --profiles restaurant bbc_dbpedia
+
+``resolve`` and ``dedupe`` accept N-Triples (``.nt``) or
+``subject<TAB>predicate<TAB>object`` TSV files.  ``generate``
+materialises a synthetic benchmark profile to disk; ``experiment``
+regenerates one of the paper's tables or figures and prints it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.config import MinoanERConfig
+from repro.core.dirty import DirtyMinoanER
+from repro.core.pipeline import MinoanER
+from repro.datasets.profiles import load_profile, profile_names, scaled_profile
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.rdf import load_ground_truth_tsv, load_ntriples, load_tsv, save_ntriples
+
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure2",
+    "figure5",
+    "figure6",
+)
+
+
+def _load_kb(path: str, name: str) -> KnowledgeBase:
+    if path.endswith((".tsv", ".txt")):
+        return load_tsv(path, name=name)
+    return load_ntriples(path, name=name)
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    defaults = MinoanERConfig()
+    parser.add_argument(
+        "--name-attributes", type=int, default=defaults.name_attributes_k,
+        metavar="K", help="global name attributes per KB (paper's k, default %(default)s)",
+    )
+    parser.add_argument(
+        "--candidates", type=int, default=defaults.candidates_k,
+        metavar="K", help="candidates kept per node per evidence (paper's K, default %(default)s)",
+    )
+    parser.add_argument(
+        "--relations", type=int, default=defaults.relations_n,
+        metavar="N", help="important relations per entity (paper's N, default %(default)s)",
+    )
+    parser.add_argument(
+        "--theta", type=float, default=defaults.theta,
+        help="value-vs-neighbor ranking trade-off in R3 (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-reciprocity", action="store_true", help="disable rule R4"
+    )
+    parser.add_argument(
+        "--no-neighbors", action="store_true", help="disable neighbor evidence in R3"
+    )
+
+
+def _config_from(args: argparse.Namespace) -> MinoanERConfig:
+    return MinoanERConfig(
+        name_attributes_k=args.name_attributes,
+        candidates_k=args.candidates,
+        relations_n=args.relations,
+        theta=args.theta,
+        use_reciprocity=not args.no_reciprocity,
+        use_neighbor_evidence=not args.no_neighbors,
+    )
+
+
+def _write_pairs(pairs: Sequence[tuple[str, str]], destination: str | None) -> None:
+    lines = [f"{uri1}\t{uri2}" for uri1, uri2 in sorted(pairs)]
+    if destination:
+        Path(destination).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    else:
+        for line in lines:
+            print(line)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def command_resolve(args: argparse.Namespace) -> int:
+    kb1 = _load_kb(args.kb1, "KB1")
+    kb2 = _load_kb(args.kb2, "KB2")
+    result = MinoanER(_config_from(args)).resolve(kb1, kb2)
+    _write_pairs(sorted(result.uri_matches()), args.output)
+    print(
+        f"# {len(result.matches)} matches from |E1|={len(kb1)}, |E2|={len(kb2)} "
+        f"in {result.timings['total']:.2f}s",
+        file=sys.stderr,
+    )
+    if args.ground_truth:
+        gold = load_ground_truth_tsv(args.ground_truth)
+        report = result.evaluate_uris(gold)
+        print(f"# quality vs {args.ground_truth}: {report}", file=sys.stderr)
+    return 0
+
+
+def command_dedupe(args: argparse.Namespace) -> int:
+    kb = _load_kb(args.kb, "KB")
+    result = DirtyMinoanER(_config_from(args)).resolve(kb)
+    _write_pairs(sorted(result.uri_matches()), args.output)
+    print(
+        f"# {len(result.matches)} duplicate pairs in {len(result.clusters)} clusters "
+        f"among {len(kb)} entities",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def command_generate(args: argparse.Namespace) -> int:
+    if args.scale == 1.0:
+        pair = load_profile(args.profile, seed=args.seed)
+    else:
+        pair = scaled_profile(args.profile, args.scale, seed=args.seed)
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    save_ntriples(pair.kb1, out / "kb1.nt")
+    save_ntriples(pair.kb2, out / "kb2.nt")
+    with (out / "ground_truth.tsv").open("w", encoding="utf-8") as handle:
+        for uri1, uri2 in sorted(pair.uri_ground_truth):
+            handle.write(f"{uri1}\t{uri2}\n")
+    print(
+        f"wrote {out}/kb1.nt ({len(pair.kb1)} entities), "
+        f"{out}/kb2.nt ({len(pair.kb2)} entities), "
+        f"{out}/ground_truth.tsv ({len(pair.ground_truth)} matches)"
+    )
+    return 0
+
+
+def command_experiment(args: argparse.Namespace) -> int:
+    from repro.evaluation import experiments, reporting
+
+    pairs = [load_profile(name) for name in args.profiles]
+    if args.experiment == "table1":
+        print(reporting.format_dataset_statistics(
+            [experiments.dataset_statistics(pair) for pair in pairs]))
+    elif args.experiment == "table2":
+        print(reporting.format_block_statistics(
+            [experiments.block_statistics(pair) for pair in pairs]))
+    elif args.experiment == "table3":
+        print(reporting.format_comparison(
+            [experiments.comparison(pair) for pair in pairs]))
+    elif args.experiment == "table4":
+        print(reporting.format_rule_ablation(
+            [experiments.rule_ablation(pair) for pair in pairs]))
+    elif args.experiment == "figure2":
+        print(reporting.format_similarity_distribution(
+            [experiments.similarity_distribution(pair, sample=300) for pair in pairs]))
+    elif args.experiment == "figure5":
+        results = [
+            experiments.sensitivity(pair, parameter)
+            for parameter in experiments.SENSITIVITY_GRID
+            for pair in pairs
+        ]
+        print(reporting.format_sensitivity(results))
+    elif args.experiment == "figure6":
+        print(reporting.format_scalability(
+            [experiments.scalability(pair) for pair in pairs]))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MinoanER: schema-agnostic, non-iterative Web-entity resolution",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    resolve = subparsers.add_parser(
+        "resolve", help="match two clean KBs (N-Triples or TSV files)"
+    )
+    resolve.add_argument("kb1")
+    resolve.add_argument("kb2")
+    resolve.add_argument("-o", "--output", help="write matches TSV here (default stdout)")
+    resolve.add_argument("--ground-truth", help="URI-pair TSV to score against")
+    _add_config_arguments(resolve)
+    resolve.set_defaults(handler=command_resolve)
+
+    dedupe = subparsers.add_parser("dedupe", help="deduplicate a single dirty KB")
+    dedupe.add_argument("kb")
+    dedupe.add_argument("-o", "--output", help="write duplicate pairs TSV here")
+    _add_config_arguments(dedupe)
+    dedupe.set_defaults(handler=command_dedupe)
+
+    generate = subparsers.add_parser(
+        "generate", help="materialise a synthetic benchmark profile"
+    )
+    generate.add_argument("profile", choices=profile_names())
+    generate.add_argument("--out-dir", default=".", help="destination directory")
+    generate.add_argument("--scale", type=float, default=1.0, help="population scale factor")
+    generate.add_argument("--seed", type=int, default=None, help="override the calibrated seed")
+    generate.set_defaults(handler=command_generate)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument("experiment", choices=EXPERIMENTS)
+    experiment.add_argument(
+        "--profiles", nargs="+", default=profile_names(), choices=profile_names(),
+        help="datasets to include (default: all four)",
+    )
+    experiment.set_defaults(handler=command_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

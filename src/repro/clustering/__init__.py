@@ -1,0 +1,5 @@
+"""Clustering of scored candidate pairs into 1-1 matches."""
+
+from repro.clustering.unique_mapping import unique_mapping_clustering
+
+__all__ = ["unique_mapping_clustering"]

@@ -1,0 +1,40 @@
+"""Unique Mapping Clustering (section 5).
+
+The clustering step shared by SiGMa, LINDA, RiMOM and MinoanER: place
+all scored pairs in a priority queue in decreasing similarity; pop
+greedily; a popped pair becomes a match iff neither of its entities has
+already been matched; stop when the similarity drops below a threshold.
+For clean-clean ER this enforces the 1-1 mapping constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def unique_mapping_clustering(
+    scored_pairs: Iterable[tuple[int, int, float]],
+    threshold: float = 0.0,
+) -> set[tuple[int, int]]:
+    """Greedy 1-1 matching of ``(eid1, eid2, score)`` candidates.
+
+    Pairs with ``score <= threshold`` are discarded.  Ties are broken by
+    ascending ``(eid1, eid2)`` so results are deterministic.
+
+    >>> sorted(unique_mapping_clustering([(0, 0, 0.9), (0, 1, 0.8), (1, 1, 0.7)]))
+    [(0, 0), (1, 1)]
+    """
+    queue = sorted(
+        (pair for pair in scored_pairs if pair[2] > threshold),
+        key=lambda pair: (-pair[2], pair[0], pair[1]),
+    )
+    matched_1: set[int] = set()
+    matched_2: set[int] = set()
+    matches: set[tuple[int, int]] = set()
+    for eid1, eid2, _ in queue:
+        if eid1 in matched_1 or eid2 in matched_2:
+            continue
+        matched_1.add(eid1)
+        matched_2.add(eid2)
+        matches.add((eid1, eid2))
+    return matches

@@ -1,0 +1,48 @@
+"""MinoanER core: configuration, matching rules R1-R4, the pipeline facade.
+
+This is the paper's primary contribution: a non-iterative matching
+process over the pruned disjunctive blocking graph, expressed as four
+generic, schema-agnostic rules (section 4):
+
+* **R1** name matching -- exclusive shared name (``alpha = 1``);
+* **R2** value matching -- top value candidate with ``beta >= 1``;
+* **R3** rank aggregation -- threshold-free combination of value and
+  neighbor candidate rankings, weighted by ``theta``;
+* **R4** reciprocity -- keep a match only if both directions kept the
+  edge after pruning.
+
+``M = (R1 or R2 or R3) and R4`` (Definition 4.1).
+
+Beyond the paper's clean-clean evaluation setting, the generalisations
+it claims in section 2 are implemented too:
+:class:`~repro.core.dirty.DirtyMinoanER` deduplicates a single dirty
+KB, and :class:`~repro.core.multi.MultiKBResolver` resolves more than
+two clean KBs into cross-KB clusters.
+"""
+
+from repro.core.config import MinoanERConfig
+from repro.core.dirty import DirtyMinoanER, DirtyResolutionResult
+from repro.core.ensemble import EnsembleConfig, EnsembleMatcher
+from repro.core.explain import MatchExplanation, explain_pair
+from repro.core.matcher import MatchingResult, NonIterativeMatcher
+from repro.core.multi import MultiKBResolver, MultiResolutionResult
+from repro.core.pipeline import MinoanER, ResolutionResult
+from repro.core.rank_aggregation import aggregate_rankings, top_aggregate_candidate
+
+__all__ = [
+    "DirtyMinoanER",
+    "DirtyResolutionResult",
+    "EnsembleConfig",
+    "EnsembleMatcher",
+    "MatchExplanation",
+    "explain_pair",
+    "MinoanER",
+    "MinoanERConfig",
+    "MatchingResult",
+    "MultiKBResolver",
+    "MultiResolutionResult",
+    "NonIterativeMatcher",
+    "ResolutionResult",
+    "aggregate_rankings",
+    "top_aggregate_candidate",
+]

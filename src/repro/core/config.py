@@ -1,0 +1,111 @@
+"""Configuration of the MinoanER pipeline.
+
+The paper's sensitivity analysis (Figure 5) varies four parameters and
+recommends the global default ``(k, K, N, theta) = (2, 15, 3, 0.6)``,
+which is also the default here.  All remaining knobs either reproduce a
+fixed design decision of the paper (e.g. ``value_threshold = 1`` in R2)
+or expose an ablation used in its evaluation (rule toggles, purging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class MinoanERConfig:
+    """All knobs of the MinoanER pipeline.
+
+    Parameters
+    ----------
+    name_attributes_k:
+        ``k``: globally most important literal attributes per KB whose
+        values act as entity names (section 2.2).
+    candidates_k:
+        ``K``: edges kept per node per evidence type when pruning the
+        blocking graph (section 3.3).
+    relations_n:
+        ``N``: most important relations per entity defining its top
+        neighbors (section 2.2).
+    theta:
+        Trade-off between value-based and neighbor-based rankings in
+        rule R3; the beta list is weighted ``theta`` and the gamma list
+        ``1 - theta`` (section 4).
+    value_threshold:
+        R2 matches the top value candidate when ``beta`` reaches this
+        threshold; the paper fixes it to 1 ("many common and infrequent
+        tokens").
+    purge_blocks / purging_budget_ratio / max_block_comparisons:
+        Block Purging of oversized token blocks (section 3.3): retained
+        token blocks may suggest at most ``purging_budget_ratio`` of the
+        brute-force ``|E1|*|E2|`` comparisons (paper regime: ~1%%).
+    use_name_rule / use_value_rule / use_rank_aggregation / use_reciprocity:
+        Rule toggles for the Table 4 ablations.
+    use_neighbor_evidence:
+        When False, gamma weights are not computed and R3 ranks by value
+        evidence alone ("contribution of neighbors" ablation, Table 4).
+    enforce_unique_mapping:
+        Apply Unique Mapping Clustering to the final match set, keeping
+        the best-scored pair per entity (section 5 notes MinoanER
+        employs it; rule order gives R1 > R2 > R3 priority).
+    dynamic_pruning / pruning_gap_ratio:
+        Replace the fixed top-K candidate retention with the adaptive
+        per-node cut of the paper's future work (section 7): each node's
+        list is truncated at the first large weight gap in its local
+        similarity distribution.
+    tokenizer_min_length / stopwords:
+        Tokenisation options (defaults follow the paper: keep all
+        alphanumeric tokens, no stopword list).
+    """
+
+    name_attributes_k: int = 2
+    candidates_k: int = 15
+    relations_n: int = 3
+    theta: float = 0.6
+    value_threshold: float = 1.0
+    purge_blocks: bool = True
+    purging_budget_ratio: float = 0.01
+    max_block_comparisons: int | None = None
+    use_name_rule: bool = True
+    use_value_rule: bool = True
+    use_rank_aggregation: bool = True
+    use_reciprocity: bool = True
+    use_neighbor_evidence: bool = True
+    enforce_unique_mapping: bool = True
+    dynamic_pruning: bool = False
+    pruning_gap_ratio: float = 0.2
+    tokenizer_min_length: int = 1
+    stopwords: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.name_attributes_k < 0:
+            raise ValueError(f"name_attributes_k must be >= 0, got {self.name_attributes_k}")
+        if self.candidates_k < 1:
+            raise ValueError(f"candidates_k must be >= 1, got {self.candidates_k}")
+        if self.relations_n < 0:
+            raise ValueError(f"relations_n must be >= 0, got {self.relations_n}")
+        if not 0.0 < self.theta < 1.0:
+            raise ValueError(f"theta must be in (0, 1), got {self.theta}")
+        if self.value_threshold < 0.0:
+            raise ValueError(f"value_threshold must be >= 0, got {self.value_threshold}")
+        if self.purging_budget_ratio <= 0.0:
+            raise ValueError(
+                f"purging_budget_ratio must be > 0, got {self.purging_budget_ratio}"
+            )
+        if not 0.0 < self.pruning_gap_ratio < 1.0:
+            raise ValueError(
+                f"pruning_gap_ratio must be in (0, 1), got {self.pruning_gap_ratio}"
+            )
+
+    def with_options(self, **changes: Any) -> "MinoanERConfig":
+        """A copy with the given fields replaced (validation re-runs).
+
+        >>> MinoanERConfig().with_options(theta=0.5).theta
+        0.5
+        """
+        return replace(self, **changes)
+
+
+PAPER_DEFAULT = MinoanERConfig()
+"""The paper's suggested global configuration (k, K, N, theta) = (2, 15, 3, 0.6)."""

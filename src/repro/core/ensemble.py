@@ -1,0 +1,118 @@
+"""Ensemble matching: the paper's future-work alternative to rule order.
+
+Section 7: "we will investigate how to create an ensemble of matching
+rules".  Algorithm 2 applies R1-R3 in a fixed precedence with early
+claiming; the ensemble instead lets every rule *vote* on every candidate
+pair and combines the votes into one confidence score, clustered by
+Unique Mapping:
+
+* **name vote** -- 1 when the pair shares an exclusive name (R1's
+  evidence);
+* **value vote** -- the pair's normalised rank in each endpoint's value
+  candidate list, averaged over both directions (R2/R3's beta
+  evidence, made scale-free);
+* **neighbor vote** -- the same for the neighbor candidate lists (R3's
+  gamma evidence);
+* **reciprocity** -- non-reciprocal pairs are discounted
+  multiplicatively rather than dropped outright (R4 softened).
+
+The combination is a weighted sum; with the default weights the
+ensemble behaves like MinoanER on clear-cut pairs but can recover
+matches the fixed precedence loses (e.g. a pair that is second-best by
+value *and* second-best by neighbors, beaten in each single ranking by
+two different wrong candidates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clustering.unique_mapping import unique_mapping_clustering
+from repro.core.rank_aggregation import normalized_rank_scores
+from repro.graph.blocking_graph import DisjunctiveBlockingGraph
+
+
+@dataclass(frozen=True)
+class EnsembleConfig:
+    """Vote weights and acceptance threshold of the ensemble.
+
+    The default weights make an exclusive shared name decisive on its
+    own (weight 2 vs. a maximum of 1 per ranking vote), mirroring R1's
+    precedence, while value and neighbor votes carry equal weight,
+    mirroring a balanced theta.
+    """
+
+    name_weight: float = 2.0
+    value_weight: float = 1.0
+    neighbor_weight: float = 1.0
+    reciprocity_discount: float = 0.5
+    threshold: float = 0.4
+
+    def __post_init__(self) -> None:
+        for label in ("name_weight", "value_weight", "neighbor_weight"):
+            if getattr(self, label) < 0:
+                raise ValueError(f"{label} must be >= 0")
+        if not 0.0 <= self.reciprocity_discount <= 1.0:
+            raise ValueError(
+                f"reciprocity_discount must be in [0, 1], got {self.reciprocity_discount}"
+            )
+
+
+@dataclass
+class EnsembleResult:
+    """Matches with their combined confidences."""
+
+    matches: set[tuple[int, int]]
+    confidences: dict[tuple[int, int], float] = field(default_factory=dict)
+
+
+class EnsembleMatcher:
+    """Vote-combining matcher over the pruned disjunctive blocking graph."""
+
+    def __init__(self, config: EnsembleConfig | None = None):
+        self.config = config or EnsembleConfig()
+
+    def score_pairs(self, graph: DisjunctiveBlockingGraph) -> dict[tuple[int, int], float]:
+        """Combined confidence of every pair connected in the graph."""
+        config = self.config
+        votes: dict[tuple[int, int], float] = {}
+
+        def add(pair: tuple[int, int], amount: float) -> None:
+            votes[pair] = votes.get(pair, 0.0) + amount
+
+        # Name votes.
+        for eid1 in range(graph.n1):
+            eid2 = graph.name_match(1, eid1)
+            if eid2 is not None:
+                add((eid1, eid2), config.name_weight)
+
+        # Ranking votes, both directions, each direction worth half.
+        for side, size in ((1, graph.n1), (2, graph.n2)):
+            for eid in range(size):
+                value_ranks = normalized_rank_scores(graph.value_candidates(side, eid))
+                for other, rank in value_ranks.items():
+                    pair = (eid, other) if side == 1 else (other, eid)
+                    add(pair, 0.5 * config.value_weight * rank)
+                neighbor_ranks = normalized_rank_scores(
+                    graph.neighbor_candidates(side, eid)
+                )
+                for other, rank in neighbor_ranks.items():
+                    pair = (eid, other) if side == 1 else (other, eid)
+                    add(pair, 0.5 * config.neighbor_weight * rank)
+
+        # Reciprocity discount.
+        if config.reciprocity_discount < 1.0:
+            for pair in votes:
+                if not graph.is_reciprocal(*pair):
+                    votes[pair] *= config.reciprocity_discount
+        return votes
+
+    def match(self, graph: DisjunctiveBlockingGraph) -> EnsembleResult:
+        """Score all pairs, then Unique Mapping Clustering above threshold."""
+        votes = self.score_pairs(graph)
+        scored = [(eid1, eid2, score) for (eid1, eid2), score in votes.items()]
+        matches = unique_mapping_clustering(scored, threshold=self.config.threshold)
+        return EnsembleResult(
+            matches=matches,
+            confidences={pair: votes[pair] for pair in matches},
+        )

@@ -1,0 +1,122 @@
+"""Multi-KB ER: resolving more than two clean KBs.
+
+Section 2 / Definition 3.3: with ``k`` clean KBs the disjunctive
+blocking graph is k-partite -- "the only information needed to match
+multiple KBs is to which KB every description belongs".  This module
+resolves every KB pair with the standard pipeline and then closes the
+pairwise matches transitively into cross-KB entity clusters.
+
+Because each KB is clean, a cluster should contain at most one entity
+per KB; pairwise UMC already enforces that per pair, and conflicting
+transitive merges (two entities of the same KB in one cluster) are
+reported rather than silently merged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.core.config import MinoanERConfig
+from repro.core.pipeline import MinoanER, ResolutionResult
+from repro.kb.knowledge_base import KnowledgeBase
+
+Entity = tuple[int, int]
+"""A cross-KB entity handle: ``(kb index, entity id)``."""
+
+
+@dataclass
+class MultiResolutionResult:
+    """Clusters of co-referent descriptions across several KBs."""
+
+    kbs: list[KnowledgeBase]
+    pairwise: dict[tuple[int, int], ResolutionResult]
+    clusters: list[tuple[Entity, ...]]
+    conflicts: list[tuple[Entity, ...]] = field(default_factory=list)
+
+    def cluster_uris(self) -> list[tuple[str, ...]]:
+        return [
+            tuple(self.kbs[kb_index].uri_of(eid) for kb_index, eid in cluster)
+            for cluster in self.clusters
+        ]
+
+    def matches_between(self, left: int, right: int) -> set[tuple[int, int]]:
+        """Pairwise matches between KB ``left`` and KB ``right``."""
+        if left > right:
+            return {(b, a) for a, b in self.matches_between(right, left)}
+        return self.pairwise[(left, right)].matches
+
+
+class MultiKBResolver:
+    """Resolve ``k >= 2`` clean KBs into cross-KB clusters.
+
+    Examples
+    --------
+    >>> # resolver = MultiKBResolver()
+    >>> # result = resolver.resolve([kb_a, kb_b, kb_c])
+    >>> # result.cluster_uris()
+    """
+
+    def __init__(self, config: MinoanERConfig | None = None):
+        self.config = config or MinoanERConfig()
+
+    def resolve(self, kbs: list[KnowledgeBase]) -> MultiResolutionResult:
+        """Run the clean-clean pipeline on every pair, then cluster."""
+        if len(kbs) < 2:
+            raise ValueError(f"need at least 2 KBs, got {len(kbs)}")
+        pipeline = MinoanER(self.config)
+        pairwise: dict[tuple[int, int], ResolutionResult] = {}
+        for left, right in combinations(range(len(kbs)), 2):
+            pairwise[(left, right)] = pipeline.resolve(kbs[left], kbs[right])
+
+        clusters, conflicts = self._close_transitively(kbs, pairwise)
+        return MultiResolutionResult(
+            kbs=list(kbs), pairwise=pairwise, clusters=clusters, conflicts=conflicts
+        )
+
+    @staticmethod
+    def _close_transitively(
+        kbs: list[KnowledgeBase],
+        pairwise: dict[tuple[int, int], ResolutionResult],
+    ) -> tuple[list[tuple[Entity, ...]], list[tuple[Entity, ...]]]:
+        parent: dict[Entity, Entity] = {}
+
+        def find(node: Entity) -> Entity:
+            root = node
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(node, node) != node:
+                parent[node], node = root, parent[node]
+            return root
+
+        def union(a: Entity, b: Entity) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent.setdefault(root_a, root_a)
+                parent[root_b] = root_a
+
+        for (left, right), result in pairwise.items():
+            for eid1, eid2 in result.matches:
+                union((left, eid1), (right, eid2))
+
+        members: dict[Entity, list[Entity]] = {}
+        for node in list(parent):
+            members.setdefault(find(node), []).append(node)
+        for root in members:
+            if root not in members[root]:
+                members[root].append(root)
+
+        clusters: list[tuple[Entity, ...]] = []
+        conflicts: list[tuple[Entity, ...]] = []
+        for group in members.values():
+            cluster = tuple(sorted(set(group)))
+            if len(cluster) < 2:
+                continue
+            kb_indexes = [kb_index for kb_index, _ in cluster]
+            if len(kb_indexes) != len(set(kb_indexes)):
+                # Two entities of one (clean) KB ended up together:
+                # transitive evidence disagrees; surface, don't merge.
+                conflicts.append(cluster)
+            else:
+                clusters.append(cluster)
+        return sorted(clusters), sorted(conflicts)

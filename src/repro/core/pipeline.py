@@ -1,0 +1,162 @@
+"""End-to-end MinoanER pipeline: statistics -> blocking -> graph -> matching.
+
+:class:`MinoanER` is the public facade.  It wires the substrates in the
+order of the paper's architecture (Figure 4) -- serially; the
+stage-parallel variant mirroring the Spark implementation lives in
+:mod:`repro.parallel.pipeline` and produces identical matches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.blocking.base import BlockCollection
+from repro.blocking.name_blocking import name_blocks
+from repro.blocking.purging import purge_blocks
+from repro.blocking.token_blocking import token_blocks
+from repro.core.config import MinoanERConfig
+from repro.core.matcher import MatchingResult, NonIterativeMatcher
+from repro.evaluation.metrics import MatchingReport, evaluate_matches
+from repro.graph.blocking_graph import DisjunctiveBlockingGraph
+from repro.graph.construction import build_blocking_graph
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.statistics import KBStatistics
+
+
+@dataclass
+class ResolutionResult:
+    """Everything produced by one :meth:`MinoanER.resolve` run.
+
+    ``matches`` are id pairs; :meth:`uri_matches` translates them to URI
+    pairs for downstream consumers; ``timings`` holds per-phase wall
+    times in seconds (keys: ``statistics``, ``blocking``, ``graph``,
+    ``matching``, ``total``).
+    """
+
+    kb1: KnowledgeBase
+    kb2: KnowledgeBase
+    matching: MatchingResult
+    graph: DisjunctiveBlockingGraph
+    name_block_collection: BlockCollection
+    token_block_collection: BlockCollection
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def matches(self) -> set[tuple[int, int]]:
+        """Matched ``(KB1 id, KB2 id)`` pairs."""
+        return self.matching.matches
+
+    def uri_matches(self) -> set[tuple[str, str]]:
+        """Matched ``(KB1 URI, KB2 URI)`` pairs."""
+        return {
+            (self.kb1.uri_of(eid1), self.kb2.uri_of(eid2))
+            for eid1, eid2 in self.matching.matches
+        }
+
+    def evaluate(
+        self, ground_truth: set[tuple[int, int]], partial_gold: bool = True
+    ) -> MatchingReport:
+        """Precision/recall/F1 against ``(KB1 id, KB2 id)`` ground truth.
+
+        ``partial_gold`` follows the benchmark protocol for incomplete
+        gold standards (see :func:`repro.evaluation.metrics.evaluate_matches`).
+        """
+        return evaluate_matches(self.matching.matches, ground_truth, partial_gold)
+
+    def evaluate_uris(
+        self, ground_truth: set[tuple[str, str]], partial_gold: bool = True
+    ) -> MatchingReport:
+        """Precision/recall/F1 against URI-pair ground truth."""
+        return evaluate_matches(self.uri_matches(), ground_truth, partial_gold)
+
+
+class MinoanER:
+    """Schema-agnostic, non-iterative entity resolution over two clean KBs.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration; defaults to the paper's recommended
+        global configuration ``(k, K, N, theta) = (2, 15, 3, 0.6)``.
+
+    Examples
+    --------
+    >>> from repro.kb.entity import EntityDescription
+    >>> from repro.kb.knowledge_base import KnowledgeBase
+    >>> kb1 = KnowledgeBase([EntityDescription("a", [("label", "fat duck bray")])], "K1")
+    >>> kb2 = KnowledgeBase([EntityDescription("b", [("name", "fat duck bray")])], "K2")
+    >>> result = MinoanER().resolve(kb1, kb2)
+    >>> result.uri_matches()
+    {('a', 'b')}
+    """
+
+    def __init__(self, config: MinoanERConfig | None = None):
+        self.config = config or MinoanERConfig()
+
+    def build_statistics(self, kb: KnowledgeBase) -> KBStatistics:
+        """Per-KB statistics with this pipeline's ``k`` and ``N``."""
+        return KBStatistics(
+            kb,
+            top_k_name_attributes=self.config.name_attributes_k,
+            top_n_relations=self.config.relations_n,
+        )
+
+    def build_blocks(
+        self,
+        stats1: KBStatistics,
+        stats2: KBStatistics,
+    ) -> tuple[BlockCollection, BlockCollection]:
+        """Name blocks and (purged) token blocks for the pair."""
+        config = self.config
+        names = name_blocks(stats1, stats2)
+        tokens = token_blocks(stats1.kb, stats2.kb)
+        if config.purge_blocks:
+            tokens = purge_blocks(
+                tokens,
+                cartesian=len(stats1.kb) * len(stats2.kb),
+                budget_ratio=config.purging_budget_ratio,
+                max_comparisons=config.max_block_comparisons,
+            )
+        return names, tokens
+
+    def resolve(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> ResolutionResult:
+        """Run the full pipeline and return matches plus all intermediates."""
+        timings: dict[str, float] = {}
+        started = time.perf_counter()
+
+        phase = time.perf_counter()
+        stats1 = self.build_statistics(kb1)
+        stats2 = self.build_statistics(kb2)
+        timings["statistics"] = time.perf_counter() - phase
+
+        phase = time.perf_counter()
+        names, tokens = self.build_blocks(stats1, stats2)
+        timings["blocking"] = time.perf_counter() - phase
+
+        phase = time.perf_counter()
+        graph = build_blocking_graph(
+            stats1,
+            stats2,
+            names,
+            tokens,
+            k=self.config.candidates_k,
+            dynamic_pruning=self.config.dynamic_pruning,
+            pruning_gap_ratio=self.config.pruning_gap_ratio,
+        )
+        timings["graph"] = time.perf_counter() - phase
+
+        phase = time.perf_counter()
+        matching = NonIterativeMatcher(self.config).match(graph)
+        timings["matching"] = time.perf_counter() - phase
+
+        timings["total"] = time.perf_counter() - started
+        return ResolutionResult(
+            kb1=kb1,
+            kb2=kb2,
+            matching=matching,
+            graph=graph,
+            name_block_collection=names,
+            token_block_collection=tokens,
+            timings=timings,
+        )

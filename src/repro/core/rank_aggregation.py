@@ -1,0 +1,68 @@
+"""Threshold-free rank aggregation for rule R3 (Algorithm 2, lines 10-23).
+
+Instead of combining value and neighbor similarities into one aggregate
+*score* (which would need tuned weights on incomparable scales), R3
+combines candidate *rankings*: in a list of size ``L`` the best
+candidate receives ``L/L``, the second ``(L-1)/L``, the last ``1/L``.
+Each candidate's aggregate is ``theta * value_rank_score +
+(1 - theta) * neighbor_rank_score``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.blocking_graph import CandidateList
+
+
+def normalized_rank_scores(candidates: CandidateList) -> dict[int, float]:
+    """Map each candidate to its normalised rank score.
+
+    ``candidates`` must already be score-descending (as stored in the
+    blocking graph).  With ``L`` candidates, position ``p`` (0-based)
+    scores ``(L - p) / L``.
+
+    >>> normalized_rank_scores(((7, 3.0), (4, 1.0)))
+    {7: 1.0, 4: 0.5}
+    """
+    size = len(candidates)
+    if size == 0:
+        return {}
+    return {
+        candidate: (size - position) / size
+        for position, (candidate, _) in enumerate(candidates)
+    }
+
+
+def aggregate_rankings(
+    value_candidates: CandidateList,
+    neighbor_candidates: CandidateList,
+    theta: float,
+) -> dict[int, float]:
+    """Weighted sum of normalised ranks from the two candidate lists.
+
+    The value list contributes with weight ``theta``, the neighbor list
+    with ``1 - theta`` (Algorithm 2, lines 16 and 21).
+    """
+    aggregate: dict[int, float] = {}
+    for candidate, score in normalized_rank_scores(value_candidates).items():
+        aggregate[candidate] = aggregate.get(candidate, 0.0) + theta * score
+    for candidate, score in normalized_rank_scores(neighbor_candidates).items():
+        aggregate[candidate] = aggregate.get(candidate, 0.0) + (1.0 - theta) * score
+    return aggregate
+
+
+def top_aggregate_candidate(
+    value_candidates: CandidateList,
+    neighbor_candidates: CandidateList,
+    theta: float,
+) -> tuple[int, float] | None:
+    """The best candidate by aggregate rank score, or ``None`` if no
+    candidate exists.  Ties break on ascending candidate id.
+
+    >>> top_aggregate_candidate(((1, 2.0),), ((2, 9.0),), 0.6)
+    (1, 0.6)
+    """
+    aggregate = aggregate_rankings(value_candidates, neighbor_candidates, theta)
+    if not aggregate:
+        return None
+    candidate = min(aggregate, key=lambda c: (-aggregate[c], c))
+    return candidate, aggregate[candidate]

@@ -1,0 +1,22 @@
+"""Benchmark dataset substrate.
+
+The paper evaluates on four real KB pairs (Restaurant, Rexa-DBLP,
+BBCmusic-DBpedia, YAGO-IMDb) that are not redistributable here.  This
+package provides a seeded synthetic generator whose four *profiles* are
+calibrated to those datasets' characteristics (Table 1 statistics and
+the Figure 2 similarity regimes), so every experiment exercises the same
+code paths with the same qualitative shape.  Real data can still be
+loaded through :mod:`repro.kb.rdf`.
+"""
+
+from repro.datasets.generator import KBPair, ProfileSpec, generate_kb_pair
+from repro.datasets.profiles import PROFILES, load_profile, profile_names
+
+__all__ = [
+    "KBPair",
+    "PROFILES",
+    "ProfileSpec",
+    "generate_kb_pair",
+    "load_profile",
+    "profile_names",
+]

@@ -1,0 +1,525 @@
+"""Synthetic clean-clean KB pair generator.
+
+The generator builds a small "world" of real entities, then renders two
+independent, schema-heterogeneous KB views of it:
+
+* every **matching** world entity is described by both KBs -- with
+  KB-specific attribute names, partially shared content tokens,
+  KB-private noise tokens and (optionally) a shared distinctive name;
+* **extra** world entities appear in only one KB, drawing tokens from
+  the same pools, so they create realistic blocking noise;
+* the world carries a typed **relation graph**; each KB renders an edge
+  with its own relation vocabulary and a per-KB fidelity, so neighbor
+  evidence survives across KBs even though relation names never align;
+* low-discriminability **junk relations** (e.g. ``country``) and
+  ``rdf:type``-style attributes reproduce the statistics that
+  MinoanER's importance measures must see through.
+
+All randomness flows from one ``random.Random(seed)``, so a
+``ProfileSpec`` is a complete, reproducible description of a dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """Full parameterisation of one synthetic KB pair.
+
+    The defaults produce a small, easy, Restaurant-like dataset; the
+    calibrated presets for the paper's four benchmarks live in
+    :mod:`repro.datasets.profiles`.
+
+    Token model
+    -----------
+    Each world entity owns ``core_tokens`` content tokens drawn from a
+    medium-frequency pool plus one or two entity-unique rare tokens.
+    KB ``x`` renders each core token independently with probability
+    ``shared_fraction_x`` -- the expected cross-KB overlap per match is
+    ``core_tokens * f1 * f2`` tokens -- and adds ``noise_tokens_x``
+    KB-private tokens plus ``common_tokens_x`` draws from a small
+    stopword-like pool shared by both KBs (these form the oversized
+    blocks that Block Purging must remove).
+
+    Core tokens are grouped into world-level *value chunks* of 1-3
+    tokens.  With ``exact_shared_values_x`` (the default) a rendered
+    chunk becomes one literal value, so shared chunks are exact shared
+    literals (the names/dates/ids real KBs agree on, which
+    equality-based systems like PARIS depend on).  Disabling it re-mixes
+    core and noise tokens into KB-local multi-token literals -- the
+    BBCmusic-DBpedia regime, where token overlap survives but exact
+    value equality does not.  ``titlecase_values2`` additionally renders
+    KB2 literals in a different lexical form (BTC2012's formatting
+    divergence): tokenisation is unaffected, exact equality breaks.
+
+    Name model
+    ----------
+    Every world entity has a distinctive 2-token name.  A matching
+    entity carries the *same* name string in both KBs with probability
+    ``name_overlap``, otherwise a perturbed variant.  With
+    ``decoy_name_attribute`` the second KB also carries a perfectly
+    important but non-overlapping identifier attribute, which hijacks
+    the ``k = 1`` name-attribute pick (the paper's BBCmusic-DBpedia
+    behaviour in Figure 5).
+
+    Relation model
+    --------------
+    ``relation_types`` typed edge families with ``out_degree`` edges per
+    world entity; each KB renders an edge with probability
+    ``neighbor_fidelity_x`` under its own relation name.  ``junk_relations``
+    adds per-KB relations pointing to a handful of hub entities (high
+    support, low discriminability), which relation importance must rank
+    below the real ones.
+    """
+
+    name: str = "synthetic"
+    seed: int = 7
+    # population
+    n_matches: int = 100
+    extras1: int = 20
+    extras2: int = 40
+    # tokens
+    core_tokens: int = 8
+    rare_tokens: int = 2
+    shared_fraction1: float = 0.9
+    shared_fraction2: float = 0.9
+    noise_tokens1: int = 2
+    noise_tokens2: int = 2
+    common_tokens1: int = 2
+    common_tokens2: int = 2
+    medium_vocab: int = 4000
+    common_vocab: int = 40
+    first_name_vocab: int = 300
+    surname_vocab: int = 150
+    name_token_count: int = 2
+    zipf_skew: float = 2.0
+    # distractors: extras cloned from matches to confuse value-only matching
+    distractor_rate: float = 0.0
+    distractor_share: float = 0.6
+    distractor_steal_rare: float = 0.0
+    distractor_steal_name: float = 0.0
+    # franchises: groups of *matched* entities sharing a token set
+    # (sequels, same-series albums) -- confusable for value-only matching
+    franchise_rate: float = 0.0
+    franchise_size: int = 4
+    franchise_tokens: int = 3
+    # names
+    name_overlap: float = 0.9
+    name_collision_rate: float = 0.0
+    decoy_name_attribute: bool = False
+    name_attribute1: str = "voc1:label"
+    name_attribute2: str = "voc2:name"
+    alias_coverage1: float = 0.85
+    alias_coverage2: float = 0.85
+    # attributes / types / vocabularies
+    content_attributes1: int = 5
+    content_attributes2: int = 5
+    attributes_per_entity2: int | None = None
+    types1: int = 3
+    types2: int = 3
+    vocabularies1: int = 2
+    vocabularies2: int = 2
+    # relations
+    relation_types: int = 3
+    out_degree: float = 2.0
+    neighbor_fidelity1: float = 0.9
+    neighbor_fidelity2: float = 0.9
+    junk_relations: int = 1
+    junk_hubs: int = 5
+    junk_coverage: float = 1.0
+    # literal grouping
+    max_tokens_per_value: int = 3
+    exact_shared_values1: bool = True
+    exact_shared_values2: bool = True
+    titlecase_values2: bool = False
+
+    def with_options(self, **changes: Any) -> "ProfileSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class KBPair:
+    """A generated (or loaded) clean-clean ER task.
+
+    ``ground_truth`` uses dense entity ids (KB1 id, KB2 id);
+    ``relation_alignment`` is the oracle mapping of KB1 relation names
+    to KB2 relation names that *the generator knows* -- MinoanER never
+    reads it, but the SiGMa-like baseline receives it, mirroring the
+    extra assumptions that system makes (section 6).
+    """
+
+    name: str
+    kb1: KnowledgeBase
+    kb2: KnowledgeBase
+    ground_truth: set[tuple[int, int]]
+    relation_alignment: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def uri_ground_truth(self) -> set[tuple[str, str]]:
+        return {
+            (self.kb1.uri_of(eid1), self.kb2.uri_of(eid2))
+            for eid1, eid2 in self.ground_truth
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"KBPair({self.name!r}, |E1|={len(self.kb1)}, |E2|={len(self.kb2)}, "
+            f"matches={len(self.ground_truth)})"
+        )
+
+
+class _World:
+    """Intermediate world model shared by both KB renderings."""
+
+    def __init__(self, spec: ProfileSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+        self.n_total = spec.n_matches + spec.extras1 + spec.extras2
+        # world ids: [0, n_matches) matched; then extras1; then extras2
+        self.names = [self._make_name(i) for i in range(self.n_total)]
+        self.core_chunks = [self._make_core_chunks(i) for i in range(self.n_total)]
+        self.types = [rng.randrange(10_000) for _ in range(self.n_total)]
+        # Pair-level coin: a match either shares its exact name across
+        # both KBs (probability name_overlap) or KB2 renders a variant.
+        self.name_shared = [rng.random() < spec.name_overlap for _ in range(self.n_total)]
+        self._plant_franchises()
+        self._plant_distractors()
+        self.edges = self._make_edges()
+        self.hubs = list(range(min(spec.junk_hubs, spec.n_matches)))
+
+    def _make_name(self, world_id: int) -> str:
+        """A distinctive multi-token name.
+
+        Token pools are small enough that the individual words repeat
+        across entities (a shared surname alone is weak evidence; the
+        words of "Star Wars Episode V" are individually frequent),
+        while the full name string is mostly -- not always -- unique.
+        ``name_token_count`` with small pools models title-like names
+        whose uniqueness lives in the *combination*, which exact-name
+        blocking exploits and bag-of-tokens similarity cannot.
+        """
+        spec, rng = self.spec, self.rng
+        tokens = [f"first{rng.randrange(spec.first_name_vocab)}"]
+        for _ in range(max(1, spec.name_token_count) - 1):
+            tokens.append(f"sur{rng.randrange(spec.surname_vocab)}")
+        return " ".join(tokens)
+
+    def medium_token(self) -> str:
+        """A Zipf-skewed draw from the medium-frequency content pool."""
+        spec = self.spec
+        index = int(spec.medium_vocab * (self.rng.random() ** spec.zipf_skew))
+        return f"med{min(index, spec.medium_vocab - 1)}"
+
+    def _make_core_chunks(self, world_id: int) -> list[list[str]]:
+        """Content of one world entity as 1-3 token *value chunks*.
+
+        Chunks are the unit both KBs agree on: a rendered chunk is an
+        exact shared literal (the names/dates/ids real KBs agree on).
+        Each entity owns two entity-unique rare tokens plus Zipf-skewed
+        medium-frequency tokens.
+        """
+        count = max(1, self.spec.core_tokens)
+        tokens = [f"rare{world_id}x{i}" for i in range(min(self.spec.rare_tokens, count))]
+        seen = set(tokens)
+        while len(tokens) < count:
+            token = self.medium_token()
+            if token not in seen:
+                seen.add(token)
+                tokens.append(token)
+        self.rng.shuffle(tokens)
+        return _chunk_tokens(tokens, self.rng, self.spec.max_tokens_per_value)
+
+    def _plant_franchises(self) -> None:
+        """Group some matched entities into token-sharing franchises.
+
+        Members of a franchise (movie sequels, same-series albums)
+        share ``franchise_tokens`` tokens that dominate their content,
+        so matched pairs become mutually confusable for value-only
+        matchers; the members' *own* rare tokens and neighbors remain
+        the only disambiguators.
+        """
+        spec, rng = self.spec, self.rng
+        if spec.franchise_rate <= 0.0 or spec.franchise_size < 2:
+            return
+        members = [w for w in range(spec.n_matches) if rng.random() < spec.franchise_rate]
+        rng.shuffle(members)
+        for group_start in range(0, len(members), spec.franchise_size):
+            group = members[group_start : group_start + spec.franchise_size]
+            if len(group) < 2:
+                continue
+            group_id = group[0]
+            shared = [f"fran{group_id}x{i}" for i in range(spec.franchise_tokens)]
+            base_name = self.names[group_id]
+            for part, world_id in enumerate(group):
+                # Sequel-style names: exact strings stay distinct (name
+                # blocking still works) but tokens and n-grams coincide.
+                if world_id != group_id:
+                    self.names[world_id] = f"{base_name} part{part + 1}"
+                chunks = [list(shared)] + self.core_chunks[world_id]
+                # Drop trailing chunks so content size stays comparable.
+                total = 0
+                kept: list[list[str]] = []
+                for chunk in chunks:
+                    if total >= spec.core_tokens:
+                        break
+                    kept.append(chunk)
+                    total += len(chunk)
+                self.core_chunks[world_id] = kept
+
+    def _plant_distractors(self) -> None:
+        """Turn some extras into near-duplicates of matched entities.
+
+        A distractor copies ``distractor_share`` of a match's
+        medium-frequency tokens -- re-chunked, so the *token* overlap
+        that confuses value-only matchers never becomes an exact shared
+        value -- and, with ``name_collision_rate``, a match's exact name
+        (breaking the exclusivity that rule R1 and equality-based
+        systems rely on).
+        """
+        spec, rng = self.spec, self.rng
+        if spec.n_matches == 0:
+            return
+        for world_id in range(spec.n_matches, self.n_total):
+            if rng.random() < spec.name_collision_rate:
+                self.names[world_id] = self.names[rng.randrange(spec.n_matches)]
+            if rng.random() < spec.distractor_rate:
+                victim = rng.randrange(spec.n_matches)
+                if rng.random() < spec.distractor_steal_name:
+                    # Token-identical but string-distinct name variant:
+                    # confuses bag-of-tokens and n-gram similarity, not
+                    # exact-name blocking (the "sequel vs. original"
+                    # collisions of large movie KBs).
+                    self.names[world_id] = _perturbed_name(self.names[victim], rng)
+                # Steal whole chunks: a sequel repeats exact phrases of
+                # the original, so every representation a value-only
+                # matcher can build (tokens, n-grams, exact values) is
+                # confusable; only rare-token chunks are harder to steal.
+                stolen: list[list[str]] = []
+                for chunk in self.core_chunks[victim]:
+                    has_rare = any(token.startswith("rare") for token in chunk)
+                    rate = spec.distractor_steal_rare if has_rare else spec.distractor_share
+                    if rng.random() < rate:
+                        stolen.append(list(chunk))
+                own_tokens = [f"rare{world_id}x0"]
+                stolen_count = sum(len(chunk) for chunk in stolen)
+                while stolen_count + len(own_tokens) < spec.core_tokens:
+                    own_tokens.append(self.medium_token())
+                rng.shuffle(own_tokens)
+                chunks = stolen + _chunk_tokens(own_tokens, rng, spec.max_tokens_per_value)
+                rng.shuffle(chunks)
+                self.core_chunks[world_id] = chunks
+
+    def _make_edges(self) -> list[tuple[int, int, int]]:
+        """Typed world edges ``(source, target, relation type)``.
+
+        Targets are biased towards matched entities so neighbor
+        evidence is observable from both KBs.
+        """
+        rng = self.rng
+        spec = self.spec
+        edges: list[tuple[int, int, int]] = []
+        if spec.relation_types == 0 or spec.out_degree <= 0:
+            return edges
+        for source in range(self.n_total):
+            degree = int(spec.out_degree) + (1 if rng.random() < spec.out_degree % 1 else 0)
+            for _ in range(degree):
+                if spec.n_matches > 1 and rng.random() < 0.8:
+                    target = rng.randrange(spec.n_matches)
+                else:
+                    target = rng.randrange(self.n_total)
+                if target == source:
+                    continue
+                relation = rng.randrange(spec.relation_types)
+                edges.append((source, target, relation))
+        return edges
+
+    def membership(self, world_id: int, side: int) -> bool:
+        """Does world entity ``world_id`` exist in KB ``side``?"""
+        spec = self.spec
+        if world_id < spec.n_matches:
+            return True
+        if world_id < spec.n_matches + spec.extras1:
+            return side == 1
+        return side == 2
+
+
+def _perturbed_name(name: str, rng: random.Random) -> str:
+    """A KB-local variant of a world name (token overlap, not equality).
+
+    The token order is usually preserved so even token-bigram
+    representations confuse the variant with the original, as real
+    near-duplicate names do ("Rocky II" vs "Rocky III").
+    """
+    tokens = name.split()
+    tokens.append(f"jr{rng.randrange(50)}")
+    if rng.random() < 0.15:
+        tokens.reverse()
+    return " ".join(tokens)
+
+
+def _chunk_tokens(tokens: list[str], rng: random.Random, max_tokens: int) -> list[list[str]]:
+    """Split a token list into chunks of 1..max_tokens tokens."""
+    chunks: list[list[str]] = []
+    position = 0
+    while position < len(tokens):
+        width = rng.randint(1, max(1, max_tokens))
+        chunks.append(tokens[position : position + width])
+        position += width
+    return chunks
+
+
+def _group_into_values(tokens: list[str], rng: random.Random, max_tokens: int) -> list[str]:
+    """Chunk a token list into multi-token literal values."""
+    return [" ".join(chunk) for chunk in _chunk_tokens(tokens, rng, max_tokens)]
+
+
+class _KBRenderer:
+    """Renders one KB view of the world."""
+
+    def __init__(self, world: _World, side: int, rng: random.Random):
+        spec = world.spec
+        self.world = world
+        self.side = side
+        self.rng = rng
+        self.prefix = f"kb{side}"
+        self.shared_fraction = spec.shared_fraction1 if side == 1 else spec.shared_fraction2
+        self.noise_tokens = spec.noise_tokens1 if side == 1 else spec.noise_tokens2
+        self.common_tokens = spec.common_tokens1 if side == 1 else spec.common_tokens2
+        self.fidelity = spec.neighbor_fidelity1 if side == 1 else spec.neighbor_fidelity2
+        self.name_attribute = spec.name_attribute1 if side == 1 else spec.name_attribute2
+        self.alias_attribute = f"voc{side}0:alias"
+        self.alias_coverage = spec.alias_coverage1 if side == 1 else spec.alias_coverage2
+        self.n_types = spec.types1 if side == 1 else spec.types2
+        n_attributes = spec.content_attributes1 if side == 1 else spec.content_attributes2
+        n_vocab = spec.vocabularies1 if side == 1 else spec.vocabularies2
+        self.content_attributes = [
+            f"voc{side}{i % max(1, n_vocab)}:attr{i}" for i in range(max(1, n_attributes))
+        ]
+        self.relation_names = {
+            r: f"voc{side}0:rel{side}_{r}" for r in range(spec.relation_types)
+        }
+        self.junk_relation_names = [
+            f"voc{side}0:junk{side}_{j}" for j in range(spec.junk_relations)
+        ]
+
+    def uri(self, world_id: int) -> str:
+        return f"{self.prefix}:e{world_id}"
+
+    def render(self) -> tuple[KnowledgeBase, dict[int, int]]:
+        """Build the KB; returns it plus ``world id -> entity id``."""
+        world, spec, rng = self.world, self.world.spec, self.rng
+        members = [w for w in range(world.n_total) if world.membership(w, self.side)]
+        descriptions = []
+        for world_id in members:
+            descriptions.append(self._render_entity(world_id, set(members)))
+        kb = KnowledgeBase(descriptions, name=f"{spec.name}-E{self.side}")
+        mapping = {world_id: index for index, world_id in enumerate(members)}
+        return kb, mapping
+
+    def _render_entity(self, world_id: int, members: set[int]) -> EntityDescription:
+        world, spec, rng = self.world, self.world.spec, self.rng
+        pairs: list[tuple[str, str]] = []
+
+        # Name.  Non-shared matches get a KB2-side variant, so exactly
+        # ``name_overlap`` of matching pairs agree on the exact string.
+        is_match = world_id < spec.n_matches
+        if is_match and self.side == 2 and not world.name_shared[world_id]:
+            name = _perturbed_name(world.names[world_id], rng)
+        else:
+            name = world.names[world_id]
+        pairs.append((self.name_attribute, name))
+        if rng.random() < self.alias_coverage:
+            # A second name-like attribute (aka/alias); this is why the
+            # paper's global top-k name attributes use k = 2.
+            pairs.append((self.alias_attribute, name))
+        if self.side == 2 and spec.decoy_name_attribute:
+            pairs.append(("voc20:id", f"id{world_id}k{rng.randrange(10**6)}"))
+
+        # Content values: world chunks kept whole (exact shared literals)
+        # or re-chunked into a token soup, per the profile's value model.
+        core_chunks = [
+            chunk
+            for chunk in world.core_chunks[world_id]
+            if rng.random() < self.shared_fraction
+        ]
+        noise = [f"priv{self.side}t{rng.randrange(spec.medium_vocab)}" for _ in range(self.noise_tokens)]
+        noise += [f"common{rng.randrange(spec.common_vocab)}" for _ in range(self.common_tokens)]
+        exact = spec.exact_shared_values1 if self.side == 1 else spec.exact_shared_values2
+        if exact:
+            values = [" ".join(chunk) for chunk in core_chunks]
+            rng.shuffle(noise)
+            values += _group_into_values(noise, rng, spec.max_tokens_per_value)
+        else:
+            tokens = [token for chunk in core_chunks for token in chunk] + noise
+            rng.shuffle(tokens)
+            values = _group_into_values(tokens, rng, spec.max_tokens_per_value)
+        per_entity_attrs = spec.attributes_per_entity2 if self.side == 2 else None
+        if per_entity_attrs:
+            attribute_pool = rng.sample(
+                self.content_attributes, min(per_entity_attrs, len(self.content_attributes))
+            )
+        else:
+            attribute_pool = self.content_attributes
+        for value in values:
+            pairs.append((rng.choice(attribute_pool), value))
+
+        # Type.
+        if self.n_types > 0:
+            type_id = world.types[world_id] % self.n_types
+            pairs.append((f"voc{self.side}0:type", f"{self.prefix}type{type_id}"))
+
+        # Formatting divergence: one KB may render literals in a
+        # different lexical form (case here; language tags and datatype
+        # suffixes in real Web data).  Token-level processing is
+        # unaffected, but exact-literal identity across KBs breaks.
+        if self.side == 2 and spec.titlecase_values2:
+            pairs = [(attribute, value.title()) for attribute, value in pairs]
+
+        # Relations.
+        for source, target, relation in world.edges:
+            if source != world_id or target not in members:
+                continue
+            if rng.random() < self.fidelity:
+                pairs.append((self.relation_names[relation], self.uri(target)))
+        for junk_name in self.junk_relation_names:
+            if rng.random() >= spec.junk_coverage:
+                continue
+            hubs = [h for h in world.hubs if h in members and h != world_id]
+            if hubs:
+                pairs.append((junk_name, self.uri(rng.choice(hubs))))
+
+        return EntityDescription(self.uri(world_id), pairs)
+
+
+def generate_kb_pair(spec: ProfileSpec) -> KBPair:
+    """Generate a reproducible clean-clean KB pair from a profile spec.
+
+    >>> pair = generate_kb_pair(ProfileSpec(n_matches=10, extras1=2, extras2=3))
+    >>> (len(pair.kb1), len(pair.kb2), len(pair.ground_truth))
+    (12, 13, 10)
+    """
+    rng = random.Random(spec.seed)
+    world = _World(spec, rng)
+    kb1, map1 = _KBRenderer(world, 1, random.Random(rng.randrange(2**62))).render()
+    kb2, map2 = _KBRenderer(world, 2, random.Random(rng.randrange(2**62))).render()
+    ground_truth = {
+        (map1[world_id], map2[world_id]) for world_id in range(spec.n_matches)
+    }
+    alignment = {
+        f"voc10:rel1_{r}": f"voc20:rel2_{r}" for r in range(spec.relation_types)
+    }
+    return KBPair(
+        name=spec.name,
+        kb1=kb1,
+        kb2=kb2,
+        ground_truth=ground_truth,
+        relation_alignment=alignment,
+    )

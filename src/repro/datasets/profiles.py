@@ -1,0 +1,252 @@
+"""The four benchmark profiles, calibrated to the paper's datasets.
+
+Each profile is a :class:`~repro.datasets.generator.ProfileSpec` whose
+knobs target the corresponding dataset's *regime* from Table 1, Figure 2
+and the per-rule recalls of Table 4 (sizes scaled down so experiments
+run on one machine, but keeping the paper's relative shapes: KB-size
+imbalance, schema heterogeneity, value- vs neighbor-similarity of
+matches, and share of exclusive shared names):
+
+``restaurant``
+    Small, low Variety, strongly similar matches in both value and
+    neighbor similarity (the paper's easiest pair: every system should
+    be near-perfect; value evidence alone suffices).
+``rexa_dblp``
+    Strongly similar matches but heavily imbalanced KB sizes (the
+    paper's DBLP is 100x Rexa in entities) and high name coverage.
+``bbc_dbpedia``
+    High Variety: the second KB has an order of magnitude more
+    attributes, ~4x more tokens per entity (normalised set similarities
+    collapse), multi-token literal values (exact-equality systems get
+    nothing), a decoy top-importance identifier attribute (the ``k = 1``
+    failure of Figure 5), name collisions, and nearly similar matches
+    that need neighbor evidence.
+``yago_imdb``
+    Largest and most balanced pair; matches share very few tokens (low
+    value similarity) but live in a dense relation graph (high neighbor
+    similarity), with many near-duplicate distractors, so value-only
+    matching collapses and rank aggregation (R3) dominates.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.generator import KBPair, ProfileSpec, generate_kb_pair
+
+PROFILES: dict[str, ProfileSpec] = {
+    "restaurant": ProfileSpec(
+        name="restaurant",
+        seed=421,
+        n_matches=89,
+        extras1=250,
+        extras2=2167,
+        core_tokens=9,
+        shared_fraction1=0.92,
+        shared_fraction2=0.92,
+        noise_tokens1=2,
+        noise_tokens2=2,
+        common_tokens1=2,
+        common_tokens2=2,
+        medium_vocab=500,
+        common_vocab=25,
+        first_name_vocab=900,
+        surname_vocab=350,
+        name_overlap=0.72,
+        name_collision_rate=0.0,
+        distractor_rate=0.02,
+        content_attributes1=4,
+        content_attributes2=4,
+        types1=3,
+        types2=3,
+        vocabularies1=2,
+        vocabularies2=2,
+        relation_types=1,
+        out_degree=1.5,
+        neighbor_fidelity1=0.95,
+        neighbor_fidelity2=0.95,
+        junk_relations=1,
+        junk_hubs=15,
+        junk_coverage=0.3,
+    ),
+    "rexa_dblp": ProfileSpec(
+        name="rexa_dblp",
+        seed=422,
+        n_matches=700,
+        extras1=300,
+        extras2=11300,
+        core_tokens=11,
+        shared_fraction1=0.85,
+        shared_fraction2=0.85,
+        noise_tokens1=2,
+        noise_tokens2=5,
+        common_tokens1=2,
+        common_tokens2=2,
+        medium_vocab=2500,
+        common_vocab=40,
+        first_name_vocab=1000,
+        surname_vocab=300,
+        name_overlap=0.93,
+        name_collision_rate=0.004,
+        distractor_rate=0.10,
+        distractor_share=0.5,
+        content_attributes1=10,
+        content_attributes2=16,
+        types1=4,
+        types2=10,
+        vocabularies1=4,
+        vocabularies2=4,
+        relation_types=3,
+        out_degree=2.0,
+        neighbor_fidelity1=0.9,
+        neighbor_fidelity2=0.9,
+        junk_relations=1,
+        junk_hubs=25,
+        junk_coverage=0.35,
+    ),
+    "bbc_dbpedia": ProfileSpec(
+        name="bbc_dbpedia",
+        seed=423,
+        n_matches=1100,
+        extras1=400,
+        extras2=3200,
+        core_tokens=7,
+        shared_fraction1=0.72,
+        shared_fraction2=0.78,
+        noise_tokens1=10,
+        noise_tokens2=28,
+        common_tokens1=2,
+        common_tokens2=8,
+        medium_vocab=1500,
+        common_vocab=35,
+        first_name_vocab=300,
+        surname_vocab=150,
+        name_token_count=2,
+        name_overlap=0.78,
+        name_collision_rate=0.10,
+        distractor_rate=0.85,
+        distractor_share=0.75,
+        distractor_steal_rare=0.40,
+        distractor_steal_name=0.95,
+        franchise_rate=0.45,
+        franchise_size=3,
+        franchise_tokens=3,
+        max_tokens_per_value=3,
+        decoy_name_attribute=True,
+        titlecase_values2=True,
+        exact_shared_values2=False,
+        content_attributes1=15,
+        content_attributes2=300,
+        attributes_per_entity2=8,
+        types1=4,
+        types2=40,
+        vocabularies1=4,
+        vocabularies2=6,
+        relation_types=4,
+        out_degree=3.0,
+        neighbor_fidelity1=0.85,
+        neighbor_fidelity2=0.9,
+        junk_relations=1,
+        junk_hubs=30,
+        junk_coverage=0.25,
+    ),
+    "yago_imdb": ProfileSpec(
+        name="yago_imdb",
+        seed=424,
+        n_matches=2800,
+        extras1=2200,
+        extras2=4200,
+        core_tokens=5,
+        shared_fraction1=0.62,
+        shared_fraction2=0.62,
+        noise_tokens1=8,
+        noise_tokens2=7,
+        common_tokens1=2,
+        common_tokens2=2,
+        medium_vocab=1200,
+        common_vocab=30,
+        first_name_vocab=400,
+        surname_vocab=200,
+        name_token_count=2,
+        name_overlap=0.76,
+        name_collision_rate=0.06,
+        distractor_rate=1.0,
+        distractor_share=0.85,
+        distractor_steal_rare=0.20,
+        distractor_steal_name=1.0,
+        franchise_rate=0.8,
+        franchise_size=5,
+        franchise_tokens=4,
+        max_tokens_per_value=3,
+        content_attributes1=8,
+        content_attributes2=10,
+        types1=50,
+        types2=5,
+        vocabularies1=3,
+        vocabularies2=1,
+        relation_types=4,
+        out_degree=3.5,
+        neighbor_fidelity1=0.95,
+        neighbor_fidelity2=0.95,
+        junk_relations=1,
+        junk_hubs=40,
+        junk_coverage=0.25,
+    ),
+}
+"""Calibrated specs, keyed by profile name."""
+
+
+def profile_names() -> list[str]:
+    """The four benchmark profiles, in the paper's Table 1 order."""
+    return list(PROFILES)
+
+
+def load_profile(name: str, seed: int | None = None, **overrides) -> KBPair:
+    """Generate the named benchmark profile.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`profile_names`.
+    seed:
+        Override the calibrated seed (e.g. for robustness studies).
+    overrides:
+        Any :class:`ProfileSpec` field, e.g. ``n_matches=50`` for a
+        quicker variant.
+
+    >>> pair = load_profile("restaurant", n_matches=10, extras1=0, extras2=0)
+    >>> len(pair.ground_truth)
+    10
+    """
+    try:
+        spec = PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; available: {', '.join(PROFILES)}"
+        ) from None
+    if seed is not None:
+        overrides["seed"] = seed
+    if overrides:
+        spec = spec.with_options(**overrides)
+    return generate_kb_pair(spec)
+
+
+def scaled_profile(name: str, scale: float, seed: int | None = None) -> KBPair:
+    """A size-scaled variant of a profile (used by the scalability bench).
+
+    ``scale`` multiplies the entity counts (matches and extras) while
+    keeping every similarity regime knob untouched.
+
+    >>> pair = scaled_profile("restaurant", 0.1)
+    >>> len(pair.kb1) < 100
+    True
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    spec = PROFILES[name]
+    overrides = {
+        "n_matches": max(1, int(spec.n_matches * scale)),
+        "extras1": int(spec.extras1 * scale),
+        "extras2": int(spec.extras2 * scale),
+    }
+    if seed is not None:
+        overrides["seed"] = seed
+    return generate_kb_pair(spec.with_options(**overrides))

@@ -1,0 +1,12 @@
+"""Evaluation: match metrics, experiment drivers, paper-style reporting.
+
+Only the lightweight metrics are re-exported here; the experiment
+drivers (:mod:`repro.evaluation.experiments`) and the formatters
+(:mod:`repro.evaluation.reporting`) are imported as submodules by their
+users -- they depend on the full pipeline, which itself uses these
+metrics, so re-exporting them here would create an import cycle.
+"""
+
+from repro.evaluation.metrics import MatchingReport, evaluate_matches
+
+__all__ = ["MatchingReport", "evaluate_matches"]

@@ -1,0 +1,90 @@
+"""Matching quality metrics: precision, recall, F1.
+
+The paper reports percentages; :class:`MatchingReport` stores fractions
+and renders percentages, so both conventions stay unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class MatchingReport:
+    """Precision / recall / F1 of a match set against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        if denominator == 0:
+            return 0.0
+        return self.true_positives / denominator
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        if denominator == 0:
+            return 0.0
+        return self.true_positives / denominator
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    def as_percentages(self) -> tuple[float, float, float]:
+        """``(precision, recall, f1)`` scaled to 0-100 (paper convention)."""
+        return 100.0 * self.precision, 100.0 * self.recall, 100.0 * self.f1
+
+    def __str__(self) -> str:
+        p, r, f = self.as_percentages()
+        return f"P={p:.2f} R={r:.2f} F1={f:.2f}"
+
+
+def evaluate_matches(
+    matches: Iterable[tuple[int, int]] | Iterable[tuple[str, str]],
+    ground_truth: set,
+    partial_gold: bool = True,
+) -> MatchingReport:
+    """Compare a match set with ground-truth pairs of the same id type.
+
+    With ``partial_gold`` (the default, and the protocol of benchmarks
+    whose gold standard covers only part of the KBs -- e.g. OAEI's
+    Restaurant has 89 reference matches among 339 x 2256 entities), a
+    returned pair between two entities that appear *nowhere* in the
+    ground truth is not judged: its true status is unknown, so it counts
+    neither as a true nor as a false positive.  A pair that involves a
+    ground-truth entity on either side is always judged.
+
+    With ``partial_gold=False`` every returned pair outside the ground
+    truth is a false positive (complete-gold protocol).
+
+    >>> evaluate_matches({(0, 0), (1, 2)}, {(0, 0), (1, 1)}).f1
+    0.5
+    >>> evaluate_matches({(0, 0), (7, 9)}, {(0, 0)}).f1  # (7, 9) unjudged
+    1.0
+    >>> evaluate_matches({(0, 0), (7, 9)}, {(0, 0)}, partial_gold=False).f1
+    0.6666666666666666
+    """
+    matches = set(matches)
+    if partial_gold:
+        known_1 = {pair[0] for pair in ground_truth}
+        known_2 = {pair[1] for pair in ground_truth}
+        judged = {
+            pair for pair in matches if pair[0] in known_1 or pair[1] in known_2
+        }
+    else:
+        judged = matches
+    true_positives = len(judged & ground_truth)
+    return MatchingReport(
+        true_positives=true_positives,
+        false_positives=len(judged) - true_positives,
+        false_negatives=len(ground_truth) - true_positives,
+    )

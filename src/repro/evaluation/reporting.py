@@ -1,0 +1,240 @@
+"""Paper-style rendering of experiment results.
+
+Each ``format_*`` function takes the result objects of
+:mod:`repro.evaluation.experiments` for one or more datasets and
+returns a plain-text table shaped like the corresponding table/figure
+of the paper.  Everything returns strings (callers decide where to
+print), and all numbers follow the paper's conventions (percentages for
+quality metrics, scientific notation for comparison counts).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.evaluation.experiments import (
+    BlockStatistics,
+    ComparisonResult,
+    DatasetStatistics,
+    RuleAblation,
+    ScalabilityResult,
+    SensitivityResult,
+    SimilarityDistribution,
+)
+
+
+def _row(label: str, cells: Iterable[str], width: int = 14) -> str:
+    return f"{label:24s}" + "".join(f"{cell:>{width}}" for cell in cells)
+
+
+def format_dataset_statistics(columns: Sequence[DatasetStatistics]) -> str:
+    """Render Table 1: dataset statistics, one column per KB pair."""
+    lines = ["Table 1: Dataset statistics", ""]
+    lines.append(_row("", (c.name for c in columns)))
+    lines.append(_row("E1 entities", (f"{c.entities1:,}" for c in columns)))
+    lines.append(_row("E2 entities", (f"{c.entities2:,}" for c in columns)))
+    lines.append(_row("E1 triples", (f"{c.triples1:,}" for c in columns)))
+    lines.append(_row("E2 triples", (f"{c.triples2:,}" for c in columns)))
+    lines.append(_row("E1 av. tokens", (f"{c.avg_tokens1:.2f}" for c in columns)))
+    lines.append(_row("E2 av. tokens", (f"{c.avg_tokens2:.2f}" for c in columns)))
+    lines.append(
+        _row("E1/E2 attributes", (f"{c.attributes1} / {c.attributes2}" for c in columns))
+    )
+    lines.append(
+        _row("E1/E2 relations", (f"{c.relations1} / {c.relations2}" for c in columns))
+    )
+    lines.append(_row("E1/E2 types", (f"{c.types1} / {c.types2}" for c in columns)))
+    lines.append(
+        _row("E1/E2 vocab.", (f"{c.vocabularies1} / {c.vocabularies2}" for c in columns))
+    )
+    lines.append(_row("Matches", (f"{c.matches:,}" for c in columns)))
+    return "\n".join(lines)
+
+
+def format_similarity_distribution(columns: Sequence[SimilarityDistribution]) -> str:
+    """Render Figure 2 as per-dataset summary rows plus a text histogram."""
+    lines = ["Figure 2: Value and neighbor similarity distribution of matches", ""]
+    lines.append(_row("", (c.name for c in columns)))
+    lines.append(_row("matches plotted", (str(len(c.points)) for c in columns)))
+    lines.append(
+        _row("strongly similar", (str(c.strongly_similar) for c in columns))
+    )
+    lines.append(_row("nearly similar", (str(c.nearly_similar) for c in columns)))
+    lines.append(
+        _row(
+            "nearly w/ high nbr",
+            (str(c.high_neighbor) for c in columns),
+        )
+    )
+    lines.append("")
+    for column in columns:
+        lines.append(
+            f"{column.name}: matches by value similarity (x) and "
+            "neighbor similarity (y)"
+        )
+        lines.append(_scatter(column.points))
+        lines.append(f"{column.name}: value-similarity histogram of matches")
+        lines.append(_histogram((v for v, _ in column.points)))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _scatter(points: Sequence[tuple[float, float]], size: int = 20) -> str:
+    """An ASCII rendition of the Figure 2 scatter (density per cell)."""
+    grid = [[0] * size for _ in range(size)]
+    for x, y in points:
+        column = min(size - 1, int(x * size))
+        row = min(size - 1, int(y * size))
+        grid[row][column] += 1
+    peak = max((max(row) for row in grid), default=0)
+    shades = " .:+*#"
+    lines = []
+    for row_index in range(size - 1, -1, -1):
+        cells = []
+        for count in grid[row_index]:
+            if count == 0:
+                cells.append(" ")
+            else:
+                level = 1 + min(
+                    len(shades) - 2, int((len(shades) - 2) * count / max(peak, 1))
+                )
+                cells.append(shades[level])
+        label = "1.0" if row_index == size - 1 else ("0.0" if row_index == 0 else "   ")
+        lines.append(f"  {label} |{''.join(cells)}|")
+    lines.append("       0.0" + " " * (size - 6) + "1.0")
+    return "\n".join(lines)
+
+
+def _histogram(values: Iterable[float], bins: int = 10, width: int = 40) -> str:
+    counts = [0] * bins
+    total = 0
+    for value in values:
+        index = min(bins - 1, int(value * bins))
+        counts[index] += 1
+        total += 1
+    if total == 0:
+        return "  (no data)"
+    peak = max(counts)
+    lines = []
+    for index, count in enumerate(counts):
+        low, high = index / bins, (index + 1) / bins
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        lines.append(f"  [{low:.1f},{high:.1f}) {count:5d} {bar}")
+    return "\n".join(lines)
+
+
+def format_block_statistics(columns: Sequence[BlockStatistics]) -> str:
+    """Render Table 2: block statistics."""
+    lines = ["Table 2: Block statistics", ""]
+    lines.append(_row("", (c.name for c in columns)))
+    lines.append(_row("|BN|", (f"{c.name_blocks:,}" for c in columns)))
+    lines.append(_row("|BT|", (f"{c.token_blocks:,}" for c in columns)))
+    lines.append(_row("||BN||", (f"{c.name_comparisons:.2e}" for c in columns)))
+    lines.append(_row("||BT||", (f"{c.token_comparisons:.2e}" for c in columns)))
+    lines.append(_row("|E1|x|E2|", (f"{c.cartesian:.2e}" for c in columns)))
+    lines.append(
+        _row("Precision (%)", (f"{c.report.precision * 100:.2f}" for c in columns))
+    )
+    lines.append(_row("Recall (%)", (f"{c.report.recall * 100:.2f}" for c in columns)))
+    lines.append(_row("F1 (%)", (f"{c.report.f1 * 100:.2f}" for c in columns)))
+    return "\n".join(lines)
+
+
+def format_comparison(columns: Sequence[ComparisonResult]) -> str:
+    """Render Table 3: each system's P/R/F1 per dataset."""
+    systems: list[str] = []
+    for column in columns:
+        for system in column.reports:
+            if system not in systems:
+                systems.append(system)
+    lines = ["Table 3: MinoanER versus baselines", ""]
+    lines.append(_row("", (c.name for c in columns)))
+    for system in systems:
+        for metric, getter in (
+            ("Prec.", lambda r: r.precision),
+            ("Recall", lambda r: r.recall),
+            ("F1", lambda r: r.f1),
+        ):
+            cells = []
+            for column in columns:
+                report = column.reports.get(system)
+                cells.append(f"{getter(report) * 100:.2f}" if report else "-")
+            lines.append(_row(f"{system} {metric}", cells))
+        lines.append("")
+    notes = [
+        f"  {column.name}: BSL best config = {column.details['BSL']}"
+        for column in columns
+        if "BSL" in column.details
+    ]
+    if notes:
+        lines.append("BSL grid-search winners:")
+        lines.extend(notes)
+    return "\n".join(lines)
+
+
+def format_rule_ablation(columns: Sequence[RuleAblation]) -> str:
+    """Render Table 4: per-rule quality."""
+    variants: list[str] = []
+    for column in columns:
+        for variant in column.reports:
+            if variant not in variants:
+                variants.append(variant)
+    lines = ["Table 4: Evaluation of matching rules", ""]
+    lines.append(_row("", (c.name for c in columns)))
+    for variant in variants:
+        for metric, getter in (
+            ("Prec.", lambda r: r.precision),
+            ("Recall", lambda r: r.recall),
+            ("F1", lambda r: r.f1),
+        ):
+            cells = []
+            for column in columns:
+                report = column.reports.get(variant)
+                cells.append(f"{getter(report) * 100:.2f}" if report else "-")
+            lines.append(_row(f"[{variant}] {metric}", cells))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_sensitivity(results: Sequence[SensitivityResult]) -> str:
+    """Render Figure 5: F1 as each parameter varies (one block per curve)."""
+    lines = ["Figure 5: Sensitivity analysis (F1 % as one parameter varies)", ""]
+    by_parameter: dict[str, list[SensitivityResult]] = {}
+    for result in results:
+        by_parameter.setdefault(result.parameter, []).append(result)
+    for parameter, curves in by_parameter.items():
+        lines.append(f"-- {parameter} --")
+        values = curves[0].values
+        lines.append(_row("dataset \\ value", (str(v) for v in values), width=9))
+        for curve in curves:
+            lines.append(
+                _row(curve.name, (f"{f1 * 100:.1f}" for f1 in curve.f1_scores), width=9)
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_scalability(results: Sequence[ScalabilityResult]) -> str:
+    """Render Figure 6: run time and speedup versus workers."""
+    lines = ["Figure 6: Scalability of matching (time and speedup vs workers)", ""]
+    for result in results:
+        lines.append(f"-- {result.name} (backend={result.backend}, matches={result.matches}) --")
+        lines.append(
+            _row("workers", (str(p.workers) for p in result.points), width=10)
+        )
+        lines.append(
+            _row("time (s)", (f"{p.total_seconds:.2f}" for p in result.points), width=10)
+        )
+        lines.append(
+            _row("speedup", (f"{p.speedup:.2f}" for p in result.points), width=10)
+        )
+        lines.append(
+            _row(
+                "matching (s)",
+                (f"{p.matching_seconds:.2f}" for p in result.points),
+                width=10,
+            )
+        )
+        lines.append(f"matching share of total: {result.matching_share() * 100:.0f}%")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""The disjunctive blocking graph: construction, weighting, pruning.
+
+Section 3.2-3.3 of the paper.  Nodes are entity descriptions; an edge
+between two cross-KB entities means at least one co-occurrence condition
+holds, and carries the label ``(alpha, beta, gamma)``:
+
+* ``alpha = 1`` -- the pair exclusively shares a name (singleton name block);
+* ``beta``  -- value similarity (Definition 2.1), derived from token blocks;
+* ``gamma`` -- neighbor similarity (Definition 2.5), derived by
+  propagating ``beta`` through top in-neighbors.
+
+After weighting, each node keeps its top-K edges by ``beta`` and its
+top-K edges by ``gamma`` -- undirected edges become *directed* and the
+matcher later exploits reciprocity (rule R4).
+"""
+
+from repro.graph.blocking_graph import DisjunctiveBlockingGraph
+from repro.graph.construction import build_blocking_graph
+from repro.graph.pruning import top_k_candidates
+
+__all__ = [
+    "DisjunctiveBlockingGraph",
+    "build_blocking_graph",
+    "top_k_candidates",
+]

@@ -1,0 +1,31 @@
+"""Knowledge-base substrate: entity model, KB container, tokenizer, statistics, IO.
+
+An *entity description* is a URI-identified set of attribute-value pairs
+(paper section 2).  When a value is the URI of another description in the
+same KB, the attribute is a *relation* and the value a *neighbor*; all
+other values are literals that contribute tokens to the schema-agnostic
+bag-of-words representation.
+"""
+
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.statistics import (
+    KBStatistics,
+    attribute_importance,
+    relation_discriminability,
+    relation_importance,
+    relation_support,
+)
+from repro.kb.tokenizer import Tokenizer, tokenize
+
+__all__ = [
+    "EntityDescription",
+    "KnowledgeBase",
+    "KBStatistics",
+    "Tokenizer",
+    "tokenize",
+    "attribute_importance",
+    "relation_discriminability",
+    "relation_importance",
+    "relation_support",
+]

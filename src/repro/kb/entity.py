@@ -1,0 +1,109 @@
+"""Entity descriptions: the atomic unit of a Web-of-Data knowledge base.
+
+Following section 2 of the paper, an entity description is a
+URI-identifiable set of attribute-value pairs.  Values are plain strings;
+a value that happens to be the URI of another description *in the same
+KB* makes the attribute a relation (this classification is performed by
+:class:`repro.kb.knowledge_base.KnowledgeBase`, which knows the full URI
+universe -- a description on its own cannot tell a literal from a
+neighbor reference).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+
+class EntityDescription:
+    """A URI-identified set of attribute-value pairs.
+
+    Attribute-value pairs are stored as an immutable tuple of
+    ``(attribute, value)`` string pairs.  The same attribute may appear
+    multiple times with different values (RDF-style multi-valued
+    properties), so the representation is a *set of pairs*, not a
+    mapping.
+
+    Parameters
+    ----------
+    uri:
+        Globally unique identifier of the description within its KB.
+    pairs:
+        Iterable of ``(attribute, value)`` pairs.  Duplicated pairs are
+        collapsed; ordering is normalised so equal descriptions compare
+        equal regardless of input order.
+
+    Examples
+    --------
+    >>> e = EntityDescription("wd:Q1", [("label", "Bray"), ("inCountry", "wd:Q2")])
+    >>> e.uri
+    'wd:Q1'
+    >>> sorted(e.attributes())
+    ['inCountry', 'label']
+    >>> e.values_of("label")
+    ('Bray',)
+    """
+
+    __slots__ = ("uri", "pairs")
+
+    def __init__(self, uri: str, pairs: Iterable[tuple[str, str]] = ()):
+        if not isinstance(uri, str) or not uri:
+            raise ValueError(f"entity URI must be a non-empty string, got {uri!r}")
+        normalised = []
+        seen: set[tuple[str, str]] = set()
+        for attribute, value in pairs:
+            pair = (str(attribute), str(value))
+            if pair not in seen:
+                seen.add(pair)
+                normalised.append(pair)
+        self.uri = uri
+        self.pairs: tuple[tuple[str, str], ...] = tuple(sorted(normalised))
+
+    @classmethod
+    def from_mapping(cls, uri: str, mapping: Mapping[str, str | Iterable[str]]) -> "EntityDescription":
+        """Build a description from ``{attribute: value | [values]}``.
+
+        Convenience constructor for hand-written examples and tests.
+
+        >>> e = EntityDescription.from_mapping("x", {"a": ["1", "2"], "b": "3"})
+        >>> len(e)
+        3
+        """
+        pairs: list[tuple[str, str]] = []
+        for attribute, value in mapping.items():
+            if isinstance(value, str):
+                pairs.append((attribute, value))
+            else:
+                pairs.extend((attribute, v) for v in value)
+        return cls(uri, pairs)
+
+    def attributes(self) -> set[str]:
+        """Distinct attribute names used by this description."""
+        return {attribute for attribute, _ in self.pairs}
+
+    def values(self) -> tuple[str, ...]:
+        """All values (with repetitions across attributes)."""
+        return tuple(value for _, value in self.pairs)
+
+    def values_of(self, attribute: str) -> tuple[str, ...]:
+        """Values of one attribute, in normalised order."""
+        return tuple(value for a, value in self.pairs if a == attribute)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self.pairs)
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self.pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EntityDescription):
+            return NotImplemented
+        return self.uri == other.uri and self.pairs == other.pairs
+
+    def __hash__(self) -> int:
+        return hash((self.uri, self.pairs))
+
+    def __repr__(self) -> str:
+        return f"EntityDescription({self.uri!r}, {len(self.pairs)} pairs)"

@@ -1,0 +1,193 @@
+"""Knowledge base container: entities, relations, neighbors, token index.
+
+A :class:`KnowledgeBase` owns a list of
+:class:`~repro.kb.entity.EntityDescription` objects and derives the
+structure the rest of the system needs:
+
+* which attribute-value pairs are **relations** (value is the URI of
+  another description in the same KB -- paper section 2) and which are
+  **literals**,
+* the per-entity **token set** (Definition 2.1's ``tokens(e)``),
+* the **Entity Frequency** inverted index ``token -> entity ids``
+  (Definition 2.1's ``EF``), which is also exactly the input to token
+  blocking (section 3.1).
+
+Entities are addressed internally by dense integer ids (their position
+in :attr:`entities`), which keeps the blocking graph and the matcher
+allocation-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.kb.entity import EntityDescription
+from repro.kb.tokenizer import Tokenizer
+
+
+class KnowledgeBase:
+    """A duplicate-free (clean) collection of entity descriptions.
+
+    Parameters
+    ----------
+    entities:
+        The descriptions.  URIs must be unique (clean-clean ER assumes
+        each KB is duplicate-free).
+    name:
+        Human-readable KB label used in reports.
+    tokenizer:
+        Tokenizer for literal values; defaults to the schema-agnostic
+        lower-case alphanumeric tokenizer of the paper.
+
+    Examples
+    --------
+    >>> kb = KnowledgeBase([
+    ...     EntityDescription("r1", [("hasChef", "c1"), ("label", "The Fat Duck")]),
+    ...     EntityDescription("c1", [("label", "John Lake A")]),
+    ... ], name="wikidata")
+    >>> kb.relations(0)
+    (('hasChef', 1),)
+    >>> kb.neighbors(0)
+    (1,)
+    >>> sorted(kb.tokens(1))
+    ['a', 'john', 'lake']
+    >>> kb.entity_frequency('lake')
+    1
+    """
+
+    def __init__(
+        self,
+        entities: Iterable[EntityDescription],
+        name: str = "KB",
+        tokenizer: Tokenizer | None = None,
+    ):
+        self.name = name
+        self.tokenizer = tokenizer or Tokenizer()
+        self.entities: list[EntityDescription] = list(entities)
+        self._uri_to_id: dict[str, int] = {}
+        for eid, entity in enumerate(self.entities):
+            if entity.uri in self._uri_to_id:
+                raise ValueError(f"duplicate URI in clean KB {name!r}: {entity.uri!r}")
+            self._uri_to_id[entity.uri] = eid
+
+        # Split each description into relation pairs (value resolves to a
+        # local entity) and literal values, then build the token index.
+        self._relation_pairs: list[tuple[tuple[str, int], ...]] = []
+        self._literal_values: list[tuple[str, ...]] = []
+        self._token_sets: list[frozenset[str]] = []
+        self._token_index: dict[str, list[int]] = {}
+        for eid, entity in enumerate(self.entities):
+            relations: list[tuple[str, int]] = []
+            literals: list[str] = []
+            for attribute, value in entity.pairs:
+                target = self._uri_to_id.get(value)
+                if target is not None and target != eid:
+                    relations.append((attribute, target))
+                else:
+                    literals.append(value)
+            self._relation_pairs.append(tuple(relations))
+            self._literal_values.append(tuple(literals))
+            token_set = self.tokenizer.token_set(literals)
+            self._token_sets.append(token_set)
+            for token in token_set:
+                self._token_index.setdefault(token, []).append(eid)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def __iter__(self) -> Iterator[EntityDescription]:
+        return iter(self.entities)
+
+    def __getitem__(self, eid: int) -> EntityDescription:
+        return self.entities[eid]
+
+    def __contains__(self, uri: object) -> bool:
+        return uri in self._uri_to_id
+
+    def id_of(self, uri: str) -> int:
+        """Dense integer id of the entity with ``uri`` (KeyError if absent)."""
+        return self._uri_to_id[uri]
+
+    def uri_of(self, eid: int) -> str:
+        """URI of the entity with dense id ``eid``."""
+        return self.entities[eid].uri
+
+    # ------------------------------------------------------------------
+    # Structure (paper section 2)
+    # ------------------------------------------------------------------
+    def relations(self, eid: int) -> tuple[tuple[str, int], ...]:
+        """``(relation, neighbor id)`` pairs of entity ``eid``.
+
+        Mirrors ``relations(e_i) = {p | (p, j) in e_i and e_j in E}``.
+        """
+        return self._relation_pairs[eid]
+
+    def neighbors(self, eid: int) -> tuple[int, ...]:
+        """Neighbor entity ids of ``eid`` (with repetitions collapsed)."""
+        seen: dict[int, None] = {}
+        for _, target in self._relation_pairs[eid]:
+            seen[target] = None
+        return tuple(seen)
+
+    def literal_values(self, eid: int) -> tuple[str, ...]:
+        """Literal (non-relation) values of entity ``eid``."""
+        return self._literal_values[eid]
+
+    def tokens(self, eid: int) -> frozenset[str]:
+        """Distinct tokens in the literal values of entity ``eid``."""
+        return self._token_sets[eid]
+
+    # ------------------------------------------------------------------
+    # Token index / Entity Frequency (Definition 2.1)
+    # ------------------------------------------------------------------
+    @property
+    def token_index(self) -> dict[str, list[int]]:
+        """Inverted index ``token -> sorted list of entity ids``."""
+        return self._token_index
+
+    def entity_frequency(self, token: str) -> int:
+        """``EF(t)``: number of descriptions whose values contain ``token``."""
+        return len(self._token_index.get(token, ()))
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics used by Table 1
+    # ------------------------------------------------------------------
+    def triple_count(self) -> int:
+        """Total number of attribute-value pairs across all entities."""
+        return sum(len(entity) for entity in self.entities)
+
+    def attribute_names(self) -> set[str]:
+        """Distinct attribute names (literals and relations together)."""
+        names: set[str] = set()
+        for entity in self.entities:
+            names.update(entity.attributes())
+        return names
+
+    def relation_names(self) -> set[str]:
+        """Distinct attribute names that act as relations at least once."""
+        names: set[str] = set()
+        for pairs in self._relation_pairs:
+            names.update(attribute for attribute, _ in pairs)
+        return names
+
+    def average_tokens_per_entity(self) -> float:
+        """Mean number of distinct tokens per description (Table 1 row)."""
+        if not self.entities:
+            return 0.0
+        return sum(len(ts) for ts in self._token_sets) / len(self.entities)
+
+    def __repr__(self) -> str:
+        return f"KnowledgeBase({self.name!r}, {len(self.entities)} entities)"
+
+
+def subset(kb: KnowledgeBase, entity_ids: Sequence[int], name: str | None = None) -> KnowledgeBase:
+    """A new KB with only ``entity_ids`` (relations to dropped entities become literals).
+
+    Used by the BBCmusic-DBpedia-style experiments, which restrict the KB
+    to ground-truth entities plus their immediate neighbors (section 6).
+    """
+    descriptions = [kb.entities[eid] for eid in entity_ids]
+    return KnowledgeBase(descriptions, name=name or f"{kb.name}-subset", tokenizer=kb.tokenizer)

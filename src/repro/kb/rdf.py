@@ -1,0 +1,190 @@
+"""Loading and saving KBs: N-Triples subset and a simple TSV format.
+
+The paper's benchmarks ship as RDF dumps.  This module provides a
+dependency-free reader for the N-Triples subset those dumps use
+(``<s> <p> <o> .`` with IRIs and plain/typed/language-tagged literals)
+plus a trivial ``subject<TAB>predicate<TAB>object`` format for quickly
+assembling test fixtures.  Both produce
+:class:`~repro.kb.knowledge_base.KnowledgeBase` objects.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.tokenizer import Tokenizer
+
+
+class RDFParseError(ValueError):
+    """Raised when an N-Triples line cannot be parsed."""
+
+    def __init__(self, line_number: int, line: str, reason: str):
+        super().__init__(f"line {line_number}: {reason}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+
+
+_IRI = re.compile(r"<([^<>\s]*)>")
+_LITERAL = re.compile(
+    r'"((?:[^"\\]|\\.)*)"'  # quoted string with escapes
+    r"(?:@[A-Za-z][A-Za-z0-9-]*|\^\^<[^<>\s]*>)?"  # optional lang tag / datatype
+)
+_BLANK = re.compile(r"_:([A-Za-z0-9]+)")
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\t": "\t",
+    "\\r": "\r",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+
+def _unescape(raw: str) -> str:
+    if "\\" not in raw:
+        return raw
+    out = raw
+    for escaped, plain in _ESCAPES.items():
+        out = out.replace(escaped, plain)
+    return out
+
+
+def parse_ntriples_line(line: str, line_number: int = 0) -> tuple[str, str, str] | None:
+    """Parse one N-Triples line into ``(subject, predicate, object)``.
+
+    Returns ``None`` for blank lines and comments.  The object keeps
+    only the lexical form (language tags and datatypes are dropped,
+    matching the paper's schema-agnostic treatment of values).
+
+    >>> parse_ntriples_line('<a> <p> "Bray"@en .')
+    ('a', 'p', 'Bray')
+    >>> parse_ntriples_line('<a> <p> <b> .')
+    ('a', 'p', 'b')
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    cursor = 0
+
+    def take_term(allow_literal: bool) -> str:
+        nonlocal cursor
+        rest = stripped[cursor:]
+        match = _IRI.match(rest)
+        if match:
+            cursor += match.end()
+            return match.group(1)
+        match = _BLANK.match(rest)
+        if match:
+            cursor += match.end()
+            return "_:" + match.group(1)
+        if allow_literal:
+            match = _LITERAL.match(rest)
+            if match:
+                cursor += match.end()
+                return _unescape(match.group(1))
+        raise RDFParseError(line_number, line, "expected IRI, blank node or literal")
+
+    subject = take_term(allow_literal=False)
+    cursor += len(stripped[cursor:]) - len(stripped[cursor:].lstrip())
+    predicate = take_term(allow_literal=False)
+    cursor += len(stripped[cursor:]) - len(stripped[cursor:].lstrip())
+    obj = take_term(allow_literal=True)
+    tail = stripped[cursor:].strip()
+    if tail != ".":
+        raise RDFParseError(line_number, line, "expected terminating '.'")
+    return subject, predicate, obj
+
+
+def iter_ntriples(lines: Iterable[str]) -> Iterator[tuple[str, str, str]]:
+    """Yield ``(s, p, o)`` triples from N-Triples lines, skipping blanks."""
+    for line_number, line in enumerate(lines, start=1):
+        triple = parse_ntriples_line(line, line_number)
+        if triple is not None:
+            yield triple
+
+
+def kb_from_triples(
+    triples: Iterable[tuple[str, str, str]],
+    name: str = "KB",
+    tokenizer: Tokenizer | None = None,
+) -> KnowledgeBase:
+    """Group ``(s, p, o)`` triples by subject into a KnowledgeBase.
+
+    Every subject becomes an entity description; objects that equal some
+    subject URI become relations automatically inside
+    :class:`KnowledgeBase`.
+    """
+    grouped: dict[str, list[tuple[str, str]]] = defaultdict(list)
+    for subject, predicate, obj in triples:
+        grouped[subject].append((predicate, obj))
+    entities = [EntityDescription(uri, pairs) for uri, pairs in grouped.items()]
+    return KnowledgeBase(entities, name=name, tokenizer=tokenizer)
+
+
+def load_ntriples(path: str | Path, name: str | None = None, tokenizer: Tokenizer | None = None) -> KnowledgeBase:
+    """Load a KnowledgeBase from an N-Triples file."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        kb = kb_from_triples(iter_ntriples(handle), name=name or path.stem, tokenizer=tokenizer)
+    return kb
+
+
+def save_ntriples(kb: KnowledgeBase, destination: str | Path | IO[str]) -> None:
+    """Write a KnowledgeBase as N-Triples (relations as IRIs, rest as literals)."""
+
+    def write(handle: IO[str]) -> None:
+        for eid, entity in enumerate(kb.entities):
+            relation_pairs = set(kb.relations(eid))
+            for attribute, value in entity.pairs:
+                target = kb._uri_to_id.get(value)
+                if target is not None and (attribute, target) in relation_pairs:
+                    rendered = f"<{value}>"
+                else:
+                    escaped = value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+                    rendered = f'"{escaped}"'
+                handle.write(f"<{entity.uri}> <{attribute}> {rendered} .\n")
+
+    if isinstance(destination, (str, Path)):
+        with Path(destination).open("w", encoding="utf-8") as handle:
+            write(handle)
+    else:
+        write(destination)
+
+
+def load_tsv(path: str | Path, name: str | None = None, tokenizer: Tokenizer | None = None) -> KnowledgeBase:
+    """Load ``subject<TAB>predicate<TAB>object`` lines into a KnowledgeBase."""
+    path = Path(path)
+
+    def triples() -> Iterator[tuple[str, str, str]]:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                stripped = line.rstrip("\n")
+                if not stripped or stripped.startswith("#"):
+                    continue
+                parts = stripped.split("\t")
+                if len(parts) != 3:
+                    raise RDFParseError(line_number, line, "expected 3 tab-separated fields")
+                yield parts[0], parts[1], parts[2]
+
+    return kb_from_triples(triples(), name=name or path.stem, tokenizer=tokenizer)
+
+
+def load_ground_truth_tsv(path: str | Path) -> set[tuple[str, str]]:
+    """Load ``uri1<TAB>uri2`` match pairs (one per line, '#' comments)."""
+    pairs: set[tuple[str, str]] = set()
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split("\t")
+            if len(parts) != 2:
+                raise RDFParseError(line_number, line, "expected 2 tab-separated URIs")
+            pairs.add((parts[0], parts[1]))
+    return pairs

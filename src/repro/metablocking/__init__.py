@@ -1,0 +1,41 @@
+"""Meta-blocking: weighting and pruning a block collection's pair graph.
+
+MinoanER's ``beta`` computation is, in the paper's own words, "a
+variation of Meta-blocking [27], adapted to our value similarity
+metric" (section 3.3).  This package implements the Meta-blocking
+framework itself (Papadakis, Koutrika, Palpanas, Nejdl, TKDE 2014):
+
+* the **blocking graph**: one node per entity, one edge per
+  co-occurring cross-KB pair;
+* four classic **edge weighting schemes** -- CBS, ECBS, JS and ARCS
+  (MinoanER's valueSim is the ARCS family with ``1/log2`` damping);
+* four **pruning schemes** -- WEP/CEP (global weight/cardinality
+  thresholds) and WNP/CNP (node-local thresholds; MinoanER's top-K
+  candidate pruning is exactly CNP).
+
+It both documents where MinoanER comes from and provides drop-in
+candidate-pruning alternatives for ablation studies.
+"""
+
+from repro.metablocking.graph import WeightedPairGraph, build_pair_graph
+from repro.metablocking.pruning import (
+    cardinality_edge_pruning,
+    cardinality_node_pruning,
+    weight_edge_pruning,
+    weight_node_pruning,
+)
+from repro.metablocking.weights import WEIGHT_SCHEMES, arcs, cbs, ecbs, jaccard_scheme
+
+__all__ = [
+    "WEIGHT_SCHEMES",
+    "WeightedPairGraph",
+    "arcs",
+    "build_pair_graph",
+    "cardinality_edge_pruning",
+    "cardinality_node_pruning",
+    "cbs",
+    "ecbs",
+    "jaccard_scheme",
+    "weight_edge_pruning",
+    "weight_node_pruning",
+]

@@ -1,0 +1,104 @@
+"""The Meta-blocking pair graph: co-occurrence statistics per pair.
+
+For a (purged) block collection over a clean-clean pair, the graph
+holds, per cross-KB candidate pair, everything the weighting schemes
+need: the number of shared blocks, the sum of inverse block
+cardinalities, and per-entity block counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.blocking.base import BlockCollection
+
+
+@dataclass
+class PairStatistics:
+    """Co-occurrence statistics of one candidate pair."""
+
+    shared_blocks: int = 0
+    inverse_cardinality_sum: float = 0.0  # sum over shared blocks of 1/||b||
+    log_damped_sum: float = 0.0  # sum of 1/log2(||b|| + 1) -- MinoanER's beta
+
+
+class WeightedPairGraph:
+    """Candidate pairs with co-occurrence statistics and entity degrees.
+
+    Built by :func:`build_pair_graph`; consumed by the weighting schemes
+    (:mod:`repro.metablocking.weights`) and pruning algorithms
+    (:mod:`repro.metablocking.pruning`).
+    """
+
+    def __init__(
+        self,
+        n1: int,
+        n2: int,
+        pair_statistics: dict[tuple[int, int], PairStatistics],
+        blocks_per_entity_1: list[int],
+        blocks_per_entity_2: list[int],
+        total_blocks: int,
+    ):
+        self.n1 = n1
+        self.n2 = n2
+        self.pair_statistics = pair_statistics
+        self.blocks_per_entity_1 = blocks_per_entity_1
+        self.blocks_per_entity_2 = blocks_per_entity_2
+        self.total_blocks = total_blocks
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        return iter(self.pair_statistics)
+
+    def edge_count(self) -> int:
+        return len(self.pair_statistics)
+
+    def weighted_edges(
+        self, scheme: Callable[["WeightedPairGraph", int, int], float]
+    ) -> list[tuple[int, int, float]]:
+        """All edges scored by one weighting scheme, deterministic order."""
+        return [
+            (eid1, eid2, scheme(self, eid1, eid2))
+            for eid1, eid2 in sorted(self.pair_statistics)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedPairGraph(n1={self.n1}, n2={self.n2}, "
+            f"edges={self.edge_count()}, blocks={self.total_blocks})"
+        )
+
+
+def build_pair_graph(blocks: BlockCollection, n1: int, n2: int) -> WeightedPairGraph:
+    """Aggregate a block collection into a weighted pair graph.
+
+    Cost is the collection's total comparisons (bounded by purging).
+    """
+    statistics: dict[tuple[int, int], PairStatistics] = {}
+    blocks_per_entity_1 = [0] * n1
+    blocks_per_entity_2 = [0] * n2
+    for block in blocks:
+        cardinality = block.comparisons
+        inverse = 1.0 / cardinality if cardinality else 0.0
+        damped = 1.0 / math.log2(cardinality + 1.0) if cardinality else 0.0
+        for eid1 in block.side1:
+            blocks_per_entity_1[eid1] += 1
+        for eid2 in block.side2:
+            blocks_per_entity_2[eid2] += 1
+        for eid1 in block.side1:
+            for eid2 in block.side2:
+                entry = statistics.get((eid1, eid2))
+                if entry is None:
+                    entry = statistics[(eid1, eid2)] = PairStatistics()
+                entry.shared_blocks += 1
+                entry.inverse_cardinality_sum += inverse
+                entry.log_damped_sum += damped
+    return WeightedPairGraph(
+        n1=n1,
+        n2=n2,
+        pair_statistics=statistics,
+        blocks_per_entity_1=blocks_per_entity_1,
+        blocks_per_entity_2=blocks_per_entity_2,
+        total_blocks=len(blocks),
+    )

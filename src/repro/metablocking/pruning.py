@@ -1,0 +1,105 @@
+"""Pruning algorithms of Meta-blocking: discard low-weight candidates.
+
+Two axes (Papadakis et al., TKDE 2014): the *scope* of the threshold
+(global = edge-centric, per-node = node-centric) and its *kind*
+(a weight bound or a cardinality bound):
+
+* **WEP** -- weight edge pruning: keep edges above the global mean weight;
+* **CEP** -- cardinality edge pruning: keep the globally top-K edges;
+* **WNP** -- weight node pruning: per node, keep edges above that
+  node's mean weight (an edge survives if either endpoint keeps it);
+* **CNP** -- cardinality node pruning: per node, keep the top-k edges
+  (MinoanER's top-K candidate retention is exactly this, applied
+  independently per evidence type and kept *directed*).
+
+All functions take the weighted edge list produced by
+:meth:`repro.metablocking.graph.WeightedPairGraph.weighted_edges` and
+return the surviving pairs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Sequence
+
+Edge = tuple[int, int, float]
+
+
+def weight_edge_pruning(edges: Sequence[Edge]) -> set[tuple[int, int]]:
+    """WEP: keep edges with weight above the global mean.
+
+    >>> sorted(weight_edge_pruning([(0, 0, 1.0), (0, 1, 3.0)]))
+    [(0, 1)]
+    """
+    if not edges:
+        return set()
+    mean = sum(weight for _, _, weight in edges) / len(edges)
+    return {(eid1, eid2) for eid1, eid2, weight in edges if weight > mean}
+
+
+def cardinality_edge_pruning(edges: Sequence[Edge], k: int) -> set[tuple[int, int]]:
+    """CEP: keep the globally top-``k`` edges (ties broken by pair id).
+
+    >>> sorted(cardinality_edge_pruning([(0, 0, 1.0), (0, 1, 3.0), (1, 0, 2.0)], 2))
+    [(0, 1), (1, 0)]
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    best = heapq.nsmallest(
+        k, edges, key=lambda edge: (-edge[2], edge[0], edge[1])
+    )
+    return {(eid1, eid2) for eid1, eid2, _ in best}
+
+
+def weight_node_pruning(edges: Sequence[Edge]) -> set[tuple[int, int]]:
+    """WNP: keep an edge if it beats the mean weight of either endpoint."""
+    totals_1: dict[int, list[float]] = defaultdict(lambda: [0.0, 0])
+    totals_2: dict[int, list[float]] = defaultdict(lambda: [0.0, 0])
+    for eid1, eid2, weight in edges:
+        totals_1[eid1][0] += weight
+        totals_1[eid1][1] += 1
+        totals_2[eid2][0] += weight
+        totals_2[eid2][1] += 1
+    survivors: set[tuple[int, int]] = set()
+    for eid1, eid2, weight in edges:
+        mean1 = totals_1[eid1][0] / totals_1[eid1][1]
+        mean2 = totals_2[eid2][0] / totals_2[eid2][1]
+        if weight > mean1 or weight > mean2:
+            survivors.add((eid1, eid2))
+    return survivors
+
+
+def cardinality_node_pruning(
+    edges: Sequence[Edge],
+    k: int,
+    require_both: bool = False,
+) -> set[tuple[int, int]]:
+    """CNP: per node, keep the top-``k`` edges.
+
+    With ``require_both=False`` (the classic redefined-input variant) an
+    edge survives when *either* endpoint retains it; with
+    ``require_both=True`` both endpoints must retain it -- which is
+    MinoanER's reciprocity condition (rule R4) expressed at the pruning
+    level.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    per_node_1: dict[int, list[Edge]] = defaultdict(list)
+    per_node_2: dict[int, list[Edge]] = defaultdict(list)
+    for edge in edges:
+        per_node_1[edge[0]].append(edge)
+        per_node_2[edge[1]].append(edge)
+
+    def top_of(groups: dict[int, list[Edge]]) -> set[tuple[int, int]]:
+        kept: set[tuple[int, int]] = set()
+        for group in groups.values():
+            best = heapq.nsmallest(k, group, key=lambda e: (-e[2], e[0], e[1]))
+            kept.update((eid1, eid2) for eid1, eid2, _ in best)
+        return kept
+
+    kept_1 = top_of(per_node_1)
+    kept_2 = top_of(per_node_2)
+    if require_both:
+        return kept_1 & kept_2
+    return kept_1 | kept_2

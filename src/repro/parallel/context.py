@@ -1,0 +1,209 @@
+"""Execution context: partitioned stages with barriers, as in Spark.
+
+A *stage* applies one function to every partition of an input list and
+waits for all partitions to finish -- the wait is the synchronisation
+barrier (a dashed edge in the paper's Figure 4).  Three backends:
+
+``serial``
+    Run partitions in a loop on the driver.  Zero overhead; the
+    reference for correctness tests.
+``thread``
+    A thread pool.  Python's GIL limits CPU-bound speedup, but I/O or
+    native-heavy partitions scale; mostly useful for testing the
+    scheduling logic cheaply.
+``process``
+    A process pool: real CPU parallelism.  Stage functions and their
+    arguments must be picklable (module-level functions), exactly the
+    constraint Spark closures have in practice.
+
+Every stage run is timed and recorded, which is how the scalability
+experiment (Figure 6) measures per-phase times.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass
+class StageRecord:
+    """Timing record of one executed stage (one barrier-to-barrier unit).
+
+    ``partition_seconds`` is populated by the ``serial`` backend (each
+    partition is timed individually), which is what the simulated
+    cluster model of :func:`simulated_makespan` consumes.
+    """
+
+    name: str
+    partitions: int
+    seconds: float
+    partition_seconds: tuple[float, ...] = ()
+
+
+def simulated_makespan(
+    partition_seconds: Sequence[float],
+    workers: int,
+    task_overhead: float = 0.01,
+    barrier_overhead: float = 0.05,
+) -> float:
+    """Stage wall time on a simulated cluster of ``workers`` workers.
+
+    Tasks are assigned longest-first to the least-loaded worker (LPT
+    scheduling, what a work-stealing executor approximates); every task
+    pays a dispatch overhead and the stage ends with one barrier
+    synchronisation.  This timing model substitutes for the paper's
+    Spark cluster: the *computation* is executed for real (serially,
+    per-partition), only the schedule is modelled -- CPython cannot
+    demonstrate in-process CPU parallelism directly.
+
+    >>> round(simulated_makespan([1.0, 1.0], 2, task_overhead=0, barrier_overhead=0), 3)
+    1.0
+    >>> round(simulated_makespan([1.0, 1.0], 1, task_overhead=0, barrier_overhead=0), 3)
+    2.0
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    loads = [0.0] * workers
+    for seconds in sorted(partition_seconds, reverse=True):
+        index = loads.index(min(loads))
+        loads[index] += seconds + task_overhead
+    return max(loads, default=0.0) + barrier_overhead
+
+
+def split_into_partitions(items: Sequence[Item], partitions: int) -> list[list[Item]]:
+    """Split a sequence into at most ``partitions`` contiguous chunks.
+
+    Chunks are balanced to within one element and never empty.
+
+    >>> split_into_partitions([1, 2, 3, 4, 5], 2)
+    [[1, 2, 3], [4, 5]]
+    >>> split_into_partitions([1], 4)
+    [[1]]
+    """
+    if partitions < 1:
+        raise ValueError(f"partitions must be >= 1, got {partitions}")
+    items = list(items)
+    if not items:
+        return []
+    partitions = min(partitions, len(items))
+    base, remainder = divmod(len(items), partitions)
+    chunks: list[list[Item]] = []
+    start = 0
+    for index in range(partitions):
+        width = base + (1 if index < remainder else 0)
+        chunks.append(items[start : start + width])
+        start += width
+    return chunks
+
+
+class ParallelContext:
+    """Runs named stages over partitioned data with a fixed worker pool.
+
+    Parameters
+    ----------
+    num_workers:
+        Parallel tasks that may run simultaneously (the paper's "number
+        of available cores").
+    backend:
+        One of ``serial``, ``thread``, ``process``.
+    tasks_per_worker:
+        Default partitions per stage = ``num_workers * tasks_per_worker``
+        (the paper uses a parallelism factor of 3 so every task sees
+        similar resources regardless of core count).
+
+    Use as a context manager, or call :meth:`shutdown` explicitly.
+    """
+
+    def __init__(self, num_workers: int = 1, backend: str = "serial", tasks_per_worker: int = 3):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if tasks_per_worker < 1:
+            raise ValueError(f"tasks_per_worker must be >= 1, got {tasks_per_worker}")
+        self.num_workers = num_workers
+        self.backend = backend
+        self.tasks_per_worker = tasks_per_worker
+        self.stage_log: list[StageRecord] = []
+        self._executor: Executor | None = None
+        if backend == "thread":
+            self._executor = ThreadPoolExecutor(max_workers=num_workers)
+        elif backend == "process":
+            self._executor = ProcessPoolExecutor(max_workers=num_workers)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ParallelContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop the worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def default_partitions(self) -> int:
+        return self.num_workers * self.tasks_per_worker
+
+    def run_stage(
+        self,
+        name: str,
+        items: Sequence[Item],
+        function: Callable[..., Result],
+        *args: Any,
+        partitions: int | None = None,
+    ) -> list[Result]:
+        """Apply ``function(chunk, *args)`` to every partition of ``items``.
+
+        Returns one result per partition, in partition order, after all
+        partitions complete (the barrier).  With the ``process`` backend
+        ``function`` and ``args`` must be picklable.
+        """
+        chunks = split_into_partitions(items, partitions or self.default_partitions())
+        started = time.perf_counter()
+        partition_seconds: tuple[float, ...] = ()
+        if self._executor is None:
+            results = []
+            times = []
+            for chunk in chunks:
+                chunk_started = time.perf_counter()
+                results.append(function(chunk, *args))
+                times.append(time.perf_counter() - chunk_started)
+            partition_seconds = tuple(times)
+        else:
+            futures = [self._executor.submit(function, chunk, *args) for chunk in chunks]
+            results = [future.result() for future in futures]
+        self.stage_log.append(
+            StageRecord(
+                name=name,
+                partitions=len(chunks),
+                seconds=time.perf_counter() - started,
+                partition_seconds=partition_seconds,
+            )
+        )
+        return results
+
+    def stage_seconds(self, prefix: str = "") -> float:
+        """Total recorded time of stages whose name starts with ``prefix``."""
+        return sum(record.seconds for record in self.stage_log if record.name.startswith(prefix))
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelContext(num_workers={self.num_workers}, backend={self.backend!r}, "
+            f"stages_run={len(self.stage_log)})"
+        )

@@ -1,0 +1,231 @@
+"""A minimal RDD-style dataset on top of :class:`ParallelContext`.
+
+``Dataset`` mirrors the handful of Spark transformations the MinoanER
+dataflow needs (map, flatMap, filter, mapPartitions, reduceByKey,
+groupByKey, join, collect, count).  Transformations execute eagerly,
+one stage per call; shuffles (the ``*ByKey`` operations and ``join``)
+hash-partition on the driver between two stages, which is where the
+synchronisation barrier sits in Spark too.
+
+With the ``process`` backend the functions passed to transformations
+must be picklable (module-level functions) -- the same constraint Spark
+puts on closures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Hashable, Iterable, TypeVar
+
+from repro.parallel.context import ParallelContext, split_into_partitions
+
+Item = TypeVar("Item")
+Other = TypeVar("Other")
+
+
+def _map_chunk(chunk: list, function: Callable) -> list:
+    return [function(item) for item in chunk]
+
+
+def _flat_map_chunk(chunk: list, function: Callable) -> list:
+    out: list = []
+    for item in chunk:
+        out.extend(function(item))
+    return out
+
+
+def _filter_chunk(chunk: list, predicate: Callable) -> list:
+    return [item for item in chunk if predicate(item)]
+
+
+def _map_partitions_chunk(chunk: list, function: Callable) -> list:
+    return list(function(chunk))
+
+
+def _reduce_by_key_chunk(chunk: list, function: Callable) -> list:
+    merged: dict = {}
+    for key, value in chunk:
+        if key in merged:
+            merged[key] = function(merged[key], value)
+        else:
+            merged[key] = value
+    return list(merged.items())
+
+
+class Dataset:
+    """An eager, partitioned collection with Spark-flavoured operations.
+
+    Create with :meth:`from_iterable`; every transformation returns a
+    new Dataset and leaves the source untouched.
+    """
+
+    def __init__(self, context: ParallelContext, partitions: list[list]):
+        self.context = context
+        self.partitions = partitions
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_iterable(
+        cls,
+        context: ParallelContext,
+        items: Iterable,
+        num_partitions: int | None = None,
+    ) -> "Dataset":
+        """Partition ``items`` into a Dataset (Spark's ``parallelize``)."""
+        chunks = split_into_partitions(list(items), num_partitions or context.default_partitions())
+        return cls(context, chunks)
+
+    # ------------------------------------------------------------------
+    # Narrow transformations (no shuffle)
+    # ------------------------------------------------------------------
+    def map(self, function: Callable[[Item], Other], name: str = "map") -> "Dataset":
+        return Dataset(
+            self.context,
+            self._run_on_buckets(name, self.partitions, _BoundKernel(_map_chunk, function)),
+        )
+
+    def flat_map(self, function: Callable[[Item], Iterable[Other]], name: str = "flat_map") -> "Dataset":
+        return Dataset(
+            self.context,
+            self._run_on_buckets(name, self.partitions, _BoundKernel(_flat_map_chunk, function)),
+        )
+
+    def filter(self, predicate: Callable[[Item], bool], name: str = "filter") -> "Dataset":
+        return Dataset(
+            self.context,
+            self._run_on_buckets(name, self.partitions, _BoundKernel(_filter_chunk, predicate)),
+        )
+
+    def map_partitions(self, function: Callable[[list], Iterable], name: str = "map_partitions") -> "Dataset":
+        return Dataset(
+            self.context,
+            self._run_on_buckets(
+                name, self.partitions, _BoundKernel(_map_partitions_chunk, function)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Wide transformations (shuffle on the driver = barrier)
+    # ------------------------------------------------------------------
+    def _shuffle_by_key(self, num_partitions: int | None = None) -> list[list]:
+        num_partitions = num_partitions or self.context.default_partitions()
+        buckets: list[list] = [[] for _ in range(num_partitions)]
+        for partition in self.partitions:
+            for key, value in partition:
+                buckets[hash(key) % num_partitions].append((key, value))
+        return [bucket for bucket in buckets if bucket]
+
+    def _run_on_buckets(self, name: str, buckets: list[list], kernel: Callable) -> list[list]:
+        """Run ``kernel`` once per shuffle bucket (buckets ARE partitions)."""
+        return self.context.run_stage(
+            name, buckets, _run_bucket_chunk, kernel, partitions=max(1, len(buckets))
+        )
+
+    def reduce_by_key(
+        self,
+        function: Callable[[Any, Any], Any],
+        num_partitions: int | None = None,
+        name: str = "reduce_by_key",
+    ) -> "Dataset":
+        """Combine values sharing a key.  Items must be ``(key, value)``."""
+        # Map-side combine first, then shuffle, then final combine.
+        combined = self._run_on_buckets(
+            f"{name}:combine", self.partitions, _BoundKernel(_reduce_by_key_chunk, function)
+        )
+        shuffled = Dataset(self.context, combined)._shuffle_by_key(num_partitions)
+        final = self._run_on_buckets(
+            f"{name}:reduce", shuffled, _BoundKernel(_reduce_by_key_chunk, function)
+        )
+        return Dataset(self.context, final)
+
+    def group_by_key(self, num_partitions: int | None = None, name: str = "group_by_key") -> "Dataset":
+        """Group values sharing a key into ``(key, [values])``."""
+        shuffled = self._shuffle_by_key(num_partitions)
+        grouped = self._run_on_buckets(name, shuffled, _group_chunk)
+        return Dataset(self.context, grouped)
+
+    def join(self, other: "Dataset", num_partitions: int | None = None, name: str = "join") -> "Dataset":
+        """Inner join on keys: ``(key, (left value, right value))`` pairs."""
+        tagged_left = [[(key, (0, value)) for key, value in chunk] for chunk in self.partitions]
+        tagged_right = [[(key, (1, value)) for key, value in chunk] for chunk in other.partitions]
+        union = Dataset(self.context, tagged_left + tagged_right)
+        shuffled = union._shuffle_by_key(num_partitions)
+        joined = self._run_on_buckets(name, shuffled, _join_chunk)
+        return Dataset(self.context, joined)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def collect(self) -> list:
+        """All items on the driver, in partition order."""
+        out: list = []
+        for partition in self.partitions:
+            out.extend(partition)
+        return out
+
+    def count(self) -> int:
+        return sum(len(partition) for partition in self.partitions)
+
+    def reduce(self, function: Callable[[Any, Any], Any]) -> Any:
+        """Fold all items with ``function`` (raises on an empty dataset)."""
+        items = self.collect()
+        if not items:
+            raise ValueError("reduce() of empty dataset")
+        accumulator = items[0]
+        for item in items[1:]:
+            accumulator = function(accumulator, item)
+        return accumulator
+
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.count()} items, {self.num_partitions()} partitions)"
+
+
+class _BoundKernel:
+    """Picklable ``bucket -> kernel(bucket, function)`` adapter.
+
+    A plain closure would not survive the ``process`` backend's
+    pickling; binding module-level kernels in an instance does.
+    """
+
+    __slots__ = ("kernel", "function")
+
+    def __init__(self, kernel: Callable, function: Callable):
+        self.kernel = kernel
+        self.function = function
+
+    def __call__(self, bucket: list) -> list:
+        return self.kernel(bucket, self.function)
+
+
+def _run_bucket_chunk(chunk: list, kernel: Callable) -> list:
+    """Stage adapter for shuffle output: ``chunk`` is a list of buckets."""
+    out: list = []
+    for bucket in chunk:
+        out.extend(kernel(bucket))
+    return out
+
+
+def _group_chunk(chunk: list) -> list:
+    grouped: dict[Hashable, list] = defaultdict(list)
+    for key, value in chunk:
+        grouped[key].append(value)
+    return list(grouped.items())
+
+
+def _join_chunk(chunk: list) -> list:
+    left: dict[Hashable, list] = defaultdict(list)
+    right: dict[Hashable, list] = defaultdict(list)
+    for key, (tag, value) in chunk:
+        (left if tag == 0 else right)[key].append(value)
+    out = []
+    for key in left:
+        if key in right:
+            for lvalue in left[key]:
+                for rvalue in right[key]:
+                    out.append((key, (lvalue, rvalue)))
+    return out

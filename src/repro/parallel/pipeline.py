@@ -1,0 +1,352 @@
+"""Stage-parallel MinoanER: the dataflow of the paper's Figure 4.
+
+``ParallelMinoanER`` executes the expensive phases of the pipeline as
+partitioned stages on a :class:`~repro.parallel.context.ParallelContext`
+-- value-evidence accumulation over token-block partitions, top-K
+pruning over node partitions, neighbor-evidence propagation over edge
+partitions, and the per-node work of rules R2/R3 over node partitions --
+with barriers exactly where Figure 4 places them.
+
+The result is **bit-identical** to the serial
+:class:`repro.core.pipeline.MinoanER`: stage kernels compute per-node
+proposals in parallel, and the driver replays the same deterministic
+greedy/UMC logic over them.  All stage kernels are module-level
+functions so the ``process`` backend can pickle them.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.blocking.name_blocking import name_blocks
+from repro.blocking.purging import purge_blocks
+from repro.blocking.token_blocking import token_blocks
+from repro.core.config import MinoanERConfig
+from repro.core.matcher import NonIterativeMatcher
+from repro.core.pipeline import ResolutionResult
+from repro.graph.blocking_graph import DisjunctiveBlockingGraph
+from repro.graph.construction import name_evidence, retained_beta_edges
+from repro.graph.pruning import top_k_candidates
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.statistics import KBStatistics
+from repro.parallel.context import ParallelContext
+
+# ----------------------------------------------------------------------
+# Stage kernels (module-level: picklable for the process backend)
+# ----------------------------------------------------------------------
+
+
+def beta_kernel(blocks: list[tuple[tuple[int, ...], tuple[int, ...]]]) -> dict[int, dict[int, float]]:
+    """Partial ``beta`` accumulation over one partition of token blocks."""
+    import math
+
+    partial: dict[int, dict[int, float]] = {}
+    for side1, side2 in blocks:
+        weight = 1.0 / math.log2(len(side1) * len(side2) + 1.0)
+        for eid1 in side1:
+            row = partial.setdefault(eid1, {})
+            for eid2 in side2:
+                row[eid2] = row.get(eid2, 0.0) + weight
+    return partial
+
+
+def top_k_kernel(rows: list[tuple[int, dict[int, float]]], k: int) -> list[tuple[int, tuple]]:
+    """Top-K pruning of one partition of per-node weight rows."""
+    return [(eid, top_k_candidates(row, k)) for eid, row in rows]
+
+
+def gamma_kernel(
+    edges: list[tuple[int, int, float]],
+    in_neighbors_1: list[tuple[int, ...]],
+    in_neighbors_2: list[tuple[int, ...]],
+) -> dict[int, dict[int, float]]:
+    """Partial ``gamma`` propagation over one partition of beta edges."""
+    partial: dict[int, dict[int, float]] = {}
+    for eid1, eid2, weight in edges:
+        sources = in_neighbors_1[eid1]
+        if not sources:
+            continue
+        targets = in_neighbors_2[eid2]
+        if not targets:
+            continue
+        for source in sources:
+            row = partial.setdefault(source, {})
+            for target in targets:
+                row[target] = row.get(target, 0.0) + weight
+    return partial
+
+
+def merge_partials(
+    partials: list[dict[int, dict[int, float]]],
+    size: int,
+) -> list[dict[int, float]]:
+    """Merge per-partition nested accumulators into dense per-node rows."""
+    rows: list[dict[int, float]] = [dict() for _ in range(size)]
+    for partial in partials:
+        for eid, partial_row in partial.items():
+            row = rows[eid]
+            for other, weight in partial_row.items():
+                row[other] = row.get(other, 0.0) + weight
+    return rows
+
+
+def transpose_rows(rows: list[dict[int, float]], size: int) -> list[dict[int, float]]:
+    """Column view of per-node rows (side-2 perspective of the weights)."""
+    columns: list[dict[int, float]] = [dict() for _ in range(size)]
+    for eid, row in enumerate(rows):
+        for other, weight in row.items():
+            columns[other][eid] = weight
+    return columns
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+
+
+class ParallelMinoanER:
+    """MinoanER executed as partitioned stages with explicit barriers.
+
+    Parameters
+    ----------
+    config:
+        Same configuration object as the serial pipeline.
+    context:
+        Execution context; its ``stage_log`` afterwards holds the
+        per-stage timings used by the Figure 6 experiment.
+
+    Examples
+    --------
+    >>> # with ParallelContext(num_workers=4, backend="process") as ctx:
+    >>> #     result = ParallelMinoanER(config, ctx).resolve(kb1, kb2)
+    """
+
+    def __init__(self, config: MinoanERConfig | None = None, context: ParallelContext | None = None):
+        self.config = config or MinoanERConfig()
+        self.context = context or ParallelContext()
+
+    def resolve(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> ResolutionResult:
+        """Run the stage-parallel pipeline; same output as the serial one."""
+        config, context = self.config, self.context
+        timings: dict[str, float] = {}
+        started = time.perf_counter()
+
+        # -- Statistics (driver): name attributes, importance, top neighbors.
+        phase = time.perf_counter()
+        stats1 = KBStatistics(kb1, config.name_attributes_k, config.relations_n)
+        stats2 = KBStatistics(kb2, config.name_attributes_k, config.relations_n)
+        in_neighbors_1 = [stats1.top_in_neighbors(eid) for eid in range(len(kb1))]
+        in_neighbors_2 = [stats2.top_in_neighbors(eid) for eid in range(len(kb2))]
+        timings["statistics"] = time.perf_counter() - phase
+
+        # -- Blocking (driver indexes; purging on driver).
+        phase = time.perf_counter()
+        names = name_blocks(stats1, stats2)
+        tokens = token_blocks(kb1, kb2)
+        if config.purge_blocks:
+            tokens = purge_blocks(
+                tokens,
+                cartesian=len(kb1) * len(kb2),
+                budget_ratio=config.purging_budget_ratio,
+                max_comparisons=config.max_block_comparisons,
+            )
+        timings["blocking"] = time.perf_counter() - phase
+
+        # -- Graph construction stages (Figure 4: alpha & beta during
+        #    blocking, gamma after the top-neighbor barrier).
+        phase = time.perf_counter()
+        names_1, names_2 = name_evidence(names)
+
+        block_items = [(block.side1, block.side2) for block in tokens]
+        partials = context.run_stage("graph:beta", block_items, beta_kernel)
+        beta_rows = merge_partials(partials, len(kb1))
+        beta_columns = transpose_rows(beta_rows, len(kb2))
+
+        k = config.candidates_k
+        value_1 = _staged_top_k(context, "graph:topk_value_1", beta_rows, k)
+        value_2 = _staged_top_k(context, "graph:topk_value_2", beta_columns, k)
+
+        edges = [(e1, e2, w) for (e1, e2), w in retained_beta_edges(value_1, value_2).items()]
+        partials = context.run_stage(
+            "graph:gamma", edges, gamma_kernel, in_neighbors_1, in_neighbors_2
+        )
+        gamma_rows = merge_partials(partials, len(kb1))
+        gamma_columns = transpose_rows(gamma_rows, len(kb2))
+        neighbor_1 = _staged_top_k(context, "graph:topk_neighbor_1", gamma_rows, k)
+        neighbor_2 = _staged_top_k(context, "graph:topk_neighbor_2", gamma_columns, k)
+
+        graph = DisjunctiveBlockingGraph(
+            n1=len(kb1),
+            n2=len(kb2),
+            name_matches_1=names_1,
+            name_matches_2=names_2,
+            value_candidates_1=value_1,
+            value_candidates_2=value_2,
+            neighbor_candidates_1=neighbor_1,
+            neighbor_candidates_2=neighbor_2,
+        )
+        timings["graph"] = time.perf_counter() - phase
+
+        # -- Matching (rules over node partitions; barriers between rules).
+        phase = time.perf_counter()
+        matching = _staged_matching(context, graph, config)
+        timings["matching"] = time.perf_counter() - phase
+
+        timings["total"] = time.perf_counter() - started
+        return ResolutionResult(
+            kb1=kb1,
+            kb2=kb2,
+            matching=matching,
+            graph=graph,
+            name_block_collection=names,
+            token_block_collection=tokens,
+            timings=timings,
+        )
+
+
+def _staged_top_k(
+    context: ParallelContext,
+    name: str,
+    rows: list[dict[int, float]],
+    k: int,
+) -> list[tuple]:
+    """Run top-K pruning as a stage over node partitions."""
+    indexed = list(enumerate(rows))
+    results = context.run_stage(name, indexed, top_k_kernel, k)
+    out: list[tuple] = [()] * len(rows)
+    for chunk in results:
+        for eid, candidates in chunk:
+            out[eid] = candidates
+    return out
+
+
+def rule2_kernel(
+    node_ids: list[int],
+    value_candidates: list[tuple],
+    threshold: float,
+) -> list[tuple[int, int, float]]:
+    """Per-node work of R2: top value candidate if beta >= threshold."""
+    proposals = []
+    for eid in node_ids:
+        candidates = value_candidates[eid]
+        if candidates:
+            partner, beta = candidates[0]
+            if beta >= threshold:
+                proposals.append((eid, partner, beta))
+    return proposals
+
+
+def rule3_kernel(
+    node_ids: list[int],
+    value_candidates: list[tuple],
+    neighbor_candidates: list[tuple],
+    theta: float,
+    use_neighbor_evidence: bool,
+) -> list[tuple[int, int, float]]:
+    """Per-node work of R3: best rank-aggregated candidate."""
+    from repro.core.rank_aggregation import top_aggregate_candidate
+
+    proposals = []
+    for eid in node_ids:
+        neighbors = neighbor_candidates[eid] if use_neighbor_evidence else ()
+        best = top_aggregate_candidate(value_candidates[eid], neighbors, theta)
+        if best is not None:
+            proposals.append((eid, best[0], best[1]))
+    return proposals
+
+
+def _staged_matching(
+    context: ParallelContext,
+    graph: DisjunctiveBlockingGraph,
+    config: MinoanERConfig,
+):
+    """Rules R1-R4 with per-node stages; identical output to the serial matcher.
+
+    R1 is a driver scan of the (tiny) alpha edge set.  R2 and R3 compute
+    per-node proposals in parallel; the driver then replays the exact
+    iteration order of Algorithm 2 (side 1 ascending, then side 2) so
+    greedy claiming matches the serial matcher.  R4 and unique-mapping
+    conflict resolution reuse the serial implementation directly.
+    """
+    from repro.core.matcher import MatchingResult
+    from repro.core.rules import reciprocity_rule
+
+    collected: list[tuple[tuple[int, int], float, str]] = []
+    matched_1: set[int] = set()
+    matched_2: set[int] = set()
+
+    if config.use_name_rule:
+        for eid1 in range(graph.n1):
+            eid2 = graph.name_match(1, eid1)
+            if eid2 is not None:
+                collected.append(((eid1, eid2), float("inf"), "R1"))
+                matched_1.add(eid1)
+                matched_2.add(eid2)
+
+    if config.use_value_rule:
+        if graph.n1 <= graph.n2:
+            side, matched, size = 1, matched_1, graph.n1
+            candidates = graph._value_candidates[0]
+        else:
+            side, matched, size = 2, matched_2, graph.n2
+            candidates = graph._value_candidates[1]
+        unmatched = [eid for eid in range(size) if eid not in matched]
+        chunks = context.run_stage(
+            "match:R2", unmatched, rule2_kernel, candidates, config.value_threshold
+        )
+        for chunk in chunks:
+            for eid, partner, beta in chunk:
+                pair = (eid, partner) if side == 1 else (partner, eid)
+                collected.append((pair, beta, "R2"))
+                matched_1.add(pair[0])
+                matched_2.add(pair[1])
+
+    if config.use_rank_aggregation:
+        proposals: dict[tuple[int, int], tuple[int, float]] = {}
+        for side, size in ((1, graph.n1), (2, graph.n2)):
+            matched = matched_1 if side == 1 else matched_2
+            unmatched = [eid for eid in range(size) if eid not in matched]
+            chunks = context.run_stage(
+                f"match:R3_side{side}",
+                unmatched,
+                rule3_kernel,
+                graph._value_candidates[side - 1],
+                graph._neighbor_candidates[side - 1],
+                config.theta,
+                config.use_neighbor_evidence,
+            )
+            for chunk in chunks:
+                for eid, partner, score in chunk:
+                    proposals[(side, eid)] = (partner, score)
+        # Replay Algorithm 2's greedy claiming deterministically.
+        claimed_1, claimed_2 = set(matched_1), set(matched_2)
+        for side, size in ((1, graph.n1), (2, graph.n2)):
+            claimed_own = claimed_1 if side == 1 else claimed_2
+            claimed_other = claimed_2 if side == 1 else claimed_1
+            for eid in range(size):
+                if eid in claimed_own or (side, eid) not in proposals:
+                    continue
+                partner, score = proposals[(side, eid)]
+                pair = (eid, partner) if side == 1 else (partner, eid)
+                collected.append((pair, score, "R3"))
+                claimed_own.add(eid)
+                claimed_other.add(partner)
+
+    proposed = [(pair, rule) for pair, _, rule in collected]
+    removed: set[tuple[int, int]] = set()
+    surviving = collected
+    if config.use_reciprocity:
+        kept = reciprocity_rule(graph, [(pair, score) for pair, score, _ in collected])
+        kept_pairs = {pair for pair, _ in kept}
+        removed = {pair for pair, _, _ in collected if pair not in kept_pairs}
+        surviving = [item for item in collected if item[0] in kept_pairs]
+    if config.enforce_unique_mapping:
+        surviving = NonIterativeMatcher._resolve_conflicts(surviving)
+
+    return MatchingResult(
+        matches={pair for pair, _, _ in surviving},
+        rule_of={pair: rule for pair, _, rule in surviving},
+        scores={pair: score for pair, score, _ in surviving},
+        proposed=proposed,
+        removed_by_reciprocity=removed,
+    )

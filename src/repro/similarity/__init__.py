@@ -1,0 +1,31 @@
+"""Similarity metrics: the paper's valueSim/neighborNSim plus classic measures.
+
+``value`` and ``neighbor`` implement Definitions 2.1 and 2.5 -- the
+schema-agnostic, *unnormalised* metrics at the heart of MinoanER.
+``measures`` and ``weighting`` provide the normalised token-vector
+similarities (Cosine, Jaccard, Generalized Jaccard, SiGMa) and TF /
+TF-IDF weighting schemes used by the fine-tuned BSL baseline
+(section 6, "Baselines").
+"""
+
+from repro.similarity.measures import (
+    cosine,
+    generalized_jaccard,
+    jaccard,
+    sigma_similarity,
+)
+from repro.similarity.neighbor import neighbor_similarity
+from repro.similarity.value import normalized_value_similarity, value_similarity
+from repro.similarity.weighting import tf_idf_profiles, tf_profiles
+
+__all__ = [
+    "cosine",
+    "generalized_jaccard",
+    "jaccard",
+    "neighbor_similarity",
+    "normalized_value_similarity",
+    "sigma_similarity",
+    "tf_idf_profiles",
+    "tf_profiles",
+    "value_similarity",
+]

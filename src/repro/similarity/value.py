@@ -1,0 +1,114 @@
+"""Value similarity (Definition 2.1): frequency-weighted common tokens.
+
+``valueSim(e_i, e_j) = sum over shared tokens t of
+1 / log2(EF_E1(t) * EF_E2(t) + 1)``
+
+where ``EF_E(t)`` is the Entity Frequency of token ``t`` in KB ``E`` --
+the number of descriptions whose values contain ``t``.  The metric is
+*unnormalised* (range ``[0, +inf)``): the count of shared tokens is
+itself matching evidence, so it is not divided away.  A token shared by
+nobody else contributes its maximum of 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def token_pair_weight(ef1: int, ef2: int) -> float:
+    """Contribution of one shared token given its EF in each KB.
+
+    >>> token_pair_weight(1, 1)
+    1.0
+    """
+    if ef1 < 1 or ef2 < 1:
+        raise ValueError(f"entity frequencies must be >= 1, got ({ef1}, {ef2})")
+    return 1.0 / math.log2(ef1 * ef2 + 1.0)
+
+
+def value_similarity(kb1: KnowledgeBase, kb2: KnowledgeBase, eid1: int, eid2: int) -> float:
+    """``valueSim`` between entity ``eid1`` of ``kb1`` and ``eid2`` of ``kb2``.
+
+    This is the reference (pairwise) implementation; the blocking graph
+    derives the same quantity from token-block sizes without pairwise
+    loops (section 3.1: "token blocking allows for deriving valueSim
+    from the size of blocks shared by two descriptions").
+    """
+    tokens1 = kb1.tokens(eid1)
+    tokens2 = kb2.tokens(eid2)
+    if len(tokens2) < len(tokens1):
+        tokens1, tokens2 = tokens2, tokens1
+    score = 0.0
+    for token in tokens1:
+        if token in tokens2:
+            score += token_pair_weight(kb1.entity_frequency(token), kb2.entity_frequency(token))
+    return score
+
+
+def value_similarity_of_token_sets(
+    tokens1: Iterable[str],
+    tokens2: Iterable[str],
+    kb1: KnowledgeBase,
+    kb2: KnowledgeBase,
+) -> float:
+    """``valueSim`` over explicit token sets (used by tests and baselines)."""
+    set1 = frozenset(tokens1)
+    set2 = frozenset(tokens2)
+    score = 0.0
+    for token in set1 & set2:
+        ef1 = kb1.entity_frequency(token)
+        ef2 = kb2.entity_frequency(token)
+        if ef1 and ef2:
+            score += token_pair_weight(ef1, ef2)
+    return score
+
+
+def max_value_similarity(kb1: KnowledgeBase, kb2: KnowledgeBase, eid1: int) -> tuple[int, float]:
+    """Best ``valueSim`` partner of ``eid1`` in ``kb2`` by brute force.
+
+    Quadratic; intended for tests and tiny examples, not for pipelines.
+    Returns ``(-1, 0.0)`` when ``kb2`` is empty or nothing overlaps.
+    """
+    best_id, best_score = -1, 0.0
+    for eid2 in range(len(kb2)):
+        score = value_similarity(kb1, kb2, eid1, eid2)
+        if score > best_score:
+            best_id, best_score = eid2, score
+    return best_id, best_score
+
+
+def normalized_value_similarity(kb1: KnowledgeBase, kb2: KnowledgeBase, eid1: int, eid2: int) -> float:
+    """Weighted-Jaccard form of valueSim, in [0, 1].
+
+    Used only for *reporting* (the Figure 2 scatter plots a normalised
+    horizontal axis -- "weighted Jaccard"); the matcher always works
+    with the raw metric.  Shared tokens carry their valueSim weight
+    ``1/log2(EF1 * EF2 + 1)``; tokens present in only one KB weigh
+    ``1/log2(EF^2 + 1)`` against their own KB's frequency.  The score is
+    shared weight over union weight, so a pair with many unshared
+    tokens scores low even when its shared tokens are rare.
+    """
+    tokens1 = kb1.tokens(eid1)
+    tokens2 = kb2.tokens(eid2)
+    if not tokens1 or not tokens2:
+        return 0.0
+    shared_weight = 0.0
+    union_weight = 0.0
+    for token in tokens1:
+        ef1 = kb1.entity_frequency(token)
+        if token in tokens2:
+            weight = token_pair_weight(ef1, kb2.entity_frequency(token))
+            shared_weight += weight
+        else:
+            weight = token_pair_weight(ef1, ef1)
+        union_weight += weight
+    for token in tokens2:
+        if token not in tokens1:
+            ef2 = kb2.entity_frequency(token)
+            union_weight += token_pair_weight(ef2, ef2)
+    if union_weight <= 0.0:
+        return 0.0
+    return min(1.0, shared_weight / union_weight)

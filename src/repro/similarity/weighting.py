@@ -1,0 +1,77 @@
+"""Token-vector weighting schemes (TF, TF-IDF) for the BSL baseline.
+
+The paper's baseline BSL represents every description by its token
+n-grams and weights them by TF or TF-IDF before applying a normalised
+similarity measure (section 6, "Baselines").  A *profile* here is a
+``dict[str, float]`` sparse vector per entity.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.tokenizer import tokenize
+
+
+def ngrams(tokens: Sequence[str], n: int) -> list[str]:
+    """Token n-grams of a token sequence, joined by spaces.
+
+    >>> ngrams(["fat", "duck", "bray"], 2)
+    ['fat duck', 'duck bray']
+    >>> ngrams(["fat"], 2)
+    []
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return list(tokens)
+    return [" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def entity_ngram_counts(kb: KnowledgeBase, eid: int, n: int) -> Counter[str]:
+    """Raw n-gram term counts for one entity (per-value, so n-grams never
+    span two literal values)."""
+    counts: Counter[str] = Counter()
+    for value in kb.literal_values(eid):
+        counts.update(ngrams(tokenize(value), n))
+    return counts
+
+
+def tf_profiles(kb: KnowledgeBase, n: int = 1) -> list[dict[str, float]]:
+    """L2-normalised term-frequency vectors for every entity of ``kb``."""
+    profiles: list[dict[str, float]] = []
+    for eid in range(len(kb)):
+        counts = entity_ngram_counts(kb, eid, n)
+        profiles.append(_l2_normalise(dict(counts)))
+    return profiles
+
+
+def tf_idf_profiles(kb: KnowledgeBase, n: int = 1) -> list[dict[str, float]]:
+    """L2-normalised TF-IDF vectors for every entity of ``kb``.
+
+    IDF uses the smoothed form ``log(1 + |E| / df(t))`` over this KB's
+    own documents, mirroring standard IR practice.
+    """
+    per_entity: list[Counter[str]] = [entity_ngram_counts(kb, eid, n) for eid in range(len(kb))]
+    document_frequency: Counter[str] = Counter()
+    for counts in per_entity:
+        document_frequency.update(counts.keys())
+    total = max(len(kb), 1)
+    profiles: list[dict[str, float]] = []
+    for counts in per_entity:
+        vector = {
+            term: tf * math.log(1.0 + total / document_frequency[term])
+            for term, tf in counts.items()
+        }
+        profiles.append(_l2_normalise(vector))
+    return profiles
+
+
+def _l2_normalise(vector: dict[str, float]) -> dict[str, float]:
+    norm = math.sqrt(sum(weight * weight for weight in vector.values()))
+    if norm == 0.0:
+        return {}
+    return {term: weight / norm for term, weight in vector.items()}

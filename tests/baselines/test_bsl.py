@@ -1,0 +1,94 @@
+"""Unit tests for the BSL grid-search baseline."""
+
+import pytest
+
+from repro.baselines.bsl import BSLBaseline, BSLConfig, candidate_pairs
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+@pytest.fixture
+def easy_pair():
+    kb1 = KnowledgeBase(
+        [
+            EntityDescription("a0", [("name", "fat duck bray")]),
+            EntityDescription("a1", [("name", "ivy london soho")]),
+        ],
+        name="kb1",
+    )
+    kb2 = KnowledgeBase(
+        [
+            EntityDescription("b0", [("title", "the fat duck bray")]),
+            EntityDescription("b1", [("title", "the ivy london")]),
+            EntityDescription("b2", [("title", "unrelated place")]),
+        ],
+        name="kb2",
+    )
+    return kb1, kb2, {(0, 0), (1, 1)}
+
+
+class TestGrid:
+    def test_default_grid_has_420_configurations(self, easy_pair):
+        kb1, kb2, gt = easy_pair
+        result = BSLBaseline().run(kb1, kb2, gt)
+        assert result.configurations_tried == 420
+        assert len(result.per_config) == 420
+
+    def test_sigma_only_with_tfidf(self):
+        schemes = list(BSLBaseline()._scheme_configs())
+        assert all(w == "tfidf" for _, w, m in schemes if m == "sigma")
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValueError):
+            BSLBaseline(measures=["levenshtein"])
+
+    def test_reduced_grid(self, easy_pair):
+        kb1, kb2, gt = easy_pair
+        baseline = BSLBaseline(ngram_sizes=(1,), weightings=("tf",), measures=("cosine",), thresholds=(0.0, 0.5))
+        result = baseline.run(kb1, kb2, gt)
+        assert result.configurations_tried == 2
+
+    def test_empty_grid_rejected(self, easy_pair):
+        kb1, kb2, gt = easy_pair
+        baseline = BSLBaseline(ngram_sizes=(), thresholds=())
+        with pytest.raises(ValueError):
+            baseline.run(kb1, kb2, gt)
+
+
+class TestQuality:
+    def test_finds_easy_matches(self, easy_pair):
+        kb1, kb2, gt = easy_pair
+        result = BSLBaseline(ngram_sizes=(1,)).run(kb1, kb2, gt)
+        assert result.best_report.f1 == 1.0
+        assert result.best_matches == gt
+
+    def test_best_is_maximum_over_grid(self, easy_pair):
+        kb1, kb2, gt = easy_pair
+        result = BSLBaseline(ngram_sizes=(1, 2)).run(kb1, kb2, gt)
+        assert result.best_report.f1 == pytest.approx(
+            max(report.f1 for _, report in result.per_config)
+        )
+
+    def test_explicit_pairs_respected(self, easy_pair):
+        kb1, kb2, gt = easy_pair
+        result = BSLBaseline(ngram_sizes=(1,)).run(kb1, kb2, gt, pairs={(0, 0)})
+        assert result.best_matches <= {(0, 0)}
+
+
+class TestCandidatePairs:
+    def test_union_of_token_and_name_blocks(self, easy_pair):
+        kb1, kb2, _ = easy_pair
+        pairs = candidate_pairs(kb1, kb2)
+        assert (0, 0) in pairs
+        assert (1, 1) in pairs
+
+    def test_no_pairs_for_disjoint_kbs(self):
+        kb1 = KnowledgeBase([EntityDescription("a", [("n", "xxx")])], "k1")
+        kb2 = KnowledgeBase([EntityDescription("b", [("n", "yyy")])], "k2")
+        assert candidate_pairs(kb1, kb2) == set()
+
+
+class TestConfigLabel:
+    def test_label_format(self):
+        config = BSLConfig(2, "tfidf", "cosine", 0.25)
+        assert config.label() == "2-gram/tfidf/cosine/t=0.25"

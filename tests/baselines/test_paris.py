@@ -1,0 +1,111 @@
+"""Unit tests for the PARIS-like probabilistic baseline."""
+
+import pytest
+
+from repro.baselines.paris import (
+    ParisBaseline,
+    ParisConfig,
+    _incoming_edges,
+    _inverse_functionality,
+    _value_index,
+)
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def kb_pair_with_structure():
+    """Names overlap only for e0; e1 identifiable through relations."""
+    kb1 = KnowledgeBase(
+        [
+            EntityDescription("a0", [("name", "unique anchor")]),
+            EntityDescription("a1", [("name", "source one"), ("made", "a0")]),
+        ],
+        name="kb1",
+    )
+    kb2 = KnowledgeBase(
+        [
+            EntityDescription("b0", [("label", "unique anchor")]),
+            EntityDescription("b1", [("label", "source one"), ("created", "b0")]),
+        ],
+        name="kb2",
+    )
+    return kb1, kb2
+
+
+class TestHelpers:
+    def test_value_index_is_exact_and_case_sensitive(self):
+        kb = KnowledgeBase(
+            [
+                EntityDescription("a", [("p", "Queen")]),
+                EntityDescription("b", [("p", "queen")]),
+            ]
+        )
+        index = _value_index(kb)
+        assert index["Queen"] == [0]
+        assert index["queen"] == [1]
+
+    def test_value_index_once_per_entity(self):
+        kb = KnowledgeBase([EntityDescription("a", [("p", "v"), ("q", "v")])])
+        assert _value_index(kb)["v"] == [0]
+
+    def test_inverse_functionality(self):
+        kb = KnowledgeBase(
+            [
+                EntityDescription("a", [("r", "c")]),
+                EntityDescription("b", [("r", "c")]),
+                EntityDescription("c"),
+            ]
+        )
+        # 1 distinct object / 2 instances
+        assert _inverse_functionality(kb)["r"] == pytest.approx(0.5)
+
+    def test_incoming_edges(self):
+        kb = KnowledgeBase(
+            [EntityDescription("a", [("r", "b")]), EntityDescription("b")]
+        )
+        assert _incoming_edges(kb)[1] == [("r", 0)]
+
+
+class TestMatching:
+    def test_exact_shared_rare_value_matches(self):
+        kb1 = KnowledgeBase([EntityDescription("a", [("p", "unique token")])], "k1")
+        kb2 = KnowledgeBase([EntityDescription("b", [("q", "unique token")])], "k2")
+        result = ParisBaseline().run(kb1, kb2)
+        assert result.matches == {(0, 0)}
+        assert result.probabilities[(0, 0)] == pytest.approx(1.0)
+
+    def test_case_difference_breaks_evidence(self):
+        kb1 = KnowledgeBase([EntityDescription("a", [("p", "unique token")])], "k1")
+        kb2 = KnowledgeBase([EntityDescription("b", [("q", "Unique Token")])], "k2")
+        result = ParisBaseline().run(kb1, kb2)
+        assert result.matches == set()
+
+    def test_frequent_values_ignored(self):
+        kb1 = KnowledgeBase(
+            [EntityDescription(f"a{i}", [("p", "common")]) for i in range(10)], "k1"
+        )
+        kb2 = KnowledgeBase(
+            [EntityDescription(f"b{i}", [("p", "common")]) for i in range(10)], "k2"
+        )
+        result = ParisBaseline(ParisConfig(value_frequency_cap=5)).run(kb1, kb2)
+        assert result.matches == set()
+
+    def test_relational_evidence_after_alignment(self):
+        kb1, kb2 = kb_pair_with_structure()
+        result = ParisBaseline(ParisConfig(iterations=3, threshold=0.3)).run(kb1, kb2)
+        assert (0, 0) in result.matches
+        assert (1, 1) in result.matches
+        assert result.relation_alignment.get(("made", "created")) == pytest.approx(1.0)
+
+    def test_zero_iterations_uses_literals_only(self):
+        kb1, kb2 = kb_pair_with_structure()
+        result = ParisBaseline(ParisConfig(iterations=0)).run(kb1, kb2)
+        assert (0, 0) in result.matches
+        assert result.relation_alignment == {}
+
+    def test_one_to_one_output(self, mini_pair):
+        result = ParisBaseline().run(mini_pair.kb1, mini_pair.kb2)
+        lefts = [a for a, _ in result.matches]
+        rights = [b for _, b in result.matches]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))

@@ -1,0 +1,103 @@
+"""Unit tests for the SiGMa-like iterative greedy baseline."""
+
+import pytest
+
+from repro.baselines.sigma import SigmaBaseline, SigmaConfig
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+@pytest.fixture
+def linked_pair():
+    """Seeds a0<->b0 by identical names; a1/b1 reachable only via relations."""
+    kb1 = KnowledgeBase(
+        [
+            EntityDescription("a0", [("name", "anchor entity"), ("rel", "a1")]),
+            EntityDescription("a1", [("name", "leaf one"), ("val", "shared stuff here")]),
+        ],
+        name="kb1",
+    )
+    kb2 = KnowledgeBase(
+        [
+            EntityDescription("b0", [("label", "anchor entity"), ("link", "b1")]),
+            EntityDescription("b1", [("label", "leaf uno"), ("val", "shared stuff there")]),
+        ],
+        name="kb2",
+    )
+    return kb1, kb2
+
+
+class TestSeeds:
+    def test_identical_unique_names_seed(self, linked_pair):
+        kb1, kb2 = linked_pair
+        result = SigmaBaseline({"rel": "link"}).run(kb1, kb2)
+        assert (0, 0) in result.matches
+        assert result.seed_count >= 1
+
+    def test_non_unique_names_not_seeded(self):
+        kb1 = KnowledgeBase(
+            [
+                EntityDescription("a0", [("name", "dup")]),
+                EntityDescription("a1", [("name", "dup")]),
+            ],
+            name="kb1",
+        )
+        kb2 = KnowledgeBase([EntityDescription("b0", [("name", "dup")])], name="kb2")
+        result = SigmaBaseline({}).run(kb1, kb2)
+        assert result.seed_count == 0
+
+
+class TestPropagation:
+    def test_neighbors_matched_through_aligned_relations(self, linked_pair):
+        kb1, kb2 = linked_pair
+        result = SigmaBaseline({"rel": "link"}, SigmaConfig(threshold=0.2)).run(kb1, kb2)
+        assert (1, 1) in result.matches
+
+    def test_no_propagation_without_alignment(self, linked_pair):
+        kb1, kb2 = linked_pair
+        result = SigmaBaseline({}, SigmaConfig(threshold=0.2)).run(kb1, kb2)
+        assert (1, 1) not in result.matches
+
+    def test_incoming_edges_also_propagate(self):
+        """Match at the *target* side propagates back to sources."""
+        kb1 = KnowledgeBase(
+            [
+                EntityDescription("src1", [("n", "origin story text"), ("rel", "hub1")]),
+                EntityDescription("hub1", [("n", "anchor entity")]),
+            ],
+            name="kb1",
+        )
+        kb2 = KnowledgeBase(
+            [
+                EntityDescription("src2", [("n", "origin story prose"), ("link", "hub2")]),
+                EntityDescription("hub2", [("n", "anchor entity")]),
+            ],
+            name="kb2",
+        )
+        result = SigmaBaseline({"rel": "link"}, SigmaConfig(threshold=0.2)).run(kb1, kb2)
+        assert (0, 0) in result.matches
+
+
+class TestConfig:
+    def test_threshold_blocks_weak_matches(self, linked_pair):
+        kb1, kb2 = linked_pair
+        result = SigmaBaseline({"rel": "link"}, SigmaConfig(threshold=0.99)).run(kb1, kb2)
+        assert result.matches == set()
+
+    def test_invalid_graph_weight(self):
+        with pytest.raises(ValueError):
+            SigmaConfig(graph_weight=1.5)
+
+    def test_max_iterations_respected(self, linked_pair):
+        kb1, kb2 = linked_pair
+        result = SigmaBaseline({"rel": "link"}, SigmaConfig(max_iterations=1)).run(kb1, kb2)
+        assert result.iterations <= 1
+
+    def test_one_to_one_output(self, mini_pair):
+        result = SigmaBaseline(mini_pair.relation_alignment).run(
+            mini_pair.kb1, mini_pair.kb2
+        )
+        lefts = [a for a, _ in result.matches]
+        rights = [b for _, b in result.matches]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))

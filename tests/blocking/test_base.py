@@ -1,0 +1,61 @@
+"""Unit tests for Block / BlockCollection primitives."""
+
+from repro.blocking.base import Block, BlockCollection
+
+
+class TestBlock:
+    def test_comparisons_is_cross_product(self):
+        assert Block("k", [1, 2], [3, 4, 5]).comparisons == 6
+
+    def test_cardinality_sums_sides(self):
+        assert Block("k", [1, 2], [3]).cardinality == 3
+
+    def test_singleton_pair_detection(self):
+        assert Block("k", [1], [2]).is_singleton_pair
+        assert not Block("k", [1, 2], [3]).is_singleton_pair
+        assert not Block("k", [1], []).is_singleton_pair
+
+    def test_pairs_enumerates_cross_product(self):
+        assert set(Block("k", [1, 2], [9]).pairs()) == {(1, 9), (2, 9)}
+
+    def test_equality_and_hash(self):
+        assert Block("k", [1], [2]) == Block("k", (1,), (2,))
+        assert hash(Block("k", [1], [2])) == hash(Block("k", (1,), (2,)))
+        assert Block("k", [1], [2]) != Block("other", [1], [2])
+
+    def test_repr_shows_shape(self):
+        assert "1x2" in repr(Block("k", [1], [2, 3]))
+
+
+class TestBlockCollection:
+    def test_totals(self):
+        collection = BlockCollection([Block("a", [1], [2, 3]), Block("b", [4, 5], [6])])
+        assert len(collection) == 2
+        assert collection.total_comparisons() == 4
+        assert collection.total_assignments() == 6
+
+    def test_distinct_pairs_deduplicates(self):
+        collection = BlockCollection([Block("a", [1], [2]), Block("b", [1], [2])])
+        assert collection.distinct_pairs() == {(1, 2)}
+
+    def test_filter_returns_new_collection(self):
+        collection = BlockCollection([Block("a", [1], [2]), Block("b", [1, 2], [3, 4])])
+        small = collection.filter(lambda b: b.comparisons <= 1)
+        assert len(small) == 1
+        assert len(collection) == 2
+
+    def test_iteration_order_is_insertion_order(self):
+        blocks = [Block("b", [1], [2]), Block("a", [3], [4])]
+        collection = BlockCollection(blocks)
+        assert list(collection) == blocks
+
+    def test_add_and_getitem(self):
+        collection = BlockCollection()
+        block = Block("x", [1], [2])
+        collection.add(block)
+        assert collection[0] is block
+
+    def test_empty_collection_totals(self):
+        collection = BlockCollection()
+        assert collection.total_comparisons() == 0
+        assert collection.distinct_pairs() == set()

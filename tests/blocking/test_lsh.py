@@ -1,0 +1,83 @@
+"""Unit tests for MinHash LSH blocking."""
+
+import pytest
+
+from repro.blocking.lsh import MinHasher, lsh_blocks, lsh_threshold
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def kb_of(values: list[str], prefix: str) -> KnowledgeBase:
+    return KnowledgeBase(
+        [EntityDescription(f"{prefix}{i}", [("v", v)]) for i, v in enumerate(values)],
+        name=prefix,
+    )
+
+
+class TestMinHasher:
+    def test_identical_sets_identical_signatures(self):
+        hasher = MinHasher(16)
+        tokens = frozenset({"a", "b", "c"})
+        assert hasher.signature(tokens) == hasher.signature(frozenset(tokens))
+
+    def test_deterministic_across_instances(self):
+        tokens = frozenset({"x", "y"})
+        assert MinHasher(8, seed=3).signature(tokens) == MinHasher(8, seed=3).signature(tokens)
+
+    def test_different_seeds_differ(self):
+        tokens = frozenset({"x", "y"})
+        assert MinHasher(8, seed=1).signature(tokens) != MinHasher(8, seed=2).signature(tokens)
+
+    def test_empty_set_sentinel(self):
+        signature = MinHasher(4).signature(frozenset())
+        assert len(set(signature)) == 1
+
+    def test_similar_sets_share_components(self):
+        hasher = MinHasher(64)
+        base = frozenset(f"t{i}" for i in range(20))
+        near = frozenset(list(base)[:18] + ["x1", "x2"])
+        far = frozenset(f"u{i}" for i in range(20))
+        shared_near = sum(
+            a == b for a, b in zip(hasher.signature(base), hasher.signature(near))
+        )
+        shared_far = sum(
+            a == b for a, b in zip(hasher.signature(base), hasher.signature(far))
+        )
+        assert shared_near > shared_far
+
+
+class TestLSHBlocks:
+    def test_identical_entities_always_blocked(self):
+        kb1 = kb_of(["alpha beta gamma delta"], "a")
+        kb2 = kb_of(["alpha beta gamma delta"], "b")
+        blocks = lsh_blocks(kb1, kb2, bands=8, rows=2)
+        assert (0, 0) in blocks.distinct_pairs()
+
+    def test_dissimilar_entities_rarely_blocked(self):
+        kb1 = kb_of(["alpha beta gamma delta"], "a")
+        kb2 = kb_of(["epsilon zeta eta theta"], "b")
+        blocks = lsh_blocks(kb1, kb2, bands=4, rows=8)
+        assert (0, 0) not in blocks.distinct_pairs()
+
+    def test_threshold_formula(self):
+        assert lsh_threshold(1, 1) == pytest.approx(1.0)
+        assert lsh_threshold(16, 4) == pytest.approx((1 / 16) ** 0.25)
+
+    def test_more_bands_more_candidates(self):
+        kb1 = kb_of(["a b c d e f g h", "p q r s t u v w"], "x")
+        kb2 = kb_of(["a b c d m n o z", "p q r s m n o z"], "y")
+        few = lsh_blocks(kb1, kb2, bands=2, rows=8).distinct_pairs()
+        many = lsh_blocks(kb1, kb2, bands=32, rows=1).distinct_pairs()
+        assert len(many) >= len(few)
+
+    def test_invalid_parameters(self):
+        kb = kb_of(["x"], "a")
+        with pytest.raises(ValueError):
+            lsh_blocks(kb, kb, bands=0)
+
+    def test_reproducible(self):
+        kb1 = kb_of(["a b c", "d e f"], "x")
+        kb2 = kb_of(["a b d", "g h i"], "y")
+        first = lsh_blocks(kb1, kb2).distinct_pairs()
+        second = lsh_blocks(kb1, kb2).distinct_pairs()
+        assert first == second

@@ -1,0 +1,54 @@
+"""Unit tests for blocking quality metrics (Table 2 numbers)."""
+
+import pytest
+
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.metrics import BlockingReport, evaluate_blocks
+
+
+class TestBlockingReport:
+    def test_recall(self):
+        report = BlockingReport(2, 100, 80, 8, 10)
+        assert report.recall == pytest.approx(0.8)
+
+    def test_precision_counts_per_block_occurrence(self):
+        report = BlockingReport(2, 100, 80, 8, 10)
+        assert report.precision == pytest.approx(8 / 100)
+
+    def test_f1(self):
+        report = BlockingReport(1, 10, 10, 5, 5)
+        precision, recall = 0.5, 1.0
+        assert report.f1 == pytest.approx(2 * precision * recall / (precision + recall))
+
+    def test_zero_divisions(self):
+        empty = BlockingReport(0, 0, 0, 0, 0)
+        assert empty.recall == 0.0
+        assert empty.precision == 0.0
+        assert empty.f1 == 0.0
+
+
+class TestEvaluateBlocks:
+    def test_coverage_and_counts(self):
+        blocks = BlockCollection(
+            [Block("x", [0, 1], [0]), Block("y", [1], [1])]
+        )
+        report = evaluate_blocks([blocks], ground_truth={(0, 0), (1, 1), (2, 2)})
+        assert report.matches_covered == 2
+        assert report.total_matches == 3
+        assert report.total_comparisons == 3
+        assert report.distinct_pairs == 3
+        assert report.num_blocks == 2
+
+    def test_union_of_collections(self):
+        names = BlockCollection([Block("n", [0], [0])], kind="name")
+        tokens = BlockCollection([Block("t", [1], [1])], kind="token")
+        report = evaluate_blocks([names, tokens], ground_truth={(0, 0), (1, 1)})
+        assert report.recall == 1.0
+        assert report.num_blocks == 2
+
+    def test_duplicate_pair_counted_once_for_recall(self):
+        blocks = BlockCollection([Block("a", [0], [0]), Block("b", [0], [0])])
+        report = evaluate_blocks([blocks], ground_truth={(0, 0)})
+        assert report.matches_covered == 1
+        assert report.total_comparisons == 2  # per-occurrence, like ||B||
+        assert report.distinct_pairs == 1

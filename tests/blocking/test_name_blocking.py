@@ -1,0 +1,66 @@
+"""Unit tests for name blocking and name normalisation."""
+
+from repro.blocking.name_blocking import name_blocks, normalize_name
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.statistics import KBStatistics
+
+
+class TestNormalizeName:
+    def test_lowercases_and_trims(self):
+        assert normalize_name("  J. Lake ") == "j. lake"
+
+    def test_collapses_internal_whitespace(self):
+        assert normalize_name("John\t  Lake") == "john lake"
+
+    def test_empty(self):
+        assert normalize_name("   ") == ""
+
+
+def stats_for(values: list[str], prefix: str) -> KBStatistics:
+    kb = KnowledgeBase(
+        [EntityDescription(f"{prefix}{i}", [("name", v)]) for i, v in enumerate(values)],
+        name=prefix,
+    )
+    return KBStatistics(kb, top_k_name_attributes=1)
+
+
+class TestNameBlocks:
+    def test_shared_names_block_together(self):
+        blocks = name_blocks(stats_for(["J. Lake"], "a"), stats_for(["j. lake"], "b"))
+        assert len(blocks) == 1
+        assert blocks[0].is_singleton_pair
+
+    def test_unshared_names_make_no_blocks(self):
+        blocks = name_blocks(stats_for(["alpha"], "a"), stats_for(["beta"], "b"))
+        assert len(blocks) == 0
+
+    def test_non_exclusive_name_not_singleton(self):
+        blocks = name_blocks(
+            stats_for(["same name", "same name"], "a"), stats_for(["same name"], "b")
+        )
+        assert len(blocks) == 1
+        assert not blocks[0].is_singleton_pair
+
+    def test_empty_names_ignored(self):
+        blocks = name_blocks(stats_for(["  "], "a"), stats_for(["  "], "b"))
+        assert len(blocks) == 0
+
+    def test_entity_listed_once_per_block_despite_alias(self):
+        kb1 = KnowledgeBase(
+            [EntityDescription("a0", [("name", "X Y"), ("alias", "X Y")])], name="a"
+        )
+        kb2 = KnowledgeBase(
+            [EntityDescription("b0", [("name", "x y"), ("alias", "x y")])], name="b"
+        )
+        stats1 = KBStatistics(kb1, top_k_name_attributes=2)
+        stats2 = KBStatistics(kb2, top_k_name_attributes=2)
+        blocks = name_blocks(stats1, stats2)
+        assert len(blocks) == 1
+        assert blocks[0].is_singleton_pair  # deduplicated within the entity
+
+    def test_blocks_sorted_by_name(self):
+        blocks = name_blocks(
+            stats_for(["zz", "aa"], "a"), stats_for(["aa", "zz"], "b")
+        )
+        assert [b.key for b in blocks] == ["aa", "zz"]

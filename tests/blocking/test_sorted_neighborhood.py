@@ -1,0 +1,74 @@
+"""Unit tests for the Sorted Neighborhood blocking baseline."""
+
+import pytest
+
+from repro.blocking.sorted_neighborhood import default_key, sorted_neighborhood_blocks
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def kb_of(values: list[str], prefix: str) -> KnowledgeBase:
+    return KnowledgeBase(
+        [EntityDescription(f"{prefix}{i}", [("v", v)]) for i, v in enumerate(values)],
+        name=prefix,
+    )
+
+
+class TestDefaultKey:
+    def test_longest_value(self):
+        kb = KnowledgeBase(
+            [EntityDescription("a", [("v", "short"), ("w", "The Longest  Value")])]
+        )
+        assert default_key(kb, 0) == "the longest value"
+
+    def test_empty_entity(self):
+        kb = KnowledgeBase([EntityDescription("a", [("v", "   ")])])
+        assert default_key(kb, 0) == ""
+
+
+class TestSortedNeighborhood:
+    def test_adjacent_keys_blocked_together(self):
+        kb1 = kb_of(["aaa match"], "a")
+        kb2 = kb_of(["aaa matched", "zzz far away"], "b")
+        blocks = sorted_neighborhood_blocks(kb1, kb2, window=2)
+        pairs = set()
+        for block in blocks:
+            pairs.update(block.pairs())
+        assert (0, 0) in pairs
+
+    def test_distant_keys_not_blocked_with_small_window(self):
+        kb1 = kb_of(["aaa aab"], "a")
+        kb2 = kb_of(["mmm nnn", "zzy zzz"], "b")
+        blocks = sorted_neighborhood_blocks(kb1, kb2, window=2)
+        pairs = set()
+        for block in blocks:
+            pairs.update(block.pairs())
+        assert (0, 1) not in pairs
+
+    def test_wider_window_covers_more(self):
+        kb1 = kb_of(["aaa x", "ccc y"], "a")
+        kb2 = kb_of(["bbb z", "ddd w"], "b")
+        narrow = sorted_neighborhood_blocks(kb1, kb2, window=2).distinct_pairs()
+        wide = sorted_neighborhood_blocks(kb1, kb2, window=4).distinct_pairs()
+        assert narrow <= wide
+        assert len(wide) > len(narrow)
+
+    def test_single_kb_windows_dropped(self):
+        kb1 = kb_of(["aaa", "aab"], "a")
+        kb2 = kb_of(["zzz"], "b")
+        blocks = sorted_neighborhood_blocks(kb1, kb2, window=2)
+        for block in blocks:
+            assert block.side1 and block.side2
+
+    def test_invalid_window(self):
+        kb = kb_of(["x"], "a")
+        with pytest.raises(ValueError):
+            sorted_neighborhood_blocks(kb, kb, window=1)
+
+    def test_custom_key(self):
+        kb1 = kb_of(["completely different"], "a")
+        kb2 = kb_of(["nothing shared"], "b")
+        blocks = sorted_neighborhood_blocks(
+            kb1, kb2, window=2, key=lambda kb, eid: "constant"
+        )
+        assert blocks.distinct_pairs() == {(0, 0)}

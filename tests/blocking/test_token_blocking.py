@@ -1,0 +1,53 @@
+"""Unit tests for token blocking."""
+
+from repro.blocking.token_blocking import token_blocks
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def kb_of(values: list[str], prefix: str) -> KnowledgeBase:
+    return KnowledgeBase(
+        [EntityDescription(f"{prefix}{i}", [("v", v)]) for i, v in enumerate(values)],
+        name=prefix,
+    )
+
+
+class TestTokenBlocking:
+    def test_only_shared_tokens_make_blocks(self):
+        kb1 = kb_of(["alpha beta"], "a")
+        kb2 = kb_of(["beta gamma"], "b")
+        blocks = token_blocks(kb1, kb2)
+        assert [b.key for b in blocks] == ["beta"]
+
+    def test_block_sides_are_entity_frequencies(self):
+        kb1 = kb_of(["x y", "x"], "a")
+        kb2 = kb_of(["x", "x z", "x"], "b")
+        blocks = token_blocks(kb1, kb2)
+        block = next(b for b in blocks if b.key == "x")
+        assert len(block.side1) == kb1.entity_frequency("x") == 2
+        assert len(block.side2) == kb2.entity_frequency("x") == 3
+
+    def test_blocks_sorted_by_token(self):
+        kb1 = kb_of(["zeta alpha m"], "a")
+        kb2 = kb_of(["zeta alpha m"], "b")
+        assert [b.key for b in token_blocks(kb1, kb2)] == ["alpha", "m", "zeta"]
+
+    def test_matching_pair_cooccurs(self):
+        kb1 = kb_of(["fat duck bray"], "a")
+        kb2 = kb_of(["the fat duck"], "b")
+        blocks = token_blocks(kb1, kb2)
+        pairs = set()
+        for block in blocks:
+            pairs.update(block.pairs())
+        assert (0, 0) in pairs
+
+    def test_no_shared_tokens_no_blocks(self):
+        blocks = token_blocks(kb_of(["aaa"], "a"), kb_of(["bbb"], "b"))
+        assert len(blocks) == 0
+
+    def test_deterministic(self):
+        kb1 = kb_of(["p q r", "q r s"], "a")
+        kb2 = kb_of(["r s t", "p"], "b")
+        first = [(b.key, b.side1, b.side2) for b in token_blocks(kb1, kb2)]
+        second = [(b.key, b.side1, b.side2) for b in token_blocks(kb1, kb2)]
+        assert first == second

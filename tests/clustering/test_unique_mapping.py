@@ -1,0 +1,69 @@
+"""Unit tests for Unique Mapping Clustering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.unique_mapping import unique_mapping_clustering
+
+
+class TestUniqueMapping:
+    def test_greedy_highest_first(self):
+        matches = unique_mapping_clustering([(0, 0, 0.9), (0, 1, 0.8), (1, 1, 0.7)])
+        assert matches == {(0, 0), (1, 1)}
+
+    def test_conflicting_pair_skipped(self):
+        matches = unique_mapping_clustering([(0, 0, 0.9), (1, 0, 0.8)])
+        assert matches == {(0, 0)}
+
+    def test_threshold_excludes_pairs(self):
+        matches = unique_mapping_clustering([(0, 0, 0.5), (1, 1, 0.2)], threshold=0.3)
+        assert matches == {(0, 0)}
+
+    def test_threshold_is_strict(self):
+        assert unique_mapping_clustering([(0, 0, 0.3)], threshold=0.3) == set()
+
+    def test_empty_input(self):
+        assert unique_mapping_clustering([]) == set()
+
+    def test_tie_broken_deterministically(self):
+        matches = unique_mapping_clustering([(1, 1, 0.5), (0, 0, 0.5), (0, 1, 0.5)])
+        assert matches == {(0, 0), (1, 1)}
+
+    def test_generator_input_accepted(self):
+        matches = unique_mapping_clustering(iter([(0, 0, 1.0)]))
+        assert matches == {(0, 0)}
+
+
+scored_pairs = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 10), st.floats(0.01, 1.0, allow_nan=False)),
+    max_size=40,
+)
+
+
+class TestProperties:
+    @given(pairs=scored_pairs)
+    @settings(max_examples=80)
+    def test_output_is_one_to_one(self, pairs):
+        matches = unique_mapping_clustering(pairs)
+        lefts = [a for a, _ in matches]
+        rights = [b for _, b in matches]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    @given(pairs=scored_pairs)
+    @settings(max_examples=80)
+    def test_output_subset_of_input(self, pairs):
+        matches = unique_mapping_clustering(pairs)
+        candidates = {(a, b) for a, b, _ in pairs}
+        assert matches <= candidates
+
+    @given(pairs=scored_pairs)
+    @settings(max_examples=80)
+    def test_maximal_greedy(self, pairs):
+        """No unmatched candidate pair could still be added."""
+        matches = unique_mapping_clustering(pairs)
+        matched_1 = {a for a, _ in matches}
+        matched_2 = {b for _, b in matches}
+        for a, b, score in pairs:
+            if score > 0.0 and (a, b) not in matches:
+                assert a in matched_1 or b in matched_2

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.kb.rdf import save_ntriples
+
+
+@pytest.fixture
+def dataset_dir(tmp_path, mini_pair):
+    save_ntriples(mini_pair.kb1, tmp_path / "kb1.nt")
+    save_ntriples(mini_pair.kb2, tmp_path / "kb2.nt")
+    with (tmp_path / "gt.tsv").open("w", encoding="utf-8") as handle:
+        for uri1, uri2 in sorted(mini_pair.uri_ground_truth):
+            handle.write(f"{uri1}\t{uri2}\n")
+    return tmp_path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_resolve_defaults(self):
+        args = build_parser().parse_args(["resolve", "a.nt", "b.nt"])
+        assert args.theta == 0.6
+        assert args.candidates == 15
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestResolveCommand:
+    def test_resolve_writes_matches(self, dataset_dir, capsys):
+        out = dataset_dir / "matches.tsv"
+        code = main(
+            [
+                "resolve",
+                str(dataset_dir / "kb1.nt"),
+                str(dataset_dir / "kb2.nt"),
+                "-o",
+                str(out),
+                "--ground-truth",
+                str(dataset_dir / "gt.tsv"),
+            ]
+        )
+        assert code == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) > 10
+        assert all("\t" in line for line in lines)
+        stderr = capsys.readouterr().err
+        assert "quality" in stderr
+
+    def test_resolve_to_stdout(self, dataset_dir, capsys):
+        main(["resolve", str(dataset_dir / "kb1.nt"), str(dataset_dir / "kb2.nt")])
+        stdout = capsys.readouterr().out
+        assert "kb1:" in stdout
+
+    def test_config_flags_forwarded(self, dataset_dir, capsys):
+        code = main(
+            [
+                "resolve",
+                str(dataset_dir / "kb1.nt"),
+                str(dataset_dir / "kb2.nt"),
+                "--theta",
+                "0.5",
+                "--no-neighbors",
+            ]
+        )
+        assert code == 0
+
+
+class TestDedupeCommand:
+    def test_dedupe_runs(self, dataset_dir, capsys):
+        code = main(["dedupe", str(dataset_dir / "kb2.nt")])
+        assert code == 0
+        assert "clusters" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_experiment_table1_on_stub_profiles(self, mini_pair, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "load_profile", lambda name: mini_pair)
+        code = main(["experiment", "table1", "--profiles", "restaurant"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "mini" in out
+
+    def test_experiment_table4_on_stub_profiles(self, mini_pair, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "load_profile", lambda name: mini_pair)
+        code = main(["experiment", "table4", "--profiles", "restaurant"])
+        assert code == 0
+        assert "[R1]" in capsys.readouterr().out
+
+    def test_experiment_figure6_on_stub_profiles(self, mini_pair, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "load_profile", lambda name: mini_pair)
+        code = main(["experiment", "figure6", "--profiles", "restaurant"])
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_generate_writes_triple_of_files(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "restaurant",
+                "--scale",
+                "0.1",
+                "--out-dir",
+                str(tmp_path / "data"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "data" / "kb1.nt").exists()
+        assert (tmp_path / "data" / "kb2.nt").exists()
+        assert (tmp_path / "data" / "ground_truth.tsv").exists()
+
+    def test_generated_data_resolves(self, tmp_path, capsys):
+        main(["generate", "restaurant", "--scale", "0.1", "--out-dir", str(tmp_path)])
+        code = main(
+            [
+                "resolve",
+                str(tmp_path / "kb1.nt"),
+                str(tmp_path / "kb2.nt"),
+                "--ground-truth",
+                str(tmp_path / "ground_truth.tsv"),
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,106 @@
+"""Tests for dirty ER (single-KB deduplication)."""
+
+import pytest
+
+from repro.core.config import MinoanERConfig
+from repro.core.dirty import DirtyMinoanER, _connected_components, _ordered
+from repro.evaluation.metrics import evaluate_matches
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+@pytest.fixture
+def dirty_kb() -> KnowledgeBase:
+    """Three duplicate groups plus singletons, in one KB."""
+    return KnowledgeBase(
+        [
+            EntityDescription("dup1a", [("name", "fat duck bray berkshire")]),
+            EntityDescription("dup1b", [("label", "the fat duck bray berkshire")]),
+            EntityDescription("dup2a", [("name", "french laundry yountville")]),
+            EntityDescription("dup2b", [("label", "french laundry restaurant yountville")]),
+            EntityDescription("single1", [("name", "noma copenhagen")]),
+            EntityDescription("single2", [("name", "el bulli roses")]),
+        ],
+        name="dirty",
+    )
+
+
+class TestHelpers:
+    def test_ordered(self):
+        assert _ordered(3, 1) == (1, 3)
+        assert _ordered(1, 3) == (1, 3)
+
+    def test_connected_components(self):
+        clusters = _connected_components({(0, 1), (1, 2), (4, 5)}, 6)
+        assert clusters == [(0, 1, 2), (4, 5)]
+
+    def test_connected_components_ignores_singletons(self):
+        assert _connected_components(set(), 3) == []
+
+
+class TestDirtyResolution:
+    def test_finds_duplicate_pairs(self, dirty_kb):
+        result = DirtyMinoanER().resolve(dirty_kb)
+        uris = result.uri_matches()
+        assert ("dup1a", "dup1b") in uris
+        assert ("dup2a", "dup2b") in uris
+
+    def test_singletons_not_clustered(self, dirty_kb):
+        result = DirtyMinoanER().resolve(dirty_kb)
+        clustered = {eid for cluster in result.clusters for eid in cluster}
+        assert dirty_kb.id_of("single1") not in clustered
+        assert dirty_kb.id_of("single2") not in clustered
+
+    def test_clusters_transitively_closed(self):
+        kb = KnowledgeBase(
+            [
+                EntityDescription("a", [("n", "alpha beta gamma delta")]),
+                EntityDescription("b", [("n", "alpha beta gamma epsilon")]),
+                EntityDescription("c", [("n", "beta gamma delta epsilon")]),
+            ]
+        )
+        result = DirtyMinoanER().resolve(kb)
+        if len(result.matches) >= 2:
+            assert result.clusters == [(0, 1, 2)]
+
+    def test_rule_attribution_present(self, dirty_kb):
+        result = DirtyMinoanER().resolve(dirty_kb)
+        for pair in result.matches:
+            assert result.rule_of[pair] in {"R1", "R2", "R3"}
+
+    def test_pairs_are_ordered(self, dirty_kb):
+        result = DirtyMinoanER().resolve(dirty_kb)
+        for eid1, eid2 in result.matches:
+            assert eid1 < eid2
+
+    def test_empty_kb(self):
+        result = DirtyMinoanER().resolve(KnowledgeBase([]))
+        assert result.matches == set()
+        assert result.clusters == []
+
+    def test_cluster_uris(self, dirty_kb):
+        result = DirtyMinoanER().resolve(dirty_kb)
+        for cluster in result.cluster_uris():
+            assert all(isinstance(uri, str) for uri in cluster)
+
+
+class TestDirtyQuality:
+    def test_merged_clean_pair_recovers_matches(self, mini_pair):
+        """Concatenating a clean-clean task into one KB makes a dirty-ER
+        task whose gold duplicates are the original matches."""
+        merged = KnowledgeBase(
+            list(mini_pair.kb1.entities) + list(mini_pair.kb2.entities),
+            name="merged",
+        )
+        offset = len(mini_pair.kb1)
+        gold = {(a, b + offset) for a, b in mini_pair.ground_truth}
+        result = DirtyMinoanER().resolve(merged)
+        report = evaluate_matches(result.matches, gold)
+        assert report.f1 > 0.75
+
+    def test_ablation_toggles_apply(self, dirty_kb):
+        config = MinoanERConfig(
+            use_name_rule=False, use_value_rule=False, use_rank_aggregation=False
+        )
+        result = DirtyMinoanER(config).resolve(dirty_kb)
+        assert result.matches == set()

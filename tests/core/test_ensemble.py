@@ -1,0 +1,97 @@
+"""Tests for the ensemble matcher (future-work extension)."""
+
+import pytest
+
+from repro.core.config import MinoanERConfig
+from repro.core.ensemble import EnsembleConfig, EnsembleMatcher
+from repro.core.pipeline import MinoanER
+from repro.graph.blocking_graph import DisjunctiveBlockingGraph
+
+
+def graph(**kwargs) -> DisjunctiveBlockingGraph:
+    n1 = kwargs.pop("n1", 2)
+    n2 = kwargs.pop("n2", 2)
+    return DisjunctiveBlockingGraph(
+        n1=n1,
+        n2=n2,
+        name_matches_1=kwargs.pop("names_1", {}),
+        name_matches_2=kwargs.pop("names_2", {}),
+        value_candidates_1=kwargs.pop("value_1", [()] * n1),
+        value_candidates_2=kwargs.pop("value_2", [()] * n2),
+        neighbor_candidates_1=kwargs.pop("neighbor_1", [()] * n1),
+        neighbor_candidates_2=kwargs.pop("neighbor_2", [()] * n2),
+    )
+
+
+class TestConfig:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            EnsembleConfig(name_weight=-1.0)
+
+    def test_discount_bounds(self):
+        with pytest.raises(ValueError):
+            EnsembleConfig(reciprocity_discount=1.5)
+
+
+class TestVotes:
+    def test_name_vote_decisive(self):
+        g = graph(names_1={0: 0}, names_2={0: 0})
+        result = EnsembleMatcher().match(g)
+        assert (0, 0) in result.matches
+        assert result.confidences[(0, 0)] >= 2.0
+
+    def test_bidirectional_rank_votes(self):
+        g = graph(
+            value_1=[((0, 3.0),), ()],
+            value_2=[((0, 3.0),), ()],
+        )
+        scores = EnsembleMatcher().score_pairs(g)
+        # top-1 in both directions: 0.5 + 0.5 of the value weight
+        assert scores[(0, 0)] == pytest.approx(1.0)
+
+    def test_non_reciprocal_discounted(self):
+        one_way = graph(value_1=[((0, 3.0),), ()], value_2=[(), ()])
+        scores = EnsembleMatcher().score_pairs(one_way)
+        assert scores[(0, 0)] == pytest.approx(0.5 * 0.5)
+
+    def test_consistent_runner_up_beats_split_leaders(self):
+        """The motivating case: candidate 1 is second by value and second
+        by neighbors, but the value leader (2) and neighbor leader (3)
+        are different wrong candidates -- the ensemble prefers 1."""
+        g = graph(
+            n1=1,
+            n2=4,
+            value_1=[((2, 5.0), (1, 4.0))],
+            neighbor_1=[((3, 5.0), (1, 4.0))],
+            value_2=[(), ((0, 4.0),), ((0, 5.0),), ()],
+            neighbor_2=[(), ((0, 4.0),), (), ((0, 5.0),)],
+        )
+        scores = EnsembleMatcher().score_pairs(g)
+        assert scores[(0, 1)] > scores[(0, 2)]
+        assert scores[(0, 1)] > scores[(0, 3)]
+
+    def test_threshold_gates_matches(self):
+        g = graph(value_1=[((0, 0.1),), ()], value_2=[((0, 0.1),), ()])
+        strict = EnsembleMatcher(EnsembleConfig(threshold=2.0)).match(g)
+        assert strict.matches == set()
+
+
+class TestEnsembleOnData:
+    def test_competitive_with_standard_matcher(self, mini_pair):
+        pipeline = MinoanER()
+        standard = pipeline.resolve(mini_pair.kb1, mini_pair.kb2)
+        ensemble = EnsembleMatcher().match(standard.graph)
+        gt = mini_pair.ground_truth
+        from repro.evaluation.metrics import evaluate_matches
+
+        standard_f1 = standard.evaluate(gt).f1
+        ensemble_f1 = evaluate_matches(ensemble.matches, gt).f1
+        assert ensemble_f1 > standard_f1 - 0.1
+
+    def test_one_to_one_output(self, hard_pair):
+        result = MinoanER().resolve(hard_pair.kb1, hard_pair.kb2)
+        ensemble = EnsembleMatcher().match(result.graph)
+        lefts = [a for a, _ in ensemble.matches]
+        rights = [b for _, b in ensemble.matches]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))

@@ -1,0 +1,75 @@
+"""Tests for the match-explanation API."""
+
+import pytest
+
+from repro.core.explain import explain_pair
+from repro.core.pipeline import MinoanER
+
+
+@pytest.fixture
+def resolved(restaurant_kbs):
+    kb1, kb2 = restaurant_kbs
+    return MinoanER().resolve(kb1, kb2)
+
+
+class TestExplainPair:
+    def test_explains_name_match(self, resolved):
+        kb1, kb2 = resolved.kb1, resolved.kb2
+        explanation = explain_pair(
+            resolved, kb1.id_of("wd:JohnLakeA"), kb2.id_of("db:JonnyLake")
+        )
+        assert explanation.matched
+        assert explanation.rule == "R1"
+        assert "j. lake" in explanation.shared_names
+        assert explanation.exclusive_name
+
+    def test_explains_value_match(self, resolved):
+        kb1, kb2 = resolved.kb1, resolved.kb2
+        explanation = explain_pair(
+            resolved, kb1.id_of("wd:Restaurant1"), kb2.id_of("db:Restaurant2")
+        )
+        assert explanation.matched
+        tokens = dict(explanation.shared_tokens)
+        assert "fat" in tokens and "duck" in tokens
+        assert explanation.beta > 0
+
+    def test_neighbor_contributions_listed(self, resolved):
+        kb1, kb2 = resolved.kb1, resolved.kb2
+        explanation = explain_pair(
+            resolved, kb1.id_of("wd:Restaurant1"), kb2.id_of("db:Restaurant2")
+        )
+        uris = {(a, b) for a, b, _ in explanation.neighbor_contributions}
+        assert ("wd:JohnLakeA", "db:JonnyLake") in uris
+
+    def test_explains_non_match(self, resolved):
+        kb1, kb2 = resolved.kb1, resolved.kb2
+        explanation = explain_pair(
+            resolved, kb1.id_of("wd:UK"), kb2.id_of("db:JonnyLake")
+        )
+        assert not explanation.matched
+        assert explanation.rule is None
+        assert explanation.shared_tokens == ()
+
+    def test_render_is_readable(self, resolved):
+        kb1, kb2 = resolved.kb1, resolved.kb2
+        text = explain_pair(
+            resolved, kb1.id_of("wd:Restaurant1"), kb2.id_of("db:Restaurant2")
+        ).render()
+        assert "MATCH" in text
+        assert "value similarity" in text
+        assert "reciprocal" in text
+
+    def test_render_non_match(self, resolved):
+        kb1, kb2 = resolved.kb1, resolved.kb2
+        text = explain_pair(
+            resolved, kb1.id_of("wd:UK"), kb2.id_of("db:JonnyLake")
+        ).render()
+        assert "no match" in text
+        assert "no shared tokens" in text
+
+    def test_accepts_prebuilt_statistics(self, resolved):
+        pipeline = MinoanER()
+        stats1 = pipeline.build_statistics(resolved.kb1)
+        stats2 = pipeline.build_statistics(resolved.kb2)
+        explanation = explain_pair(resolved, 0, 0, stats1, stats2)
+        assert explanation.uri1 == resolved.kb1.uri_of(0)

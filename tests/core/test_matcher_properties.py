@@ -1,0 +1,103 @@
+"""Property-based tests of the matcher over random pruned graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MinoanERConfig
+from repro.core.matcher import NonIterativeMatcher
+from repro.graph.blocking_graph import DisjunctiveBlockingGraph
+
+
+@st.composite
+def random_graph(draw):
+    n1 = draw(st.integers(1, 6))
+    n2 = draw(st.integers(1, 6))
+
+    def candidate_lists(n, other_n, max_k=3):
+        lists = []
+        for _ in range(n):
+            size = draw(st.integers(0, min(max_k, other_n)))
+            others = draw(
+                st.lists(
+                    st.integers(0, other_n - 1), min_size=size, max_size=size, unique=True
+                )
+            )
+            weights = sorted(
+                (draw(st.floats(0.05, 5.0, allow_nan=False)) for _ in others),
+                reverse=True,
+            )
+            lists.append(tuple(zip(others, weights)))
+        return lists
+
+    names_1: dict[int, int] = {}
+    names_2: dict[int, int] = {}
+    if draw(st.booleans()) and n1 and n2:
+        eid1 = draw(st.integers(0, n1 - 1))
+        eid2 = draw(st.integers(0, n2 - 1))
+        names_1[eid1] = eid2
+        names_2[eid2] = eid1
+
+    return DisjunctiveBlockingGraph(
+        n1=n1,
+        n2=n2,
+        name_matches_1=names_1,
+        name_matches_2=names_2,
+        value_candidates_1=candidate_lists(n1, n2),
+        value_candidates_2=candidate_lists(n2, n1),
+        neighbor_candidates_1=candidate_lists(n1, n2),
+        neighbor_candidates_2=candidate_lists(n2, n1),
+    )
+
+
+class TestMatcherProperties:
+    @given(graph=random_graph())
+    @settings(max_examples=120)
+    def test_matches_are_graph_pairs(self, graph):
+        result = NonIterativeMatcher(MinoanERConfig()).match(graph)
+        pairs = graph.undirected_pairs()
+        assert result.matches <= pairs
+
+    @given(graph=random_graph())
+    @settings(max_examples=120)
+    def test_unique_mapping_holds(self, graph):
+        result = NonIterativeMatcher(MinoanERConfig()).match(graph)
+        lefts = [a for a, _ in result.matches]
+        rights = [b for _, b in result.matches]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    @given(graph=random_graph())
+    @settings(max_examples=120)
+    def test_reciprocity_filter_only_removes(self, graph):
+        with_r4 = NonIterativeMatcher(MinoanERConfig()).match(graph)
+        proposed = {pair for pair, _ in with_r4.proposed}
+        assert with_r4.matches <= proposed
+        assert with_r4.removed_by_reciprocity <= proposed
+        assert not with_r4.matches & with_r4.removed_by_reciprocity
+
+    @given(graph=random_graph())
+    @settings(max_examples=120)
+    def test_deterministic(self, graph):
+        first = NonIterativeMatcher(MinoanERConfig()).match(graph)
+        second = NonIterativeMatcher(MinoanERConfig()).match(graph)
+        assert first.matches == second.matches
+        assert first.rule_of == second.rule_of
+
+    @given(graph=random_graph())
+    @settings(max_examples=120)
+    def test_every_match_attributed_and_scored(self, graph):
+        result = NonIterativeMatcher(MinoanERConfig()).match(graph)
+        for pair in result.matches:
+            assert result.rule_of[pair] in {"R1", "R2", "R3"}
+            assert result.scores[pair] > 0.0
+
+    @given(graph=random_graph())
+    @settings(max_examples=120)
+    def test_name_matches_always_survive(self, graph):
+        """Alpha edges are reciprocal by construction and outrank all
+        conflicts, so R1 pairs always reach the final match set."""
+        result = NonIterativeMatcher(MinoanERConfig()).match(graph)
+        for eid1 in range(graph.n1):
+            eid2 = graph.name_match(1, eid1)
+            if eid2 is not None and graph.name_match(2, eid2) == eid1:
+                assert (eid1, eid2) in result.matches

@@ -1,0 +1,87 @@
+"""Tests for multi-KB resolution (k-partite generalisation)."""
+
+import pytest
+
+from repro.core.multi import MultiKBResolver
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def kb_variant(prefix: str, decorator: str) -> KnowledgeBase:
+    """One KB describing the same 3 world entities, in its own dialect."""
+    return KnowledgeBase(
+        [
+            EntityDescription(
+                f"{prefix}:duck",
+                [("name", f"fat duck bray {decorator}")],
+            ),
+            EntityDescription(
+                f"{prefix}:laundry",
+                [("name", f"french laundry yountville {decorator}")],
+            ),
+            EntityDescription(
+                f"{prefix}:noma",
+                [("name", f"noma copenhagen {decorator}")],
+            ),
+        ],
+        name=prefix,
+    )
+
+
+@pytest.fixture
+def three_kbs():
+    return [kb_variant("a", "alpha"), kb_variant("b", "beta"), kb_variant("c", "gamma")]
+
+
+class TestMultiResolution:
+    def test_requires_two_kbs(self):
+        with pytest.raises(ValueError):
+            MultiKBResolver().resolve([KnowledgeBase([], "only")])
+
+    def test_all_pairs_resolved(self, three_kbs):
+        result = MultiKBResolver().resolve(three_kbs)
+        assert set(result.pairwise) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_clusters_span_all_kbs(self, three_kbs):
+        result = MultiKBResolver().resolve(three_kbs)
+        full_clusters = [c for c in result.clusters if len(c) == 3]
+        assert len(full_clusters) == 3
+        uris = result.cluster_uris()
+        assert ("a:duck", "b:duck", "c:duck") in uris
+
+    def test_clusters_have_one_entity_per_kb(self, three_kbs):
+        result = MultiKBResolver().resolve(three_kbs)
+        for cluster in result.clusters:
+            kb_indexes = [kb_index for kb_index, _ in cluster]
+            assert len(kb_indexes) == len(set(kb_indexes))
+
+    def test_matches_between_symmetric(self, three_kbs):
+        result = MultiKBResolver().resolve(three_kbs)
+        forward = result.matches_between(0, 1)
+        backward = result.matches_between(1, 0)
+        assert forward == {(a, b) for b, a in backward}
+
+    def test_conflicting_evidence_reported_not_merged(self):
+        """If transitive matches would put two same-KB entities in one
+        cluster, the cluster lands in ``conflicts``."""
+        kb_a = KnowledgeBase(
+            [
+                EntityDescription("a:x1", [("n", "widget mark one")]),
+                EntityDescription("a:x2", [("n", "widget mark two")]),
+            ],
+            name="a",
+        )
+        kb_b = KnowledgeBase(
+            [EntityDescription("b:x", [("n", "widget mark one")])], name="b"
+        )
+        kb_c = KnowledgeBase(
+            [EntityDescription("c:x", [("n", "widget mark two")])], name="c"
+        )
+        result = MultiKBResolver().resolve([kb_a, kb_b, kb_c])
+        # b:x matches a:x1, c:x matches a:x2; if b:x also matches c:x the
+        # closure would join a:x1 and a:x2 -> must be surfaced as conflict.
+        for cluster in result.clusters:
+            kb_indexes = [kb_index for kb_index, _ in cluster]
+            assert len(kb_indexes) == len(set(kb_indexes))
+        total = len(result.clusters) + len(result.conflicts)
+        assert total >= 1

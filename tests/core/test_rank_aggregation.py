@@ -1,0 +1,88 @@
+"""Unit tests for the threshold-free rank aggregation of rule R3."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rank_aggregation import (
+    aggregate_rankings,
+    normalized_rank_scores,
+    top_aggregate_candidate,
+)
+
+
+class TestNormalizedRanks:
+    def test_first_gets_one_last_gets_one_over_n(self):
+        scores = normalized_rank_scores(((7, 9.0), (3, 5.0), (1, 2.0)))
+        assert scores == {7: 1.0, 3: pytest.approx(2 / 3), 1: pytest.approx(1 / 3)}
+
+    def test_single_candidate(self):
+        assert normalized_rank_scores(((4, 0.5),)) == {4: 1.0}
+
+    def test_empty(self):
+        assert normalized_rank_scores(()) == {}
+
+
+class TestAggregateRankings:
+    def test_weighted_combination(self):
+        value = ((1, 5.0), (2, 1.0))
+        neighbor = ((2, 9.0),)
+        aggregate = aggregate_rankings(value, neighbor, theta=0.6)
+        assert aggregate[1] == pytest.approx(0.6 * 1.0)
+        assert aggregate[2] == pytest.approx(0.6 * 0.5 + 0.4 * 1.0)
+
+    def test_theta_one_sided(self):
+        value = ((1, 5.0),)
+        neighbor = ((2, 9.0),)
+        high_theta = aggregate_rankings(value, neighbor, theta=0.9)
+        assert high_theta[1] > high_theta[2]
+        low_theta = aggregate_rankings(value, neighbor, theta=0.1)
+        assert low_theta[2] > low_theta[1]
+
+    def test_empty_lists(self):
+        assert aggregate_rankings((), (), 0.5) == {}
+
+
+class TestTopAggregate:
+    def test_neighbor_evidence_flips_decision(self):
+        """A nearly similar match wins through its neighbor ranking."""
+        value = ((99, 0.8), (1, 0.7))  # wrong candidate slightly ahead on values
+        neighbor = ((1, 5.0), (2, 1.0))  # true candidate dominates neighbors
+        best = top_aggregate_candidate(value, neighbor, theta=0.6)
+        assert best is not None
+        assert best[0] == 1
+
+    def test_none_when_no_candidates(self):
+        assert top_aggregate_candidate((), (), 0.6) is None
+
+    def test_tie_breaks_on_id(self):
+        value = ((5, 1.0),)
+        neighbor = ((3, 1.0),)
+        best = top_aggregate_candidate(value, neighbor, theta=0.5)
+        assert best == (3, 0.5)
+
+
+candidate_list = st.lists(
+    st.tuples(st.integers(0, 20), st.floats(0.1, 10.0, allow_nan=False)),
+    max_size=8,
+    unique_by=lambda item: item[0],
+).map(lambda items: tuple(sorted(items, key=lambda i: (-i[1], i[0]))))
+
+
+class TestProperties:
+    @given(value=candidate_list, neighbor=candidate_list, theta=st.floats(0.1, 0.9))
+    @settings(max_examples=80)
+    def test_aggregate_bounded_by_one(self, value, neighbor, theta):
+        for score in aggregate_rankings(value, neighbor, theta).values():
+            assert 0.0 < score <= 1.0 + 1e-12
+
+    @given(value=candidate_list, neighbor=candidate_list, theta=st.floats(0.1, 0.9))
+    @settings(max_examples=80)
+    def test_top_candidate_has_max_score(self, value, neighbor, theta):
+        aggregate = aggregate_rankings(value, neighbor, theta)
+        best = top_aggregate_candidate(value, neighbor, theta)
+        if aggregate:
+            assert best is not None
+            assert best[1] == pytest.approx(max(aggregate.values()))
+        else:
+            assert best is None

@@ -1,0 +1,180 @@
+"""Unit tests for the synthetic KB-pair generator."""
+
+import pytest
+
+from repro.blocking.name_blocking import normalize_name
+from repro.datasets.generator import KBPair, ProfileSpec, generate_kb_pair
+from repro.kb.statistics import KBStatistics
+
+
+def small_spec(**overrides) -> ProfileSpec:
+    base = dict(
+        name="t",
+        seed=5,
+        n_matches=40,
+        extras1=10,
+        extras2=20,
+        core_tokens=6,
+        medium_vocab=300,
+    )
+    base.update(overrides)
+    return ProfileSpec(**base)
+
+
+class TestBasicShape:
+    def test_sizes(self):
+        pair = generate_kb_pair(small_spec())
+        assert len(pair.kb1) == 50
+        assert len(pair.kb2) == 60
+        assert len(pair.ground_truth) == 40
+
+    def test_reproducible(self):
+        first = generate_kb_pair(small_spec())
+        second = generate_kb_pair(small_spec())
+        assert [e.pairs for e in first.kb1] == [e.pairs for e in second.kb1]
+        assert first.ground_truth == second.ground_truth
+
+    def test_different_seed_different_data(self):
+        first = generate_kb_pair(small_spec(seed=1))
+        second = generate_kb_pair(small_spec(seed=2))
+        assert [e.pairs for e in first.kb1] != [e.pairs for e in second.kb1]
+
+    def test_ground_truth_ids_valid(self):
+        pair = generate_kb_pair(small_spec())
+        for eid1, eid2 in pair.ground_truth:
+            assert 0 <= eid1 < len(pair.kb1)
+            assert 0 <= eid2 < len(pair.kb2)
+
+    def test_uri_ground_truth(self):
+        pair = generate_kb_pair(small_spec(n_matches=3, extras1=0, extras2=0))
+        for uri1, uri2 in pair.uri_ground_truth:
+            assert uri1.startswith("kb1:")
+            assert uri2.startswith("kb2:")
+
+    def test_relation_alignment_oracle(self):
+        pair = generate_kb_pair(small_spec(relation_types=2))
+        assert pair.relation_alignment == {
+            "voc10:rel1_0": "voc20:rel2_0",
+            "voc10:rel1_1": "voc20:rel2_1",
+        }
+
+    def test_repr(self):
+        pair = generate_kb_pair(small_spec())
+        assert "matches=40" in repr(pair)
+
+
+class TestNameModel:
+    @staticmethod
+    def shared_name_fraction(pair: KBPair) -> float:
+        shared = 0
+        for eid1, eid2 in pair.ground_truth:
+            names1 = {normalize_name(v) for v in pair.kb1[eid1].values_of("voc1:label")}
+            names2 = {normalize_name(v) for v in pair.kb2[eid2].values_of("voc2:name")}
+            if names1 & names2:
+                shared += 1
+        return shared / len(pair.ground_truth)
+
+    def test_name_overlap_controls_exact_sharing(self):
+        high = generate_kb_pair(small_spec(n_matches=200, name_overlap=0.9))
+        low = generate_kb_pair(small_spec(n_matches=200, name_overlap=0.3))
+        assert self.shared_name_fraction(high) == pytest.approx(0.9, abs=0.08)
+        assert self.shared_name_fraction(low) == pytest.approx(0.3, abs=0.08)
+
+    def test_decoy_name_attribute_tops_importance(self):
+        pair = generate_kb_pair(small_spec(decoy_name_attribute=True, name_overlap=0.7))
+        stats = KBStatistics(pair.kb2, top_k_name_attributes=1)
+        assert stats.name_attributes == ("voc20:id",)
+
+    def test_alias_attribute_present(self):
+        pair = generate_kb_pair(small_spec(alias_coverage1=1.0))
+        entity = pair.kb1[0]
+        assert entity.values_of("voc10:alias") == entity.values_of("voc1:label")
+
+    def test_name_collisions_break_exclusivity(self):
+        pair = generate_kb_pair(
+            small_spec(n_matches=100, extras2=200, name_collision_rate=0.9)
+        )
+        names2 = [pair.kb2[eid].values_of("voc2:name")[0] for eid in range(len(pair.kb2))]
+        assert len(set(names2)) < len(names2)
+
+
+class TestContentModel:
+    def test_exact_shared_values_produce_equal_literals(self):
+        pair = generate_kb_pair(
+            small_spec(shared_fraction1=1.0, shared_fraction2=1.0, noise_tokens1=0, noise_tokens2=0)
+        )
+        eid1, eid2 = next(iter(pair.ground_truth))
+        values1 = set(pair.kb1.literal_values(eid1))
+        values2 = set(pair.kb2.literal_values(eid2))
+        # all core chunks rendered on both sides: several exact overlaps
+        assert len(values1 & values2) >= 2
+
+    def test_token_soup_breaks_exact_equality_keeps_tokens(self):
+        pair = generate_kb_pair(
+            small_spec(
+                exact_shared_values2=False,
+                shared_fraction1=1.0,
+                shared_fraction2=1.0,
+            )
+        )
+        eid1, eid2 = next(iter(pair.ground_truth))
+        tokens1 = pair.kb1.tokens(eid1)
+        tokens2 = pair.kb2.tokens(eid2)
+        assert len(tokens1 & tokens2) >= 3
+
+    def test_titlecase_values(self):
+        pair = generate_kb_pair(small_spec(titlecase_values2=True))
+        values = [v for eid in range(5) for v in pair.kb2.literal_values(eid)]
+        assert all(v == v.title() for v in values)
+
+    def test_rare_tokens_count(self):
+        pair = generate_kb_pair(small_spec(rare_tokens=0))
+        rare = [t for t in pair.kb1.tokens(0) if t.startswith("rare")]
+        assert rare == []
+
+
+class TestDistractorsAndFranchises:
+    def test_distractors_steal_tokens(self):
+        spec = small_spec(
+            n_matches=50,
+            extras2=100,
+            distractor_rate=1.0,
+            distractor_share=1.0,
+            shared_fraction1=1.0,
+            shared_fraction2=1.0,
+        )
+        pair = generate_kb_pair(spec)
+        # every extra2 is a distractor: it must share medium tokens with
+        # some match entity in KB1
+        match_tokens = set()
+        for eid1, _ in pair.ground_truth:
+            match_tokens |= {t for t in pair.kb1.tokens(eid1) if t.startswith("med")}
+        extras = [eid for eid in range(len(pair.kb2)) if not any(eid == b for _, b in pair.ground_truth)]
+        stealing = sum(
+            1
+            for eid in extras
+            if {t for t in pair.kb2.tokens(eid) if t.startswith("med")} & match_tokens
+        )
+        assert stealing > len(extras) * 0.6
+
+    def test_franchises_share_tokens_across_matches(self):
+        spec = small_spec(
+            n_matches=60,
+            franchise_rate=1.0,
+            franchise_size=3,
+            franchise_tokens=3,
+            shared_fraction1=1.0,
+        )
+        pair = generate_kb_pair(spec)
+        franchise_tokens = [
+            t for eid in range(len(pair.kb1)) for t in pair.kb1.tokens(eid) if t.startswith("fran")
+        ]
+        assert franchise_tokens
+        from collections import Counter
+
+        counts = Counter(franchise_tokens)
+        assert max(counts.values()) >= 2  # shared by group members
+
+    def test_junk_coverage_zero_removes_junk_relations(self):
+        pair = generate_kb_pair(small_spec(junk_coverage=0.0))
+        assert not any("junk" in r for r in pair.kb1.relation_names())

@@ -1,0 +1,95 @@
+"""Property-based tests of the synthetic generator's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.generator import ProfileSpec, generate_kb_pair
+
+
+@st.composite
+def small_specs(draw):
+    return ProfileSpec(
+        name="prop",
+        seed=draw(st.integers(0, 10_000)),
+        n_matches=draw(st.integers(1, 25)),
+        extras1=draw(st.integers(0, 10)),
+        extras2=draw(st.integers(0, 15)),
+        core_tokens=draw(st.integers(1, 8)),
+        rare_tokens=draw(st.integers(0, 2)),
+        shared_fraction1=draw(st.floats(0.2, 1.0)),
+        shared_fraction2=draw(st.floats(0.2, 1.0)),
+        noise_tokens1=draw(st.integers(0, 4)),
+        noise_tokens2=draw(st.integers(0, 4)),
+        medium_vocab=draw(st.integers(20, 200)),
+        name_overlap=draw(st.floats(0.0, 1.0)),
+        name_collision_rate=draw(st.floats(0.0, 0.3)),
+        distractor_rate=draw(st.floats(0.0, 1.0)),
+        distractor_steal_rare=draw(st.floats(0.0, 1.0)),
+        distractor_steal_name=draw(st.floats(0.0, 1.0)),
+        franchise_rate=draw(st.floats(0.0, 1.0)),
+        franchise_size=draw(st.integers(2, 4)),
+        relation_types=draw(st.integers(0, 3)),
+        out_degree=draw(st.floats(0.0, 3.0)),
+        junk_relations=draw(st.integers(0, 2)),
+        junk_coverage=draw(st.floats(0.0, 1.0)),
+        exact_shared_values2=draw(st.booleans()),
+        titlecase_values2=draw(st.booleans()),
+        decoy_name_attribute=draw(st.booleans()),
+    )
+
+
+class TestGeneratorInvariants:
+    @given(spec=small_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_population_accounting(self, spec):
+        pair = generate_kb_pair(spec)
+        assert len(pair.kb1) == spec.n_matches + spec.extras1
+        assert len(pair.kb2) == spec.n_matches + spec.extras2
+        assert len(pair.ground_truth) == spec.n_matches
+
+    @given(spec=small_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_ground_truth_is_a_bijection_sample(self, spec):
+        pair = generate_kb_pair(spec)
+        lefts = [a for a, _ in pair.ground_truth]
+        rights = [b for _, b in pair.ground_truth]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+        for eid1, eid2 in pair.ground_truth:
+            assert 0 <= eid1 < len(pair.kb1)
+            assert 0 <= eid2 < len(pair.kb2)
+
+    @given(spec=small_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_determinism(self, spec):
+        first = generate_kb_pair(spec)
+        second = generate_kb_pair(spec)
+        assert [e.pairs for e in first.kb1] == [e.pairs for e in second.kb1]
+        assert [e.pairs for e in first.kb2] == [e.pairs for e in second.kb2]
+
+    @given(spec=small_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_every_entity_has_a_name(self, spec):
+        pair = generate_kb_pair(spec)
+        for kb, attribute in ((pair.kb1, spec.name_attribute1), (pair.kb2, spec.name_attribute2)):
+            for entity in kb.entities:
+                assert entity.values_of(attribute)
+
+    @given(spec=small_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_relations_stay_within_kb(self, spec):
+        pair = generate_kb_pair(spec)
+        for kb in (pair.kb1, pair.kb2):
+            for eid in range(len(kb)):
+                for _, target in kb.relations(eid):
+                    assert 0 <= target < len(kb)
+                    assert target != eid
+
+    @given(spec=small_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_alignment_mentions_only_real_relations(self, spec):
+        pair = generate_kb_pair(spec)
+        names1 = pair.kb1.relation_names() | {f"voc10:rel1_{r}" for r in range(spec.relation_types)}
+        for left, right in pair.relation_alignment.items():
+            assert left.startswith("voc10:rel1_")
+            assert right.startswith("voc20:rel2_")

@@ -1,0 +1,80 @@
+"""Unit tests for the four calibrated benchmark profiles."""
+
+import pytest
+
+from repro.datasets.profiles import PROFILES, load_profile, profile_names, scaled_profile
+
+
+class TestRegistry:
+    def test_four_profiles_in_paper_order(self):
+        assert profile_names() == [
+            "restaurant",
+            "rexa_dblp",
+            "bbc_dbpedia",
+            "yago_imdb",
+        ]
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            load_profile("wikipedia")
+
+    def test_specs_named_after_keys(self):
+        for name, spec in PROFILES.items():
+            assert spec.name == name
+
+
+class TestLoading:
+    def test_overrides_apply(self):
+        pair = load_profile("restaurant", n_matches=10, extras1=2, extras2=3)
+        assert len(pair.ground_truth) == 10
+        assert len(pair.kb1) == 12
+
+    def test_seed_override_changes_data(self):
+        first = load_profile("restaurant", seed=1, n_matches=20, extras1=0, extras2=0)
+        second = load_profile("restaurant", seed=2, n_matches=20, extras1=0, extras2=0)
+        assert [e.pairs for e in first.kb1] != [e.pairs for e in second.kb1]
+
+    def test_scaled_profile_shrinks_population(self):
+        pair = scaled_profile("restaurant", 0.2)
+        full = PROFILES["restaurant"]
+        assert len(pair.ground_truth) == int(full.n_matches * 0.2)
+
+    def test_scaled_profile_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scaled_profile("restaurant", 0.0)
+
+
+class TestProfileRegimes:
+    """The calibrated characteristics the experiments rely on."""
+
+    def test_restaurant_is_small_and_imbalanced(self):
+        spec = PROFILES["restaurant"]
+        assert spec.n_matches + spec.extras1 < 500
+        assert spec.extras2 > 5 * spec.extras1
+
+    def test_rexa_dblp_heavily_imbalanced(self):
+        spec = PROFILES["rexa_dblp"]
+        size1 = spec.n_matches + spec.extras1
+        size2 = spec.n_matches + spec.extras2
+        assert size2 > 8 * size1
+
+    def test_bbc_dbpedia_high_variety(self):
+        spec = PROFILES["bbc_dbpedia"]
+        assert spec.content_attributes2 > 10 * spec.content_attributes1
+        assert spec.noise_tokens2 > 2 * spec.noise_tokens1
+        assert spec.decoy_name_attribute
+        assert not spec.exact_shared_values2
+        assert spec.titlecase_values2
+
+    def test_yago_imdb_low_value_similarity_regime(self):
+        spec = PROFILES["yago_imdb"]
+        assert spec.shared_fraction1 < 0.7
+        assert spec.distractor_rate >= 0.9
+        assert spec.franchise_rate > 0.5
+
+    def test_profiles_generate(self):
+        # smoke: a downscaled instance of each profile generates cleanly
+        for name in profile_names():
+            pair = scaled_profile(name, 0.05, seed=11)
+            assert len(pair.ground_truth) > 0
+            assert len(pair.kb1) >= len({a for a, _ in pair.ground_truth})

@@ -1,0 +1,108 @@
+"""Tests for the experiment drivers (one per paper table/figure)."""
+
+import pytest
+
+from repro.baselines.bsl import BSLBaseline
+from repro.core.config import MinoanERConfig
+from repro.evaluation import experiments
+
+
+class TestDatasetStatistics:
+    def test_table1_row(self, mini_pair):
+        stats = experiments.dataset_statistics(mini_pair)
+        assert stats.entities1 == len(mini_pair.kb1)
+        assert stats.entities2 == len(mini_pair.kb2)
+        assert stats.matches == len(mini_pair.ground_truth)
+        assert stats.triples1 > stats.entities1
+        assert stats.avg_tokens1 > 0
+        assert stats.relations1 >= 1
+        assert stats.vocabularies1 >= 1
+
+
+class TestSimilarityDistribution:
+    def test_figure2_points(self, mini_pair):
+        dist = experiments.similarity_distribution(mini_pair, sample=25)
+        assert len(dist.points) == 25
+        for value, neighbor in dist.points:
+            assert 0.0 <= value <= 1.0
+            assert 0.0 <= neighbor <= 1.0
+        assert dist.strongly_similar + dist.nearly_similar == 25
+
+    def test_nearly_similar_fraction(self, mini_pair):
+        dist = experiments.similarity_distribution(mini_pair, sample=10)
+        assert 0.0 <= dist.nearly_similar_fraction <= 1.0
+
+
+class TestBlockStatistics:
+    def test_table2_row(self, mini_pair):
+        stats = experiments.block_statistics(mini_pair)
+        assert stats.cartesian == len(mini_pair.kb1) * len(mini_pair.kb2)
+        assert stats.token_comparisons < stats.cartesian
+        assert stats.report.recall > 0.9
+
+
+class TestComparison:
+    def test_runs_selected_systems(self, mini_pair):
+        result = experiments.comparison(
+            mini_pair,
+            systems=("minoaner", "paris"),
+        )
+        assert set(result.reports) == {"MinoanER", "PARIS"}
+
+    def test_bsl_uses_custom_grid(self, mini_pair):
+        result = experiments.comparison(
+            mini_pair,
+            systems=("bsl",),
+            bsl=BSLBaseline(ngram_sizes=(1,), weightings=("tf",), measures=("cosine",)),
+        )
+        assert "BSL" in result.reports
+        assert "BSL" in result.details
+
+
+class TestRuleAblation:
+    def test_table4_variants(self, mini_pair):
+        result = experiments.rule_ablation(mini_pair)
+        assert set(result.reports) == set(experiments.RULE_VARIANTS)
+
+    def test_single_rule_recall_below_full(self, mini_pair):
+        result = experiments.rule_ablation(mini_pair)
+        assert result.reports["R1"].recall <= result.reports["full"].recall + 1e-9
+
+    def test_custom_variants(self, mini_pair):
+        result = experiments.rule_ablation(
+            mini_pair, variants={"only": {"use_reciprocity": False}}
+        )
+        assert list(result.reports) == ["only"]
+
+
+class TestSensitivity:
+    def test_figure5_curve(self, mini_pair):
+        result = experiments.sensitivity(mini_pair, "theta", values=(0.4, 0.6))
+        assert result.values == (0.4, 0.6)
+        assert len(result.f1_scores) == 2
+        assert all(0.0 <= f1 <= 1.0 for f1 in result.f1_scores)
+
+    def test_default_grid_used(self, mini_pair):
+        result = experiments.sensitivity(mini_pair, "relations_n", values=(2,))
+        assert result.parameter == "relations_n"
+
+    def test_unknown_parameter_rejected(self, mini_pair):
+        with pytest.raises(KeyError):
+            experiments.sensitivity(mini_pair, "bogus_parameter")
+
+
+class TestScalability:
+    def test_figure6_simulated(self, mini_pair):
+        result = experiments.scalability(mini_pair, workers=(1, 2, 4))
+        assert [p.workers for p in result.points] == [1, 2, 4]
+        assert result.points[0].speedup == pytest.approx(1.0)
+        # simulated times must not increase with more workers
+        times = [p.total_seconds for p in result.points]
+        assert times == sorted(times, reverse=True)
+        assert 0.0 < result.matching_share() < 1.0
+
+    def test_figure6_real_backend(self, mini_pair):
+        result = experiments.scalability(mini_pair, workers=(1, 2), backend="serial")
+        assert result.backend == "serial"
+        assert len(result.points) == 2
+        assert result.matches > 0

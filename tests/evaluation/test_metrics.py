@@ -1,0 +1,76 @@
+"""Unit tests for matching metrics and the partial-gold protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import MatchingReport, evaluate_matches
+
+
+class TestMatchingReport:
+    def test_precision_recall_f1(self):
+        report = MatchingReport(true_positives=8, false_positives=2, false_negatives=2)
+        assert report.precision == pytest.approx(0.8)
+        assert report.recall == pytest.approx(0.8)
+        assert report.f1 == pytest.approx(0.8)
+
+    def test_zero_divisions(self):
+        empty = MatchingReport(0, 0, 0)
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+        assert empty.f1 == 0.0
+
+    def test_percentages(self):
+        report = MatchingReport(1, 1, 0)
+        assert report.as_percentages() == (50.0, 100.0, pytest.approx(200 / 3))
+
+    def test_str(self):
+        assert "P=" in str(MatchingReport(1, 0, 0))
+
+
+class TestEvaluateMatches:
+    def test_exact_match(self):
+        gt = {(0, 0), (1, 1)}
+        assert evaluate_matches(gt, gt).f1 == 1.0
+
+    def test_partial_gold_ignores_unknown_pairs(self):
+        report = evaluate_matches({(0, 0), (5, 9)}, {(0, 0)})
+        assert report.false_positives == 0
+        assert report.precision == 1.0
+
+    def test_partial_gold_still_counts_wrong_pairs_on_gt_entities(self):
+        report = evaluate_matches({(0, 5)}, {(0, 0)})
+        assert report.false_positives == 1
+        assert report.recall == 0.0
+
+    def test_complete_gold_counts_everything(self):
+        report = evaluate_matches({(0, 0), (5, 9)}, {(0, 0)}, partial_gold=False)
+        assert report.false_positives == 1
+
+    def test_works_with_uri_pairs(self):
+        report = evaluate_matches({("a", "b")}, {("a", "b"), ("c", "d")})
+        assert report.recall == 0.5
+
+    def test_false_negatives_counted(self):
+        report = evaluate_matches(set(), {(0, 0), (1, 1)})
+        assert report.false_negatives == 2
+
+
+pairs = st.sets(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20)
+
+
+class TestProperties:
+    @given(matches=pairs, gt=pairs)
+    @settings(max_examples=80)
+    def test_partial_gold_never_lowers_precision(self, matches, gt):
+        partial = evaluate_matches(matches, gt, partial_gold=True)
+        complete = evaluate_matches(matches, gt, partial_gold=False)
+        assert partial.precision >= complete.precision - 1e-12
+        assert partial.recall == complete.recall
+
+    @given(matches=pairs, gt=pairs)
+    @settings(max_examples=80)
+    def test_counts_are_consistent(self, matches, gt):
+        report = evaluate_matches(matches, gt, partial_gold=False)
+        assert report.true_positives + report.false_negatives == len(gt)
+        assert report.true_positives + report.false_positives == len(matches)

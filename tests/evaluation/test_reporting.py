@@ -1,0 +1,59 @@
+"""Tests for the paper-style table formatters."""
+
+from repro.evaluation import experiments, reporting
+
+
+class TestFormatters:
+    def test_table1(self, mini_pair):
+        table = reporting.format_dataset_statistics(
+            [experiments.dataset_statistics(mini_pair)]
+        )
+        assert "Table 1" in table
+        assert "mini" in table
+        assert "Matches" in table
+
+    def test_figure2(self, mini_pair):
+        figure = reporting.format_similarity_distribution(
+            [experiments.similarity_distribution(mini_pair, sample=10)]
+        )
+        assert "Figure 2" in figure
+        assert "histogram" in figure
+        assert "#" in figure  # at least one bar
+
+    def test_table2(self, mini_pair):
+        table = reporting.format_block_statistics(
+            [experiments.block_statistics(mini_pair)]
+        )
+        assert "||BT||" in table
+        assert "Recall" in table
+
+    def test_table3(self, mini_pair):
+        result = experiments.comparison(mini_pair, systems=("minoaner",))
+        table = reporting.format_comparison([result])
+        assert "MinoanER Prec." in table
+        assert "MinoanER F1" in table
+
+    def test_table4(self, mini_pair):
+        result = experiments.rule_ablation(
+            mini_pair, variants={"R1": {"use_value_rule": False, "use_rank_aggregation": False}}
+        )
+        table = reporting.format_rule_ablation([result])
+        assert "[R1] F1" in table
+
+    def test_figure5(self, mini_pair):
+        result = experiments.sensitivity(mini_pair, "theta", values=(0.5, 0.6))
+        figure = reporting.format_sensitivity([result])
+        assert "theta" in figure
+        assert "mini" in figure
+
+    def test_figure6(self, mini_pair):
+        result = experiments.scalability(mini_pair, workers=(1, 2))
+        figure = reporting.format_scalability([result])
+        assert "speedup" in figure
+        assert "matching share" in figure
+
+    def test_missing_system_rendered_as_dash(self, mini_pair):
+        first = experiments.comparison(mini_pair, systems=("minoaner",))
+        second = experiments.comparison(mini_pair, systems=("paris",))
+        table = reporting.format_comparison([first, second])
+        assert "-" in table

@@ -1,0 +1,54 @@
+"""Edge cases of the reporting helpers."""
+
+from repro.evaluation.experiments import SimilarityDistribution
+from repro.evaluation.reporting import (
+    _histogram,
+    _scatter,
+    format_similarity_distribution,
+)
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert "(no data)" in _histogram([])
+
+    def test_value_of_one_lands_in_last_bin(self):
+        text = _histogram([1.0, 1.0])
+        assert "[0.9,1.0)     2" in text
+
+    def test_bar_lengths_proportional(self):
+        text = _histogram([0.05] * 8 + [0.95] * 2)
+        lines = text.splitlines()
+        first_bar = lines[0].count("#")
+        last_bar = lines[-1].count("#")
+        assert first_bar == 40
+        assert 0 < last_bar < first_bar
+
+
+class TestScatter:
+    def test_empty_points(self):
+        text = _scatter([])
+        assert "|" in text  # an empty frame still renders
+
+    def test_corners_land_in_corners(self):
+        text = _scatter([(0.0, 0.0), (1.0, 1.0)], size=5)
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("1.0")
+        # top row holds the (1,1) point in the last cell
+        assert lines[0].rstrip().endswith("#|") or "#" in lines[0]
+        assert "#" in lines[4] or "#" in lines[-2]
+
+    def test_density_shading_increases(self):
+        sparse = _scatter([(0.5, 0.5)], size=4)
+        dense = _scatter([(0.5, 0.5)] * 50 + [(0.1, 0.1)], size=4)
+        assert "#" in dense or "*" in dense
+        assert sparse.count(" ") > dense.count("#")
+
+
+class TestFormatWithEmptyDistribution:
+    def test_zero_matches(self):
+        column = SimilarityDistribution(
+            name="empty", points=[], strongly_similar=0, nearly_similar=0, high_neighbor=0
+        )
+        text = format_similarity_distribution([column])
+        assert "empty" in text

@@ -1,0 +1,67 @@
+"""Unit tests for top-K candidate pruning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.pruning import top_k_candidates
+
+
+class TestTopK:
+    def test_orders_by_score_descending(self):
+        assert top_k_candidates({1: 0.5, 2: 2.0, 3: 1.0}, 3) == ((2, 2.0), (3, 1.0), (1, 0.5))
+
+    def test_truncates_to_k(self):
+        result = top_k_candidates({i: float(i) for i in range(1, 11)}, 4)
+        assert [c for c, _ in result] == [10, 9, 8, 7]
+
+    def test_zero_scores_never_retained(self):
+        assert top_k_candidates({1: 0.0, 2: -1.0}, 5) == ()
+
+    def test_ties_break_on_ascending_id(self):
+        assert top_k_candidates({5: 1.0, 3: 1.0, 4: 1.0}, 2) == ((3, 1.0), (4, 1.0))
+
+    def test_k_zero(self):
+        assert top_k_candidates({1: 1.0}, 0) == ()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_candidates({}, -1)
+
+    def test_empty_scores(self):
+        assert top_k_candidates({}, 3) == ()
+
+
+scores_strategy = st.dictionaries(
+    st.integers(0, 50), st.floats(-2.0, 5.0, allow_nan=False), max_size=20
+)
+
+
+class TestTopKProperties:
+    @given(scores=scores_strategy, k=st.integers(0, 25))
+    @settings(max_examples=80)
+    def test_result_is_sorted_positive_subset(self, scores, k):
+        result = top_k_candidates(scores, k)
+        assert len(result) <= k
+        previous = float("inf")
+        for candidate, score in result:
+            assert score > 0.0
+            assert scores[candidate] == score
+            assert score <= previous
+            previous = score
+
+    @given(scores=scores_strategy, k=st.integers(1, 25))
+    @settings(max_examples=80)
+    def test_keeps_the_best(self, scores, k):
+        result = top_k_candidates(scores, k)
+        kept = {c for c, _ in result}
+        positive = {c: s for c, s in scores.items() if s > 0.0}
+        if positive:
+            best = max(positive, key=lambda c: (positive[c], -c))
+            assert best in kept
+
+    @given(scores=scores_strategy)
+    @settings(max_examples=40)
+    def test_large_k_keeps_all_positive(self, scores):
+        result = top_k_candidates(scores, len(scores) + 5)
+        assert len(result) == sum(1 for s in scores.values() if s > 0.0)

@@ -1,0 +1,110 @@
+"""Unit tests for the EntityDescription data model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kb.entity import EntityDescription
+
+
+class TestConstruction:
+    def test_basic_pairs(self):
+        entity = EntityDescription("e1", [("a", "1"), ("b", "2")])
+        assert entity.uri == "e1"
+        assert ("a", "1") in entity
+        assert ("b", "2") in entity
+
+    def test_duplicate_pairs_collapse(self):
+        entity = EntityDescription("e1", [("a", "1"), ("a", "1"), ("a", "1")])
+        assert len(entity) == 1
+
+    def test_multi_valued_attribute_kept(self):
+        entity = EntityDescription("e1", [("a", "1"), ("a", "2")])
+        assert len(entity) == 2
+        assert entity.values_of("a") == ("1", "2")
+
+    def test_order_normalised(self):
+        left = EntityDescription("e1", [("b", "2"), ("a", "1")])
+        right = EntityDescription("e1", [("a", "1"), ("b", "2")])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_empty_uri_rejected(self):
+        with pytest.raises(ValueError):
+            EntityDescription("", [("a", "1")])
+
+    def test_non_string_uri_rejected(self):
+        with pytest.raises(ValueError):
+            EntityDescription(42, [("a", "1")])  # type: ignore[arg-type]
+
+    def test_values_coerced_to_str(self):
+        entity = EntityDescription("e1", [("a", 7)])  # type: ignore[list-item]
+        assert entity.values_of("a") == ("7",)
+
+    def test_from_mapping_single_and_multi(self):
+        entity = EntityDescription.from_mapping("e1", {"a": ["1", "2"], "b": "3"})
+        assert entity.values_of("a") == ("1", "2")
+        assert entity.values_of("b") == ("3",)
+
+
+class TestAccessors:
+    def test_attributes(self):
+        entity = EntityDescription("e1", [("a", "1"), ("b", "2"), ("a", "3")])
+        assert entity.attributes() == {"a", "b"}
+
+    def test_values(self):
+        entity = EntityDescription("e1", [("a", "1"), ("b", "1")])
+        assert sorted(entity.values()) == ["1", "1"]
+
+    def test_values_of_missing_attribute(self):
+        entity = EntityDescription("e1", [("a", "1")])
+        assert entity.values_of("zzz") == ()
+
+    def test_iteration_yields_pairs(self):
+        pairs = [("a", "1"), ("b", "2")]
+        entity = EntityDescription("e1", pairs)
+        assert sorted(entity) == sorted(pairs)
+
+    def test_repr_mentions_uri(self):
+        assert "e1" in repr(EntityDescription("e1"))
+
+
+class TestEquality:
+    def test_different_uri_not_equal(self):
+        assert EntityDescription("e1", [("a", "1")]) != EntityDescription("e2", [("a", "1")])
+
+    def test_different_pairs_not_equal(self):
+        assert EntityDescription("e1", [("a", "1")]) != EntityDescription("e1", [("a", "2")])
+
+    def test_not_equal_to_other_types(self):
+        assert EntityDescription("e1") != "e1"
+
+    def test_usable_in_sets(self):
+        entities = {EntityDescription("e1"), EntityDescription("e1"), EntityDescription("e2")}
+        assert len(entities) == 2
+
+
+attribute_strategy = st.text(min_size=1, max_size=8)
+pairs_strategy = st.lists(
+    st.tuples(attribute_strategy, st.text(max_size=12)), max_size=10
+)
+
+
+class TestProperties:
+    @given(pairs=pairs_strategy)
+    def test_pairs_are_deduplicated_and_sorted(self, pairs):
+        entity = EntityDescription("e", pairs)
+        assert list(entity.pairs) == sorted(set(pairs))
+
+    @given(pairs=pairs_strategy)
+    def test_construction_is_idempotent(self, pairs):
+        once = EntityDescription("e", pairs)
+        twice = EntityDescription("e", once.pairs)
+        assert once == twice
+
+    @given(pairs=pairs_strategy)
+    def test_attributes_cover_every_pair(self, pairs):
+        entity = EntityDescription("e", pairs)
+        for attribute, value in entity:
+            assert attribute in entity.attributes()
+            assert value in entity.values_of(attribute)

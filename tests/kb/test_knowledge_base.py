@@ -1,0 +1,124 @@
+"""Unit tests for the KnowledgeBase container."""
+
+import pytest
+
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase, subset
+
+
+def build_sample() -> KnowledgeBase:
+    return KnowledgeBase(
+        [
+            EntityDescription("r1", [("label", "fat duck"), ("chef", "c1"), ("city", "b1")]),
+            EntityDescription("c1", [("label", "john lake")]),
+            EntityDescription("b1", [("label", "bray village"), ("country", "u1")]),
+            EntityDescription("u1", [("label", "united kingdom")]),
+        ],
+        name="sample",
+    )
+
+
+class TestStructure:
+    def test_relations_detected(self):
+        kb = build_sample()
+        assert kb.relations(0) == (("chef", 1), ("city", 2))
+
+    def test_neighbors(self):
+        kb = build_sample()
+        assert set(kb.neighbors(0)) == {1, 2}
+
+    def test_literal_values_exclude_relations(self):
+        kb = build_sample()
+        assert kb.literal_values(0) == ("fat duck",)
+
+    def test_self_reference_is_literal(self):
+        kb = KnowledgeBase([EntityDescription("e", [("p", "e")])])
+        assert kb.relations(0) == ()
+        assert kb.literal_values(0) == ("e",)
+
+    def test_uri_matching_other_kb_is_literal(self):
+        kb = KnowledgeBase([EntityDescription("e", [("p", "unknown:uri")])])
+        assert kb.relations(0) == ()
+
+    def test_duplicate_uri_rejected(self):
+        with pytest.raises(ValueError, match="duplicate URI"):
+            KnowledgeBase([EntityDescription("e"), EntityDescription("e")])
+
+    def test_id_uri_round_trip(self):
+        kb = build_sample()
+        for eid in range(len(kb)):
+            assert kb.id_of(kb.uri_of(eid)) == eid
+
+    def test_contains_uri(self):
+        kb = build_sample()
+        assert "r1" in kb
+        assert "missing" not in kb
+
+
+class TestTokens:
+    def test_tokens_from_literals_only(self):
+        kb = build_sample()
+        assert kb.tokens(0) == {"fat", "duck"}
+
+    def test_entity_frequency(self):
+        kb = build_sample()
+        # 'united' appears only in u1
+        assert kb.entity_frequency("united") == 1
+        assert kb.entity_frequency("nonexistent") == 0
+
+    def test_token_index_lists_entities_in_order(self):
+        kb = KnowledgeBase(
+            [
+                EntityDescription("a", [("x", "shared")]),
+                EntityDescription("b", [("y", "shared")]),
+            ]
+        )
+        assert kb.token_index["shared"] == [0, 1]
+
+    def test_token_counted_once_per_entity(self):
+        kb = KnowledgeBase([EntityDescription("a", [("x", "dup"), ("y", "dup word dup")])])
+        assert kb.entity_frequency("dup") == 1
+
+
+class TestAggregates:
+    def test_triple_count(self):
+        assert build_sample().triple_count() == 7
+
+    def test_attribute_names(self):
+        kb = build_sample()
+        assert kb.attribute_names() == {"label", "chef", "city", "country"}
+
+    def test_relation_names(self):
+        kb = build_sample()
+        assert kb.relation_names() == {"chef", "city", "country"}
+
+    def test_average_tokens(self):
+        kb = KnowledgeBase(
+            [
+                EntityDescription("a", [("x", "one two")]),
+                EntityDescription("b", [("x", "three")]),
+            ]
+        )
+        assert kb.average_tokens_per_entity() == pytest.approx(1.5)
+
+    def test_average_tokens_empty_kb(self):
+        assert KnowledgeBase([]).average_tokens_per_entity() == 0.0
+
+    def test_len_and_iter(self):
+        kb = build_sample()
+        assert len(kb) == 4
+        assert [e.uri for e in kb] == ["r1", "c1", "b1", "u1"]
+
+
+class TestSubset:
+    def test_subset_keeps_selected_entities(self):
+        kb = build_sample()
+        sub = subset(kb, [0, 1])
+        assert len(sub) == 2
+        assert sub.uri_of(0) == "r1"
+
+    def test_subset_relations_to_dropped_become_literals(self):
+        kb = build_sample()
+        sub = subset(kb, [0, 1])  # b1 dropped: ("city", "b1") becomes literal
+        assert sub.relations(0) == (("chef", 1),)
+        assert "b1" in sub.literal_values(0)

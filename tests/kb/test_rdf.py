@@ -1,0 +1,114 @@
+"""Unit tests for N-Triples / TSV loading and saving."""
+
+import io
+
+import pytest
+
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.rdf import (
+    RDFParseError,
+    iter_ntriples,
+    kb_from_triples,
+    load_ground_truth_tsv,
+    load_ntriples,
+    load_tsv,
+    parse_ntriples_line,
+    save_ntriples,
+)
+
+
+class TestParseLine:
+    def test_iri_object(self):
+        assert parse_ntriples_line("<a> <p> <b> .") == ("a", "p", "b")
+
+    def test_plain_literal(self):
+        assert parse_ntriples_line('<a> <p> "Bray" .') == ("a", "p", "Bray")
+
+    def test_language_tag_dropped(self):
+        assert parse_ntriples_line('<a> <p> "Bray"@en-GB .') == ("a", "p", "Bray")
+
+    def test_datatype_dropped(self):
+        line = '<a> <p> "42"^^<http://www.w3.org/2001/XMLSchema#int> .'
+        assert parse_ntriples_line(line) == ("a", "p", "42")
+
+    def test_escapes_unescaped(self):
+        assert parse_ntriples_line('<a> <p> "say \\"hi\\"\\n" .') == ("a", "p", 'say "hi"\n')
+
+    def test_blank_node_subject(self):
+        assert parse_ntriples_line("_:b1 <p> <x> .") == ("_:b1", "p", "x")
+
+    def test_comment_and_blank_lines_skipped(self):
+        assert parse_ntriples_line("# comment") is None
+        assert parse_ntriples_line("   ") is None
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(RDFParseError):
+            parse_ntriples_line("<a> <p> <b>")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(RDFParseError):
+            parse_ntriples_line("not a triple .")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(RDFParseError):
+            parse_ntriples_line('"lit" <p> <b> .')
+
+
+class TestKBConstruction:
+    def test_iter_ntriples(self):
+        lines = ["<a> <p> <b> .", "", "# c", '<b> <q> "x" .']
+        assert list(iter_ntriples(lines)) == [("a", "p", "b"), ("b", "q", "x")]
+
+    def test_kb_from_triples_groups_by_subject(self):
+        kb = kb_from_triples([("a", "p", "b"), ("a", "q", "v"), ("b", "q", "w")])
+        assert len(kb) == 2
+        assert kb.relations(kb.id_of("a")) == (("p", kb.id_of("b")),)
+
+    def test_round_trip(self, tmp_path):
+        original = KnowledgeBase(
+            [
+                EntityDescription("http://x/r1", [("http://x/label", 'The "Fat" Duck'), ("http://x/chef", "http://x/c1")]),
+                EntityDescription("http://x/c1", [("http://x/label", "John Lake")]),
+            ],
+            name="round",
+        )
+        path = tmp_path / "kb.nt"
+        save_ntriples(original, path)
+        loaded = load_ntriples(path, name="round")
+        assert len(loaded) == len(original)
+        eid = loaded.id_of("http://x/r1")
+        assert loaded.literal_values(eid) == ('The "Fat" Duck',)
+        assert loaded.relations(eid) == (("http://x/chef", loaded.id_of("http://x/c1")),)
+
+    def test_save_to_stream(self):
+        kb = KnowledgeBase([EntityDescription("a", [("p", "v")])])
+        stream = io.StringIO()
+        save_ntriples(kb, stream)
+        assert stream.getvalue() == '<a> <p> "v" .\n'
+
+
+class TestTSV:
+    def test_load_tsv(self, tmp_path):
+        path = tmp_path / "kb.tsv"
+        path.write_text("a\tp\tb\na\tq\thello world\n# comment\n")
+        kb = load_tsv(path)
+        assert len(kb) == 1
+        assert kb.literal_values(0) == ("b", "hello world")
+
+    def test_load_tsv_bad_columns(self, tmp_path):
+        path = tmp_path / "kb.tsv"
+        path.write_text("a\tp\n")
+        with pytest.raises(RDFParseError):
+            load_tsv(path)
+
+    def test_ground_truth_tsv(self, tmp_path):
+        path = tmp_path / "gt.tsv"
+        path.write_text("# pairs\nu1\tv1\nu2\tv2\n")
+        assert load_ground_truth_tsv(path) == {("u1", "v1"), ("u2", "v2")}
+
+    def test_ground_truth_bad_columns(self, tmp_path):
+        path = tmp_path / "gt.tsv"
+        path.write_text("a\tb\tc\n")
+        with pytest.raises(RDFParseError):
+            load_ground_truth_tsv(path)

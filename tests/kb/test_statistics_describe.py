@@ -1,0 +1,32 @@
+"""Tests for the statistics describe helper and repr surfaces."""
+
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.statistics import KBStatistics, describe
+
+
+class TestDescribe:
+    def test_orders_by_value_descending(self):
+        text = describe({"low": 0.1, "high": 0.9, "mid": 0.5})
+        lines = text.splitlines()
+        assert "high" in lines[0]
+        assert "low" in lines[-1]
+
+    def test_top_limits_entries(self):
+        stats = {f"k{i}": float(i) for i in range(20)}
+        assert len(describe(stats, top=5).splitlines()) == 5
+
+    def test_empty(self):
+        assert describe({}) == ""
+
+
+class TestReprs:
+    def test_statistics_repr_shows_names(self):
+        kb = KnowledgeBase(
+            [EntityDescription("a", [("name", "x")]), EntityDescription("b", [("name", "y")])],
+            name="mini",
+        )
+        stats = KBStatistics(kb, top_k_name_attributes=1)
+        text = repr(stats)
+        assert "mini" in text
+        assert "name" in text

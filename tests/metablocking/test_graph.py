@@ -1,0 +1,56 @@
+"""Unit tests for the Meta-blocking pair graph."""
+
+import math
+
+import pytest
+
+from repro.blocking.base import Block, BlockCollection
+from repro.metablocking.graph import build_pair_graph
+
+
+@pytest.fixture
+def sample_graph():
+    blocks = BlockCollection(
+        [
+            Block("t1", [0, 1], [0]),
+            Block("t2", [0], [0, 1]),
+            Block("t3", [1], [1]),
+        ]
+    )
+    return build_pair_graph(blocks, n1=2, n2=2)
+
+
+class TestBuildPairGraph:
+    def test_edges_cover_all_cooccurring_pairs(self, sample_graph):
+        assert set(sample_graph.edges()) == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_shared_block_counts(self, sample_graph):
+        assert sample_graph.pair_statistics[(0, 0)].shared_blocks == 2
+        assert sample_graph.pair_statistics[(1, 1)].shared_blocks == 1
+
+    def test_inverse_cardinality_sum(self, sample_graph):
+        # (0,0) in t1 (2 comparisons) and t2 (2 comparisons): 1/2 + 1/2
+        assert sample_graph.pair_statistics[(0, 0)].inverse_cardinality_sum == pytest.approx(1.0)
+
+    def test_log_damped_sum_matches_beta_formula(self, sample_graph):
+        expected = 2 * (1.0 / math.log2(3))
+        assert sample_graph.pair_statistics[(0, 0)].log_damped_sum == pytest.approx(expected)
+
+    def test_blocks_per_entity(self, sample_graph):
+        assert sample_graph.blocks_per_entity_1 == [2, 2]
+        assert sample_graph.blocks_per_entity_2 == [2, 2]
+
+    def test_total_blocks(self, sample_graph):
+        assert sample_graph.total_blocks == 3
+
+    def test_weighted_edges_deterministic(self, sample_graph):
+        from repro.metablocking.weights import cbs
+
+        first = sample_graph.weighted_edges(cbs)
+        second = sample_graph.weighted_edges(cbs)
+        assert first == second
+        assert [edge[:2] for edge in first] == sorted(edge[:2] for edge in first)
+
+    def test_empty_collection(self):
+        graph = build_pair_graph(BlockCollection(), n1=3, n2=3)
+        assert graph.edge_count() == 0

@@ -1,0 +1,110 @@
+"""Unit tests for Meta-blocking pruning algorithms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metablocking.pruning import (
+    cardinality_edge_pruning,
+    cardinality_node_pruning,
+    weight_edge_pruning,
+    weight_node_pruning,
+)
+
+EDGES = [
+    (0, 0, 5.0),
+    (0, 1, 1.0),
+    (1, 0, 2.0),
+    (1, 1, 4.0),
+    (2, 2, 0.5),
+]
+
+
+class TestWEP:
+    def test_keeps_above_mean(self):
+        survivors = weight_edge_pruning(EDGES)
+        # mean = 2.5
+        assert survivors == {(0, 0), (1, 1)}
+
+    def test_empty(self):
+        assert weight_edge_pruning([]) == set()
+
+    def test_uniform_weights_all_pruned(self):
+        assert weight_edge_pruning([(0, 0, 1.0), (1, 1, 1.0)]) == set()
+
+
+class TestCEP:
+    def test_top_k_globally(self):
+        assert cardinality_edge_pruning(EDGES, 2) == {(0, 0), (1, 1)}
+
+    def test_k_zero(self):
+        assert cardinality_edge_pruning(EDGES, 0) == set()
+
+    def test_k_larger_than_edges(self):
+        assert len(cardinality_edge_pruning(EDGES, 100)) == len(EDGES)
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            cardinality_edge_pruning(EDGES, -1)
+
+
+class TestWNP:
+    def test_local_means(self):
+        survivors = weight_node_pruning(EDGES)
+        # node a0 edges: 5, 1 -> mean 3: keeps (0,0)
+        assert (0, 0) in survivors
+        assert (0, 1) not in survivors or (1, 1) in survivors
+
+    def test_single_edge_per_node_survives_nothing(self):
+        # a node's only edge equals its mean -> strictly-above fails
+        assert weight_node_pruning([(0, 0, 1.0)]) == set()
+
+
+class TestCNP:
+    def test_top_k_per_node_union(self):
+        survivors = cardinality_node_pruning(EDGES, 1)
+        assert (0, 0) in survivors  # best of a0 and of b0
+        assert (1, 1) in survivors  # best of a1 and of b1
+        assert (2, 2) in survivors  # only edge of a2/b2
+        assert (0, 1) not in survivors or (1, 0) not in survivors
+
+    def test_require_both_is_stricter(self):
+        union = cardinality_node_pruning(EDGES, 1, require_both=False)
+        both = cardinality_node_pruning(EDGES, 1, require_both=True)
+        assert both <= union
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            cardinality_node_pruning(EDGES, -2)
+
+
+edges_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 6), st.integers(0, 6), st.floats(0.01, 9.0, allow_nan=False)
+    ),
+    max_size=30,
+    unique_by=lambda e: (e[0], e[1]),
+)
+
+
+class TestPruningProperties:
+    @given(edges=edges_strategy)
+    @settings(max_examples=60)
+    def test_all_outputs_are_subsets(self, edges):
+        pairs = {(a, b) for a, b, _ in edges}
+        assert weight_edge_pruning(edges) <= pairs
+        assert cardinality_edge_pruning(edges, 3) <= pairs
+        assert weight_node_pruning(edges) <= pairs
+        assert cardinality_node_pruning(edges, 2) <= pairs
+
+    @given(edges=edges_strategy, k=st.integers(0, 10))
+    @settings(max_examples=60)
+    def test_cep_size_bounded_by_k(self, edges, k):
+        assert len(cardinality_edge_pruning(edges, k)) <= k
+
+    @given(edges=edges_strategy, k=st.integers(1, 5))
+    @settings(max_examples=60)
+    def test_cnp_monotone_in_k(self, edges, k):
+        smaller = cardinality_node_pruning(edges, k)
+        larger = cardinality_node_pruning(edges, k + 1)
+        assert smaller <= larger

@@ -1,0 +1,66 @@
+"""Unit tests for Meta-blocking weighting schemes."""
+
+import math
+
+import pytest
+
+from repro.blocking.base import Block, BlockCollection
+from repro.metablocking.graph import build_pair_graph
+from repro.metablocking.weights import (
+    WEIGHT_SCHEMES,
+    arcs,
+    arcs_log,
+    cbs,
+    ecbs,
+    jaccard_scheme,
+)
+
+
+@pytest.fixture
+def graph():
+    blocks = BlockCollection(
+        [
+            Block("shared1", [0], [0]),
+            Block("shared2", [0], [0]),
+            Block("big", [0, 1, 2], [0, 1, 2]),
+        ]
+    )
+    return build_pair_graph(blocks, n1=3, n2=3)
+
+
+class TestSchemes:
+    def test_cbs_counts_blocks(self, graph):
+        assert cbs(graph, 0, 0) == 3.0
+        assert cbs(graph, 1, 1) == 1.0
+
+    def test_ecbs_penalises_prolific_entities(self, graph):
+        # Pair (1,1) and (2,2) share 1 block each; both entities appear
+        # in 1 block, so their ECBS is equal and higher than a pair with
+        # the same CBS involving a more prolific entity would be.
+        assert ecbs(graph, 1, 1) == pytest.approx(ecbs(graph, 2, 2))
+        prolific_pair = ecbs(graph, 0, 1)  # entity 0 appears in 3 blocks
+        assert prolific_pair < ecbs(graph, 1, 1)
+
+    def test_jaccard_scheme(self, graph):
+        # (0,0): 3 shared; |B_0| = 3 each -> union = 3.
+        assert jaccard_scheme(graph, 0, 0) == pytest.approx(1.0)
+        # (1,1): 1 shared of 1+1 blocks.
+        assert jaccard_scheme(graph, 1, 1) == pytest.approx(1.0)
+        assert jaccard_scheme(graph, 0, 1) == pytest.approx(1 / 3)
+
+    def test_arcs_prefers_small_blocks(self, graph):
+        # (0,0): 1/1 + 1/1 + 1/9; (1,1): only the big block, 1/9.
+        assert arcs(graph, 0, 0) == pytest.approx(2 + 1 / 9)
+        assert arcs(graph, 1, 1) == pytest.approx(1 / 9)
+
+    def test_arcs_log_matches_minoaner_beta(self, graph):
+        expected = 2 * (1 / math.log2(2)) + 1 / math.log2(10)
+        assert arcs_log(graph, 0, 0) == pytest.approx(expected)
+
+    def test_registry_complete(self):
+        assert set(WEIGHT_SCHEMES) == {"cbs", "ecbs", "js", "arcs", "arcs_log"}
+
+    def test_all_schemes_nonnegative(self, graph):
+        for name, scheme in WEIGHT_SCHEMES.items():
+            for pair in graph.edges():
+                assert scheme(graph, *pair) >= 0.0, name

@@ -1,0 +1,112 @@
+"""Unit tests for the parallel execution context and simulated cluster."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.context import (
+    ParallelContext,
+    simulated_makespan,
+    split_into_partitions,
+)
+
+
+def double_chunk(chunk):
+    return [2 * x for x in chunk]
+
+
+class TestPartitioning:
+    def test_balanced_split(self):
+        assert split_into_partitions([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+    def test_more_partitions_than_items(self):
+        assert split_into_partitions([1], 4) == [[1]]
+
+    def test_empty(self):
+        assert split_into_partitions([], 3) == []
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            split_into_partitions([1], 0)
+
+    @given(items=st.lists(st.integers(), max_size=50), partitions=st.integers(1, 10))
+    @settings(max_examples=80)
+    def test_partitions_cover_and_balance(self, items, partitions):
+        chunks = split_into_partitions(items, partitions)
+        flattened = [x for chunk in chunks for x in chunk]
+        assert flattened == items
+        if chunks:
+            sizes = [len(c) for c in chunks]
+            assert max(sizes) - min(sizes) <= 1
+            assert all(sizes)
+
+
+class TestContext:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backends_agree(self, backend):
+        with ParallelContext(num_workers=2, backend=backend) as context:
+            results = context.run_stage("double", list(range(20)), double_chunk)
+        merged = [x for chunk in results for x in chunk]
+        assert merged == [2 * x for x in range(20)]
+
+    def test_stage_log_records(self):
+        with ParallelContext() as context:
+            context.run_stage("alpha", [1, 2], double_chunk)
+            context.run_stage("alpha2", [1], double_chunk)
+        assert [record.name for record in context.stage_log] == ["alpha", "alpha2"]
+        assert context.stage_seconds("alpha") >= context.stage_seconds("alpha2")
+
+    def test_serial_backend_times_partitions(self):
+        with ParallelContext(num_workers=4) as context:
+            context.run_stage("s", list(range(8)), double_chunk)
+        record = context.stage_log[0]
+        assert len(record.partition_seconds) == record.partitions
+
+    def test_explicit_partition_count(self):
+        with ParallelContext(num_workers=1) as context:
+            results = context.run_stage("s", list(range(10)), double_chunk, partitions=5)
+        assert len(results) == 5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ParallelContext(num_workers=0)
+        with pytest.raises(ValueError):
+            ParallelContext(backend="gpu")
+        with pytest.raises(ValueError):
+            ParallelContext(tasks_per_worker=0)
+
+    def test_shutdown_idempotent(self):
+        context = ParallelContext(num_workers=2, backend="thread")
+        context.shutdown()
+        context.shutdown()
+
+
+class TestSimulatedMakespan:
+    def test_perfect_split(self):
+        assert simulated_makespan([1.0, 1.0], 2, 0.0, 0.0) == pytest.approx(1.0)
+
+    def test_single_worker_sums(self):
+        assert simulated_makespan([1.0, 2.0, 3.0], 1, 0.0, 0.0) == pytest.approx(6.0)
+
+    def test_straggler_bounds_makespan(self):
+        assert simulated_makespan([10.0, 0.1, 0.1], 4, 0.0, 0.0) == pytest.approx(10.0)
+
+    def test_overheads_added(self):
+        value = simulated_makespan([1.0], 1, task_overhead=0.5, barrier_overhead=0.25)
+        assert value == pytest.approx(1.75)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            simulated_makespan([1.0], 0)
+
+    @given(
+        times=st.lists(st.floats(0.001, 5.0), min_size=1, max_size=20),
+        workers=st.integers(1, 8),
+    )
+    @settings(max_examples=80)
+    def test_monotone_in_workers_and_bounded(self, times, workers):
+        one = simulated_makespan(times, 1, 0.0, 0.0)
+        many = simulated_makespan(times, workers, 0.0, 0.0)
+        assert many <= one + 1e-9
+        assert many >= max(times) - 1e-9
+        assert many >= sum(times) / workers - 1e-9

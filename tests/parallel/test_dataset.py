@@ -1,0 +1,122 @@
+"""Unit tests for the RDD-style Dataset API."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.context import ParallelContext
+from repro.parallel.dataset import Dataset
+
+
+def is_even(x):
+    return x % 2 == 0
+
+
+def add_one(x):
+    return x + 1
+
+
+def explode(x):
+    return [x, x]
+
+
+def plus(a, b):
+    return a + b
+
+
+@pytest.fixture
+def context():
+    with ParallelContext(num_workers=2) as ctx:
+        yield ctx
+
+
+class TestNarrowTransformations:
+    def test_map(self, context):
+        data = Dataset.from_iterable(context, range(10))
+        assert sorted(data.map(add_one).collect()) == list(range(1, 11))
+
+    def test_filter(self, context):
+        data = Dataset.from_iterable(context, range(10))
+        assert sorted(data.filter(is_even).collect()) == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, context):
+        data = Dataset.from_iterable(context, [1, 2])
+        assert sorted(data.flat_map(explode).collect()) == [1, 1, 2, 2]
+
+    def test_map_partitions(self, context):
+        data = Dataset.from_iterable(context, range(10), num_partitions=2)
+        sums = data.map_partitions(lambda chunk: [sum(chunk)]).collect()
+        assert sum(sums) == sum(range(10))
+
+    def test_source_unchanged(self, context):
+        data = Dataset.from_iterable(context, range(5))
+        data.map(add_one)
+        assert sorted(data.collect()) == list(range(5))
+
+
+class TestWideTransformations:
+    def test_reduce_by_key(self, context):
+        data = Dataset.from_iterable(
+            context, [("a", 1), ("b", 2), ("a", 3), ("b", 4), ("c", 5)]
+        )
+        result = dict(data.reduce_by_key(plus).collect())
+        assert result == {"a": 4, "b": 6, "c": 5}
+
+    def test_group_by_key(self, context):
+        data = Dataset.from_iterable(context, [("a", 1), ("a", 2), ("b", 3)])
+        grouped = {k: sorted(v) for k, v in data.group_by_key().collect()}
+        assert grouped == {"a": [1, 2], "b": [3]}
+
+    def test_join(self, context):
+        left = Dataset.from_iterable(context, [("a", 1), ("b", 2)])
+        right = Dataset.from_iterable(context, [("a", 10), ("c", 30)])
+        assert left.join(right).collect() == [("a", (1, 10))]
+
+    def test_join_cross_product_per_key(self, context):
+        left = Dataset.from_iterable(context, [("a", 1), ("a", 2)])
+        right = Dataset.from_iterable(context, [("a", 10), ("a", 20)])
+        assert len(left.join(right).collect()) == 4
+
+
+class TestActions:
+    def test_count(self, context):
+        assert Dataset.from_iterable(context, range(7)).count() == 7
+
+    def test_reduce(self, context):
+        assert Dataset.from_iterable(context, [1, 2, 3]).reduce(plus) == 6
+
+    def test_reduce_empty_raises(self, context):
+        with pytest.raises(ValueError):
+            Dataset.from_iterable(context, []).reduce(plus)
+
+    def test_num_partitions(self, context):
+        data = Dataset.from_iterable(context, range(10), num_partitions=3)
+        assert data.num_partitions() == 3
+
+
+class TestSemanticsProperties:
+    @given(items=st.lists(st.integers(-50, 50), max_size=40))
+    @settings(max_examples=50)
+    def test_map_filter_match_builtin_semantics(self, items):
+        with ParallelContext(num_workers=3) as context:
+            data = Dataset.from_iterable(context, items)
+            mapped = sorted(data.map(add_one).collect())
+            filtered = sorted(data.filter(is_even).collect())
+        assert mapped == sorted(x + 1 for x in items)
+        assert filtered == sorted(x for x in items if x % 2 == 0)
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.sampled_from("abcd"), st.integers(-9, 9)), max_size=30
+        )
+    )
+    @settings(max_examples=50)
+    def test_reduce_by_key_matches_reference(self, pairs):
+        reference: dict[str, int] = {}
+        for key, value in pairs:
+            reference[key] = reference.get(key, 0) + value
+        with ParallelContext(num_workers=3) as context:
+            result = dict(
+                Dataset.from_iterable(context, pairs).reduce_by_key(plus).collect()
+            )
+        assert result == reference

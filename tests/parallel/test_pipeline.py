@@ -1,0 +1,77 @@
+"""Tests for the stage-parallel pipeline: identical output to serial."""
+
+import pytest
+
+from repro.core.config import MinoanERConfig
+from repro.core.pipeline import MinoanER
+from repro.parallel.context import ParallelContext
+from repro.parallel.pipeline import ParallelMinoanER
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("backend,workers", [("serial", 1), ("thread", 3)])
+    def test_matches_identical_to_serial(self, mini_pair, backend, workers):
+        serial = MinoanER().resolve(mini_pair.kb1, mini_pair.kb2)
+        with ParallelContext(num_workers=workers, backend=backend) as context:
+            parallel = ParallelMinoanER(context=context).resolve(
+                mini_pair.kb1, mini_pair.kb2
+            )
+        assert parallel.matches == serial.matches
+        assert parallel.matching.rule_of == serial.matching.rule_of
+
+    def test_process_backend_identical(self, mini_pair):
+        serial = MinoanER().resolve(mini_pair.kb1, mini_pair.kb2)
+        with ParallelContext(num_workers=2, backend="process") as context:
+            parallel = ParallelMinoanER(context=context).resolve(
+                mini_pair.kb1, mini_pair.kb2
+            )
+        assert parallel.matches == serial.matches
+
+    def test_identical_on_hard_pair(self, hard_pair):
+        config = MinoanERConfig(theta=0.5)
+        serial = MinoanER(config).resolve(hard_pair.kb1, hard_pair.kb2)
+        with ParallelContext(num_workers=4, backend="thread") as context:
+            parallel = ParallelMinoanER(config, context).resolve(
+                hard_pair.kb1, hard_pair.kb2
+            )
+        assert parallel.matches == serial.matches
+
+    def test_ablations_identical(self, mini_pair):
+        for overrides in (
+            {"use_reciprocity": False},
+            {"use_neighbor_evidence": False},
+            {"use_name_rule": False},
+            {"use_value_rule": False, "use_rank_aggregation": False},
+        ):
+            config = MinoanERConfig(**overrides)
+            serial = MinoanER(config).resolve(mini_pair.kb1, mini_pair.kb2)
+            with ParallelContext(num_workers=3, backend="serial") as context:
+                parallel = ParallelMinoanER(config, context).resolve(
+                    mini_pair.kb1, mini_pair.kb2
+                )
+            assert parallel.matches == serial.matches, overrides
+
+
+class TestStageStructure:
+    def test_figure4_stages_present(self, mini_pair):
+        with ParallelContext(num_workers=2) as context:
+            ParallelMinoanER(context=context).resolve(mini_pair.kb1, mini_pair.kb2)
+        names = {record.name for record in context.stage_log}
+        assert "graph:beta" in names
+        assert "graph:gamma" in names
+        assert "match:R2" in names
+        assert "match:R3_side1" in names
+        assert "match:R3_side2" in names
+
+    def test_timings_cover_phases(self, mini_pair):
+        with ParallelContext(num_workers=2) as context:
+            result = ParallelMinoanER(context=context).resolve(
+                mini_pair.kb1, mini_pair.kb2
+            )
+        assert set(result.timings) == {
+            "statistics",
+            "blocking",
+            "graph",
+            "matching",
+            "total",
+        }

@@ -1,0 +1,33 @@
+"""Parity test: RDD-style token blocking equals the index-based one."""
+
+import pytest
+
+from repro.blocking.token_blocking import token_blocks
+from repro.parallel.context import ParallelContext
+from repro.parallel.rdd_blocking import token_blocks_rdd
+
+
+def as_mapping(collection):
+    return {block.key: (block.side1, block.side2) for block in collection}
+
+
+class TestRDDBlockingParity:
+    @pytest.mark.parametrize("backend,workers", [("serial", 1), ("thread", 3), ("process", 2)])
+    def test_equals_index_based_blocking(self, mini_pair, backend, workers):
+        reference = as_mapping(token_blocks(mini_pair.kb1, mini_pair.kb2))
+        with ParallelContext(num_workers=workers, backend=backend) as context:
+            derived = as_mapping(token_blocks_rdd(context, mini_pair.kb1, mini_pair.kb2))
+        assert derived == reference
+
+    def test_stage_names_recorded(self, mini_pair):
+        with ParallelContext(num_workers=2) as context:
+            token_blocks_rdd(context, mini_pair.kb1, mini_pair.kb2)
+        names = {record.name for record in context.stage_log}
+        assert "blocking:emit_tokens" in names
+        assert "blocking:group_tokens" in names
+
+    def test_figure1_example(self, restaurant_kbs):
+        kb1, kb2 = restaurant_kbs
+        with ParallelContext(num_workers=2) as context:
+            derived = as_mapping(token_blocks_rdd(context, kb1, kb2))
+        assert derived == as_mapping(token_blocks(kb1, kb2))

@@ -1,0 +1,103 @@
+"""Unit tests for the normalised similarity measures used by BSL."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.measures import (
+    MEASURES,
+    cosine,
+    generalized_jaccard,
+    jaccard,
+    sigma_similarity,
+)
+
+vector_strategy = st.dictionaries(
+    st.sampled_from([f"t{i}" for i in range(8)]),
+    st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+    max_size=6,
+)
+
+
+class TestCosine:
+    def test_identical(self):
+        assert cosine({"a": 2.0, "b": 1.0}, {"a": 2.0, "b": 1.0}) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty(self):
+        assert cosine({}, {"a": 1.0}) == 0.0
+
+    def test_scale_invariant(self):
+        left = {"a": 1.0, "b": 2.0}
+        right = {"a": 3.0, "b": 1.0}
+        scaled = {k: 10 * v for k, v in right.items()}
+        assert cosine(left, right) == pytest.approx(cosine(left, scaled))
+
+    def test_hand_computed(self):
+        assert cosine({"a": 1.0, "b": 1.0}, {"a": 1.0}) == pytest.approx(1 / 2**0.5)
+
+
+class TestJaccard:
+    def test_ignores_weights(self):
+        assert jaccard({"a": 9.0, "b": 0.1}, {"a": 0.1, "c": 9.0}) == pytest.approx(1 / 3)
+
+    def test_identical_terms(self):
+        assert jaccard({"a": 1, "b": 2}, {"a": 5, "b": 6}) == 1.0
+
+    def test_empty(self):
+        assert jaccard({}, {}) == 0.0
+
+
+class TestGeneralizedJaccard:
+    def test_hand_computed(self):
+        left = {"a": 2.0, "b": 1.0}
+        right = {"a": 1.0, "c": 1.0}
+        # min: a->1; max: a->2, b->1, c->1
+        assert generalized_jaccard(left, right) == pytest.approx(1.0 / 4.0)
+
+    def test_identical(self):
+        assert generalized_jaccard({"a": 2.0}, {"a": 2.0}) == 1.0
+
+    def test_empty(self):
+        assert generalized_jaccard({}, {"a": 1.0}) == 0.0
+
+
+class TestSigmaSimilarity:
+    def test_identical(self):
+        assert sigma_similarity({"a": 1.0, "b": 2.0}, {"a": 1.0, "b": 2.0}) == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        left = {"a": 1.0, "b": 1.0}
+        right = {"a": 1.0, "c": 2.0}
+        # shared mass (a): 1 + 1 = 2; total mass = 2 + 3 = 5
+        assert sigma_similarity(left, right) == pytest.approx(2 / 5)
+
+    def test_empty(self):
+        assert sigma_similarity({}, {}) == 0.0
+
+
+class TestRegistry:
+    def test_all_measures_registered(self):
+        assert set(MEASURES) == {"cosine", "jaccard", "generalized_jaccard", "sigma"}
+
+
+class TestMeasureProperties:
+    @given(left=vector_strategy, right=vector_strategy)
+    @settings(max_examples=60)
+    def test_all_measures_bounded_and_symmetric(self, left, right):
+        for name, measure in MEASURES.items():
+            forward = measure(left, right)
+            backward = measure(right, left)
+            assert 0.0 <= forward <= 1.0, name
+            assert forward == pytest.approx(backward), name
+
+    @given(vector=vector_strategy)
+    @settings(max_examples=60)
+    def test_self_similarity_is_one_for_nonempty(self, vector):
+        for name, measure in MEASURES.items():
+            if vector:
+                assert measure(vector, vector) == pytest.approx(1.0), name
+            else:
+                assert measure(vector, vector) == 0.0, name

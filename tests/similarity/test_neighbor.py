@@ -1,0 +1,100 @@
+"""Unit tests for neighborNSim (Definition 2.5), including Example 2.6."""
+
+import pytest
+
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.statistics import KBStatistics
+from repro.similarity.neighbor import max_neighbor_value_similarity, neighbor_similarity
+from repro.similarity.value import value_similarity
+
+
+@pytest.fixture
+def figure1_pair():
+    """The paper's Figure 1 / Example 2.6 situation."""
+    kb1 = KnowledgeBase(
+        [
+            EntityDescription(
+                "Restaurant1",
+                [("label", "Fat Duck"), ("hasChef", "JohnLakeA"), ("territorial", "Bray")],
+            ),
+            EntityDescription("JohnLakeA", [("label", "John Lake A")]),
+            EntityDescription("Bray", [("label", "Bray village Berkshire")]),
+        ],
+        name="wikidata",
+    )
+    kb2 = KnowledgeBase(
+        [
+            EntityDescription(
+                "Restaurant2",
+                [("title", "Fat Duck"), ("headChef", "JonnyLake"), ("county", "Berkshire")],
+            ),
+            EntityDescription("JonnyLake", [("title", "Jonny Lake")]),
+            EntityDescription("Berkshire", [("title", "Berkshire county near Bray")]),
+        ],
+        name="dbpedia",
+    )
+    return kb1, kb2
+
+
+class TestNeighborSimilarity:
+    def test_example_2_6_sums_all_cross_pairs(self, figure1_pair):
+        """Without relation alignment, all topN x topN pairs contribute."""
+        kb1, kb2 = figure1_pair
+        stats1 = KBStatistics(kb1, top_n_relations=2)
+        stats2 = KBStatistics(kb2, top_n_relations=2)
+        r1, r2 = kb1.id_of("Restaurant1"), kb2.id_of("Restaurant2")
+        expected = sum(
+            value_similarity(kb1, kb2, n1, n2)
+            for n1 in (kb1.id_of("JohnLakeA"), kb1.id_of("Bray"))
+            for n2 in (kb2.id_of("JonnyLake"), kb2.id_of("Berkshire"))
+        )
+        assert neighbor_similarity(stats1, stats2, r1, r2) == pytest.approx(expected)
+        assert expected > 0  # lake, bray, berkshire overlaps exist
+
+    def test_no_neighbors_means_zero(self, figure1_pair):
+        kb1, kb2 = figure1_pair
+        stats1 = KBStatistics(kb1, top_n_relations=2)
+        stats2 = KBStatistics(kb2, top_n_relations=2)
+        leaf1 = kb1.id_of("JohnLakeA")
+        leaf2 = kb2.id_of("JonnyLake")
+        assert neighbor_similarity(stats1, stats2, leaf1, leaf2) == 0.0
+
+    def test_restricting_n_restricts_neighbors(self, figure1_pair):
+        kb1, kb2 = figure1_pair
+        wide1 = KBStatistics(kb1, top_n_relations=2)
+        wide2 = KBStatistics(kb2, top_n_relations=2)
+        narrow1 = KBStatistics(kb1, top_n_relations=1)
+        narrow2 = KBStatistics(kb2, top_n_relations=1)
+        r1, r2 = kb1.id_of("Restaurant1"), kb2.id_of("Restaurant2")
+        assert neighbor_similarity(narrow1, narrow2, r1, r2) <= neighbor_similarity(
+            wide1, wide2, r1, r2
+        )
+
+    def test_symmetric_in_arguments(self, figure1_pair):
+        kb1, kb2 = figure1_pair
+        stats1 = KBStatistics(kb1, top_n_relations=2)
+        stats2 = KBStatistics(kb2, top_n_relations=2)
+        r1, r2 = kb1.id_of("Restaurant1"), kb2.id_of("Restaurant2")
+        assert neighbor_similarity(stats1, stats2, r1, r2) == pytest.approx(
+            neighbor_similarity(stats2, stats1, r2, r1)
+        )
+
+
+class TestMaxNeighborSimilarity:
+    def test_max_below_sum(self, figure1_pair):
+        kb1, kb2 = figure1_pair
+        stats1 = KBStatistics(kb1, top_n_relations=2)
+        stats2 = KBStatistics(kb2, top_n_relations=2)
+        r1, r2 = kb1.id_of("Restaurant1"), kb2.id_of("Restaurant2")
+        maximum = max_neighbor_value_similarity(stats1, stats2, r1, r2)
+        total = neighbor_similarity(stats1, stats2, r1, r2)
+        assert 0 < maximum <= total
+
+    def test_normalized_variant_bounded(self, figure1_pair):
+        kb1, kb2 = figure1_pair
+        stats1 = KBStatistics(kb1, top_n_relations=2)
+        stats2 = KBStatistics(kb2, top_n_relations=2)
+        r1, r2 = kb1.id_of("Restaurant1"), kb2.id_of("Restaurant2")
+        score = max_neighbor_value_similarity(stats1, stats2, r1, r2, normalized=True)
+        assert 0.0 <= score <= 1.0

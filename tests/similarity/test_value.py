@@ -1,0 +1,158 @@
+"""Unit tests for valueSim (Definition 2.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.similarity.value import (
+    max_value_similarity,
+    normalized_value_similarity,
+    token_pair_weight,
+    value_similarity,
+    value_similarity_of_token_sets,
+)
+
+
+def kb_of(token_lists: list[str], prefix: str) -> KnowledgeBase:
+    return KnowledgeBase(
+        [
+            EntityDescription(f"{prefix}{index}", [("v", value)])
+            for index, value in enumerate(token_lists)
+        ],
+        name=prefix,
+    )
+
+
+class TestTokenPairWeight:
+    def test_unique_token_contributes_one(self):
+        assert token_pair_weight(1, 1) == pytest.approx(1.0)
+
+    def test_frequent_token_contributes_little(self):
+        assert token_pair_weight(100, 100) == pytest.approx(1 / math.log2(10001))
+
+    def test_monotone_in_frequency(self):
+        assert token_pair_weight(1, 1) > token_pair_weight(1, 2) > token_pair_weight(5, 5)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            token_pair_weight(0, 1)
+
+
+class TestValueSimilarity:
+    def test_no_shared_tokens(self):
+        kb1 = kb_of(["alpha beta"], "a")
+        kb2 = kb_of(["gamma delta"], "b")
+        assert value_similarity(kb1, kb2, 0, 0) == 0.0
+
+    def test_single_unique_shared_token(self):
+        kb1 = kb_of(["alpha beta"], "a")
+        kb2 = kb_of(["alpha gamma"], "b")
+        assert value_similarity(kb1, kb2, 0, 0) == pytest.approx(1.0)
+
+    def test_hand_computed_example(self):
+        # 'shared' appears in 2 entities of kb1 and 1 of kb2.
+        kb1 = kb_of(["shared one", "shared two"], "a")
+        kb2 = kb_of(["shared three"], "b")
+        expected = 1 / math.log2(2 * 1 + 1)
+        assert value_similarity(kb1, kb2, 0, 0) == pytest.approx(expected)
+
+    def test_sums_over_shared_tokens(self):
+        kb1 = kb_of(["x y z"], "a")
+        kb2 = kb_of(["x y w"], "b")
+        assert value_similarity(kb1, kb2, 0, 0) == pytest.approx(2.0)
+
+    def test_symmetry_under_argument_swap(self):
+        kb1 = kb_of(["x y unique1"], "a")
+        kb2 = kb_of(["x y unique2"], "b")
+        forward = value_similarity(kb1, kb2, 0, 0)
+        backward = value_similarity(kb2, kb1, 0, 0)
+        assert forward == pytest.approx(backward)
+
+    def test_unnormalised_and_unbounded(self):
+        tokens = " ".join(f"tok{i}" for i in range(20))
+        kb1 = kb_of([tokens], "a")
+        kb2 = kb_of([tokens], "b")
+        assert value_similarity(kb1, kb2, 0, 0) == pytest.approx(20.0)
+
+    def test_of_token_sets_skips_tokens_missing_in_either_kb(self):
+        kb1 = kb_of(["x"], "a")
+        kb2 = kb_of(["y"], "b")
+        assert value_similarity_of_token_sets({"x", "y"}, {"x", "y"}, kb1, kb2) == 0.0
+
+    def test_max_value_similarity_finds_best_partner(self):
+        kb1 = kb_of(["alpha beta"], "a")
+        kb2 = kb_of(["gamma", "alpha beta", "alpha"], "b")
+        best, score = max_value_similarity(kb1, kb2, 0)
+        assert best == 1
+        assert score > 0
+
+    def test_max_value_similarity_empty(self):
+        kb1 = kb_of(["alpha"], "a")
+        kb2 = kb_of(["beta"], "b")
+        assert max_value_similarity(kb1, kb2, 0) == (-1, 0.0)
+
+
+class TestNormalizedValueSimilarity:
+    def test_identical_token_sets_score_one(self):
+        kb1 = kb_of(["a b c"], "x")
+        kb2 = kb_of(["a b c"], "y")
+        assert normalized_value_similarity(kb1, kb2, 0, 0) == pytest.approx(1.0)
+
+    def test_disjoint_token_sets_score_zero(self):
+        kb1 = kb_of(["a b"], "x")
+        kb2 = kb_of(["c d"], "y")
+        assert normalized_value_similarity(kb1, kb2, 0, 0) == 0.0
+
+    def test_unshared_tokens_lower_the_score(self):
+        kb1 = kb_of(["a b"], "x")
+        kb2 = kb_of(["a b c d e f g h"], "y")
+        score = normalized_value_similarity(kb1, kb2, 0, 0)
+        assert 0.0 < score < 0.6
+
+
+@st.composite
+def kb_pair(draw):
+    vocabulary = [f"t{i}" for i in range(12)]
+    values1 = [
+        " ".join(draw(st.lists(st.sampled_from(vocabulary), min_size=1, max_size=6)))
+        for _ in range(draw(st.integers(1, 5)))
+    ]
+    values2 = [
+        " ".join(draw(st.lists(st.sampled_from(vocabulary), min_size=1, max_size=6)))
+        for _ in range(draw(st.integers(1, 5)))
+    ]
+    return kb_of(values1, "a"), kb_of(values2, "b")
+
+
+class TestValueSimilarityProperties:
+    @given(pair=kb_pair())
+    @settings(max_examples=50)
+    def test_non_negative(self, pair):
+        kb1, kb2 = pair
+        for eid1 in range(len(kb1)):
+            for eid2 in range(len(kb2)):
+                assert value_similarity(kb1, kb2, eid1, eid2) >= 0.0
+
+    @given(pair=kb_pair())
+    @settings(max_examples=50)
+    def test_self_similarity_dominates(self, pair):
+        """valueSim(ei, ei) >= valueSim(ei, ej) (Proposition 1)."""
+        kb1, kb2 = pair
+        for eid1 in range(len(kb1)):
+            self_sim = value_similarity_of_token_sets(
+                kb1.tokens(eid1), kb1.tokens(eid1), kb1, kb2
+            )
+            for eid2 in range(len(kb2)):
+                assert self_sim >= value_similarity(kb1, kb2, eid1, eid2) - 1e-12
+
+    @given(pair=kb_pair())
+    @settings(max_examples=50)
+    def test_normalized_in_unit_interval(self, pair):
+        kb1, kb2 = pair
+        for eid1 in range(len(kb1)):
+            for eid2 in range(len(kb2)):
+                assert 0.0 <= normalized_value_similarity(kb1, kb2, eid1, eid2) <= 1.0

@@ -1,0 +1,85 @@
+"""Unit tests for n-gram extraction and TF / TF-IDF weighting."""
+
+import math
+
+import pytest
+
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.similarity.weighting import (
+    entity_ngram_counts,
+    ngrams,
+    tf_idf_profiles,
+    tf_profiles,
+)
+
+
+class TestNgrams:
+    def test_unigrams(self):
+        assert ngrams(["a", "b"], 1) == ["a", "b"]
+
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == ["a b", "b c"]
+
+    def test_trigrams(self):
+        assert ngrams(["a", "b", "c", "d"], 3) == ["a b c", "b c d"]
+
+    def test_too_short_sequence(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+
+class TestEntityNgramCounts:
+    def test_ngrams_do_not_span_values(self):
+        kb = KnowledgeBase([EntityDescription("e", [("p", "a b"), ("q", "c d")])])
+        counts = entity_ngram_counts(kb, 0, 2)
+        assert set(counts) == {"a b", "c d"}  # no "b c"
+
+    def test_counts_repetitions(self):
+        kb = KnowledgeBase([EntityDescription("e", [("p", "x x x")])])
+        assert entity_ngram_counts(kb, 0, 1)["x"] == 3
+
+    def test_relations_excluded(self):
+        kb = KnowledgeBase(
+            [EntityDescription("e", [("p", "f")]), EntityDescription("f", [("p", "text")])]
+        )
+        assert "f" not in entity_ngram_counts(kb, 0, 1)
+
+
+class TestProfiles:
+    def test_tf_profiles_l2_normalised(self):
+        kb = KnowledgeBase([EntityDescription("e", [("p", "a a b")])])
+        profile = tf_profiles(kb)[0]
+        norm = math.sqrt(sum(w * w for w in profile.values()))
+        assert norm == pytest.approx(1.0)
+        assert profile["a"] > profile["b"]
+
+    def test_tfidf_downweights_ubiquitous_terms(self):
+        kb = KnowledgeBase(
+            [
+                EntityDescription("a", [("p", "common rare1")]),
+                EntityDescription("b", [("p", "common rare2")]),
+                EntityDescription("c", [("p", "common rare3")]),
+            ]
+        )
+        profile = tf_idf_profiles(kb)[0]
+        assert profile["rare1"] > profile["common"]
+
+    def test_empty_entity_gives_empty_profile(self):
+        kb = KnowledgeBase([EntityDescription("e", [("p", "...")])])
+        assert tf_profiles(kb)[0] == {}
+
+    def test_profiles_cover_all_entities(self):
+        kb = KnowledgeBase(
+            [EntityDescription("a", [("p", "x")]), EntityDescription("b", [("p", "y")])]
+        )
+        assert len(tf_profiles(kb)) == 2
+        assert len(tf_idf_profiles(kb)) == 2
+
+    def test_bigram_profiles(self):
+        kb = KnowledgeBase([EntityDescription("e", [("p", "a b c")])])
+        profile = tf_profiles(kb, n=2)[0]
+        assert set(profile) == {"a b", "b c"}
