@@ -7,12 +7,18 @@ pytest-benchmark comparison output:
 
 * ``accumulate_beta`` -- the O(||B_T||) value-evidence pass;
 * ``neighbor_evidence`` -- gamma propagation through in-neighbors;
+* ``retained_beta_edges`` -- the undirected union of pruned beta edges;
 * ``top_k_candidates`` -- per-node pruning;
 * ``unique_mapping_clustering`` -- the final 1-1 assignment;
-* ``KnowledgeBase`` construction -- tokenisation + index building.
+* ``KnowledgeBase`` construction -- tokenisation + index building;
+* the array kernel layer (:mod:`repro.kernels`) counterparts of the
+  beta / fused value / gamma passes, per available backend, so the
+  dict-vs-kernel gap is visible in one pytest-benchmark run.
 """
 
 import random
+
+import pytest
 
 from repro.blocking.purging import purge_blocks
 from repro.blocking.token_blocking import token_blocks
@@ -26,6 +32,14 @@ from repro.graph.construction import (
 from repro.graph.pruning import top_k_candidates
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.statistics import KBStatistics
+from repro.kernels import (
+    InternedBlocks,
+    available_backends,
+    get_backend,
+    retained_edge_arrays,
+)
+
+KERNEL_BACKENDS = [name for name in available_backends() if name != "dict"]
 
 
 def test_kb_construction(benchmark, profiles):
@@ -55,6 +69,78 @@ def test_gamma_propagation(benchmark, profiles):
     edges = retained_beta_edges(value_1, value_2)
     side1, side2 = benchmark(lambda: neighbor_evidence(edges, stats1, stats2, 15))
     assert len(side1) == len(pair.kb1)
+
+
+def test_retained_edges(benchmark, profiles):
+    pair = profiles["bbc_dbpedia"]
+    blocks = purge_blocks(
+        token_blocks(pair.kb1, pair.kb2), cartesian=len(pair.kb1) * len(pair.kb2)
+    )
+    value_1, value_2 = value_evidence(blocks, len(pair.kb1), len(pair.kb2), 15)
+    edges = benchmark(lambda: retained_beta_edges(value_1, value_2))
+    assert edges
+
+
+def test_value_evidence_fused_dict(benchmark, profiles):
+    """Dict-reference baseline of the fused transpose + top-K pass."""
+    pair = profiles["bbc_dbpedia"]
+    blocks = purge_blocks(
+        token_blocks(pair.kb1, pair.kb2), cartesian=len(pair.kb1) * len(pair.kb2)
+    )
+    side1, side2 = benchmark(
+        lambda: value_evidence(blocks, len(pair.kb1), len(pair.kb2), 15)
+    )
+    assert len(side1) == len(pair.kb1)
+
+
+@pytest.fixture(scope="module")
+def interned_bbc(profiles):
+    pair = profiles["bbc_dbpedia"]
+    blocks = purge_blocks(
+        token_blocks(pair.kb1, pair.kb2), cartesian=len(pair.kb1) * len(pair.kb2)
+    )
+    return InternedBlocks.from_blocks(blocks, len(pair.kb1), len(pair.kb2))
+
+
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_kernel_beta_accumulation(benchmark, interned_bbc, backend):
+    impl = get_backend(backend)
+    rows = benchmark(lambda: impl.accumulate_beta(interned_bbc))
+    assert any(rows)
+
+
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_kernel_value_topk(benchmark, interned_bbc, backend):
+    """Fused beta + transpose + top-K over the interned arrays."""
+    impl = get_backend(backend)
+    side1, side2 = benchmark(lambda: impl.value_topk(interned_bbc, 15))
+    assert len(side1) == interned_bbc.n1
+
+
+@pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+def test_kernel_gamma_topk(benchmark, profiles, interned_bbc, backend):
+    """Fused gamma propagation + transpose + top-K over CSR adjacency."""
+    pair = profiles["bbc_dbpedia"]
+    stats1 = KBStatistics(pair.kb1)
+    stats2 = KBStatistics(pair.kb2)
+    impl = get_backend(backend)
+    value_1, value_2 = impl.value_topk(interned_bbc, 15)
+    edges = retained_edge_arrays(value_1, value_2)
+    side1, side2 = benchmark(
+        lambda: impl.gamma_topk(
+            edges, stats1.in_neighbor_csr(), stats2.in_neighbor_csr(), 15
+        )
+    )
+    assert len(side1) == interned_bbc.n1
+
+
+def test_block_interning(benchmark, profiles):
+    pair = profiles["bbc_dbpedia"]
+    blocks = purge_blocks(
+        token_blocks(pair.kb1, pair.kb2), cartesian=len(pair.kb1) * len(pair.kb2)
+    )
+    interned = benchmark(lambda: InternedBlocks.from_blocks(blocks, len(pair.kb1), len(pair.kb2)))
+    assert interned.n_blocks == len(blocks)
 
 
 def test_top_k_pruning(benchmark):

@@ -1,0 +1,197 @@
+"""Record the kernel-layer performance trajectory to ``BENCH_PR1.json``.
+
+Two measurements, both against the dict reference implementation of
+:mod:`repro.graph.construction` on the ``bbc_dbpedia`` profile (the
+largest of the four calibrated benchmark pairs):
+
+* micro-kernel wall times (best of N) for the beta accumulation, the
+  fused value transpose + top-K, and the fused gamma propagation +
+  top-K, per available array backend, plus the one-off interning cost;
+* a bit-identity verdict of ``build_blocking_graph`` between the dict
+  reference and every array backend, on all four dataset profiles.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/record_trajectory.py
+    PYTHONPATH=src python benchmarks/record_trajectory.py --quick  # CI smoke
+
+``--quick`` shrinks the timing profile and verifies identity on scaled
+profiles so the step finishes in seconds on CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.blocking.name_blocking import name_blocks  # noqa: E402
+from repro.blocking.purging import purge_blocks  # noqa: E402
+from repro.blocking.token_blocking import token_blocks  # noqa: E402
+from repro.datasets.profiles import load_profile, profile_names, scaled_profile  # noqa: E402
+from repro.graph import construction as reference  # noqa: E402
+from repro.kb.statistics import KBStatistics  # noqa: E402
+from repro.kernels import (  # noqa: E402
+    InternedBlocks,
+    available_backends,
+    get_backend,
+    resolve_backend_name,
+    retained_edge_arrays,
+)
+
+K = 15
+
+
+def _best(function, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def _prepare(profile: str, scale: float | None):
+    pair = scaled_profile(profile, scale) if scale else load_profile(profile)
+    n1, n2 = len(pair.kb1), len(pair.kb2)
+    stats1 = KBStatistics(pair.kb1)
+    stats2 = KBStatistics(pair.kb2)
+    tokens = purge_blocks(token_blocks(pair.kb1, pair.kb2), cartesian=n1 * n2)
+    return pair, stats1, stats2, tokens
+
+
+def time_micro_kernels(profile: str, repeats: int, scale: float | None) -> dict:
+    """Best-of-``repeats`` wall times (ms) for reference and kernels."""
+    pair, stats1, stats2, tokens = _prepare(profile, scale)
+    n1, n2 = len(pair.kb1), len(pair.kb2)
+    backends = [name for name in available_backends() if name != "dict"]
+
+    timings: dict[str, dict[str, float]] = {"reference": {}}
+    reference_ms = timings["reference"]
+    reference_ms["beta"] = _best(lambda: reference.accumulate_beta(tokens, n1), repeats)
+    reference_ms["value_fused"] = _best(
+        lambda: reference.value_evidence(tokens, n1, n2, K), repeats
+    )
+    value_1, value_2 = reference.value_evidence(tokens, n1, n2, K)
+    edges_dict = reference.retained_beta_edges(value_1, value_2)
+    reference_ms["gamma_fused"] = _best(
+        lambda: reference.neighbor_evidence(edges_dict, stats1, stats2, K), repeats
+    )
+
+    timings["interning"] = {
+        "from_blocks": _best(lambda: InternedBlocks.from_blocks(tokens, n1, n2), repeats)
+    }
+    interned = InternedBlocks.from_blocks(tokens, n1, n2)
+    edges = retained_edge_arrays(value_1, value_2)
+    adjacency1 = stats1.in_neighbor_csr()
+    adjacency2 = stats2.in_neighbor_csr()
+
+    for backend in backends:
+        impl = get_backend(backend)
+        timings[backend] = {
+            "beta": _best(lambda: impl.beta_sparse(interned), repeats),
+            "value_fused": _best(lambda: impl.value_topk(interned, K), repeats),
+            "gamma_fused": _best(
+                lambda: impl.gamma_topk(edges, adjacency1, adjacency2, K), repeats
+            ),
+        }
+
+    milliseconds = {
+        section: {kernel: seconds * 1e3 for kernel, seconds in values.items()}
+        for section, values in timings.items()
+    }
+    speedups = {
+        backend: {
+            kernel: milliseconds["reference"][kernel] / milliseconds[backend][kernel]
+            for kernel in ("beta", "value_fused", "gamma_fused")
+        }
+        for backend in backends
+    }
+    return {
+        "profile": profile,
+        "scale": scale,
+        "n1": n1,
+        "n2": n2,
+        "blocks": len(tokens),
+        "repeats": repeats,
+        "milliseconds": milliseconds,
+        "speedup_vs_reference": speedups,
+    }
+
+
+def verify_bit_identity(profiles: list[str], scale: float | None) -> dict:
+    """``build_blocking_graph`` identity: dict reference vs every backend."""
+    backends = [name for name in available_backends() if name != "dict"]
+    verdicts: dict[str, dict[str, bool]] = {}
+    for profile in profiles:
+        pair, stats1, stats2, tokens = _prepare(profile, scale)
+        names = name_blocks(stats1, stats2)
+        dict_graph = reference.build_blocking_graph(stats1, stats2, names, tokens, k=K)
+        verdicts[profile] = {
+            backend: reference.build_blocking_graph(
+                stats1, stats2, names, tokens, k=K, backend=backend
+            ).identical(dict_graph)
+            for backend in backends
+        }
+    return verdicts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default="bbc_dbpedia", choices=profile_names())
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_PR1.json",
+        help="where to write the JSON record",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: scaled-down profiles, fewer repeats",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.2 if args.quick else None
+    repeats = min(args.repeats, 3) if args.quick else args.repeats
+    identity_profiles = ["restaurant", "bbc_dbpedia"] if args.quick else list(profile_names())
+
+    micro = time_micro_kernels(args.profile, repeats, scale)
+    identity = verify_bit_identity(identity_profiles, scale)
+
+    record = {
+        "pr": 1,
+        "title": "Array-backed sparse kernel layer for the blocking-graph hot path",
+        "python": platform.python_version(),
+        "auto_backend": resolve_backend_name("auto"),
+        "k": K,
+        "quick": args.quick,
+        "micro_kernels": micro,
+        "bit_identical": identity,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    auto = record["auto_backend"]
+    print(f"auto backend: {auto}")
+    for kernel, ratio in micro["speedup_vs_reference"][auto].items():
+        print(f"  {kernel}: {ratio:.2f}x vs dict reference")
+    failures = [
+        f"{profile}/{backend}"
+        for profile, backends in identity.items()
+        for backend, ok in backends.items()
+        if not ok
+    ]
+    if failures:
+        print(f"BIT-IDENTITY FAILED: {', '.join(failures)}")
+        return 1
+    print(f"bit-identical on: {', '.join(identity)}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ For clean-clean ER this enforces the 1-1 mapping constraint.
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable
 
 
@@ -21,20 +22,34 @@ def unique_mapping_clustering(
     Pairs with ``score <= threshold`` are discarded.  Ties are broken by
     ascending ``(eid1, eid2)`` so results are deterministic.
 
+    The queue is a lazy heap rather than a full sort: pairs are popped
+    in ``(-score, eid1, eid2)`` order only until every distinct entity
+    on one side has been matched, at which point no remaining pair can
+    be accepted and the loop stops.  When a few high-scoring pairs
+    saturate one KB's entities, most of the queue is never ordered.
+
     >>> sorted(unique_mapping_clustering([(0, 0, 0.9), (0, 1, 0.8), (1, 1, 0.7)]))
     [(0, 0), (1, 1)]
     """
-    queue = sorted(
-        (pair for pair in scored_pairs if pair[2] > threshold),
-        key=lambda pair: (-pair[2], pair[0], pair[1]),
-    )
+    heap: list[tuple[float, int, int]] = []
+    distinct_1: set[int] = set()
+    distinct_2: set[int] = set()
+    for eid1, eid2, score in scored_pairs:
+        if score > threshold:
+            heap.append((-score, eid1, eid2))
+            distinct_1.add(eid1)
+            distinct_2.add(eid2)
+    heapq.heapify(heap)
+    remaining = min(len(distinct_1), len(distinct_2))
     matched_1: set[int] = set()
     matched_2: set[int] = set()
     matches: set[tuple[int, int]] = set()
-    for eid1, eid2, _ in queue:
+    while heap and remaining:
+        _, eid1, eid2 = heapq.heappop(heap)
         if eid1 in matched_1 or eid2 in matched_2:
             continue
         matched_1.add(eid1)
         matched_2.add(eid2)
         matches.add((eid1, eid2))
+        remaining -= 1
     return matches

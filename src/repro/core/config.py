@@ -57,6 +57,14 @@ class MinoanERConfig:
     tokenizer_min_length / stopwords:
         Tokenisation options (defaults follow the paper: keep all
         alphanumeric tokens, no stopword list).
+    kernel_backend:
+        Implementation of the blocking-graph hot path (see
+        :mod:`repro.kernels`): ``"dict"`` is the reference
+        dict-of-dicts code, ``"python"`` and ``"numpy"`` are the
+        array-backed sparse kernels, and ``"auto"`` (the default) picks
+        ``numpy`` when importable and ``python`` otherwise.  All
+        backends produce bit-identical graphs; this is purely a
+        performance knob.
     """
 
     name_attributes_k: int = 2
@@ -77,6 +85,7 @@ class MinoanERConfig:
     pruning_gap_ratio: float = 0.2
     tokenizer_min_length: int = 1
     stopwords: tuple[str, ...] = field(default=())
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.name_attributes_k < 0:
@@ -96,6 +105,13 @@ class MinoanERConfig:
         if not 0.0 < self.pruning_gap_ratio < 1.0:
             raise ValueError(
                 f"pruning_gap_ratio must be in (0, 1), got {self.pruning_gap_ratio}"
+            )
+        from repro.kernels.dispatch import KERNEL_BACKENDS
+
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
             )
 
     def with_options(self, **changes: Any) -> "MinoanERConfig":

@@ -145,6 +145,33 @@ class DisjunctiveBlockingGraph:
             pairs.update((source, eid) for source in self._out_set(2, eid))
         return pairs
 
+    def identical(self, other: "DisjunctiveBlockingGraph") -> bool:
+        """True iff both graphs hold exactly the same candidate data.
+
+        Stronger than semantic graph equality: candidate *order* and
+        bit-level float weights must agree.  This is the check used to
+        assert kernel backends reproduce the dict reference exactly.
+        """
+        return (
+            self.n1 == other.n1
+            and self.n2 == other.n2
+            and self._name_matches == other._name_matches
+            and all(
+                tuple(mine) == tuple(theirs)
+                for side in (0, 1)
+                for mine, theirs in zip(
+                    self._value_candidates[side], other._value_candidates[side]
+                )
+            )
+            and all(
+                tuple(mine) == tuple(theirs)
+                for side in (0, 1)
+                for mine, theirs in zip(
+                    self._neighbor_candidates[side], other._neighbor_candidates[side]
+                )
+            )
+        )
+
     def to_networkx(self):
         """Export as a ``networkx.DiGraph`` for analysis/visualisation.
 

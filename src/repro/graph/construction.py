@@ -145,6 +145,35 @@ def neighbor_evidence(
     return side1, side2
 
 
+def _kernel_evidence(
+    stats1: KBStatistics,
+    stats2: KBStatistics,
+    token_blocks: BlockCollection,
+    k: int,
+    dynamic_pruning: bool,
+    pruning_gap_ratio: float,
+    backend: str,
+):
+    """Value + neighbor evidence via the array kernel layer.
+
+    Bit-identical to the dict reference path (see
+    :mod:`repro.kernels`); only the data layout and wall-clock differ.
+    """
+    from repro.graph.pruning import DEFAULT_ADAPTIVE_MINIMUM
+    from repro.kernels import InternedBlocks, get_backend, retained_edge_arrays
+
+    impl = get_backend(backend)
+    n1, n2 = len(stats1.kb), len(stats2.kb)
+    cut = (pruning_gap_ratio, DEFAULT_ADAPTIVE_MINIMUM) if dynamic_pruning else None
+    interned = InternedBlocks.from_blocks(token_blocks, n1, n2)
+    value_1, value_2 = impl.value_topk(interned, k, cut)
+    edges = retained_edge_arrays(value_1, value_2)
+    neighbor_1, neighbor_2 = impl.gamma_topk(
+        edges, stats1.in_neighbor_csr(), stats2.in_neighbor_csr(), k, cut
+    )
+    return value_1, value_2, neighbor_1, neighbor_2
+
+
 def build_blocking_graph(
     stats1: KBStatistics,
     stats2: KBStatistics,
@@ -153,6 +182,7 @@ def build_blocking_graph(
     k: int = 15,
     dynamic_pruning: bool = False,
     pruning_gap_ratio: float = 0.2,
+    backend: str = "dict",
 ) -> DisjunctiveBlockingGraph:
     """Run Algorithm 1: weight and prune the disjunctive blocking graph.
 
@@ -171,17 +201,29 @@ def build_blocking_graph(
         Use the adaptive per-node candidate cut instead of a fixed
         top-K (the paper's future-work idea; see
         :func:`repro.graph.pruning.adaptive_candidates`).
+    backend:
+        Hot-path implementation: ``"dict"`` (this module's reference
+        code), ``"python"`` / ``"numpy"`` (the array kernels of
+        :mod:`repro.kernels`), or ``"auto"``.  Every backend returns a
+        bit-identical graph.
     """
-    if dynamic_pruning:
-        def select(scores, limit):
-            return adaptive_candidates(scores, limit, gap_ratio=pruning_gap_ratio)
-    else:
-        select = top_k_candidates
     n1, n2 = len(stats1.kb), len(stats2.kb)
     names_1, names_2 = name_evidence(name_blocks)
-    value_1, value_2 = value_evidence(token_blocks, n1, n2, k, select=select)
-    beta_edges = retained_beta_edges(value_1, value_2)
-    neighbor_1, neighbor_2 = neighbor_evidence(beta_edges, stats1, stats2, k, select=select)
+    if backend != "dict":
+        value_1, value_2, neighbor_1, neighbor_2 = _kernel_evidence(
+            stats1, stats2, token_blocks, k, dynamic_pruning, pruning_gap_ratio, backend
+        )
+    else:
+        if dynamic_pruning:
+            def select(scores, limit):
+                return adaptive_candidates(scores, limit, gap_ratio=pruning_gap_ratio)
+        else:
+            select = top_k_candidates
+        value_1, value_2 = value_evidence(token_blocks, n1, n2, k, select=select)
+        beta_edges = retained_beta_edges(value_1, value_2)
+        neighbor_1, neighbor_2 = neighbor_evidence(
+            beta_edges, stats1, stats2, k, select=select
+        )
     return DisjunctiveBlockingGraph(
         n1=n1,
         n2=n2,

@@ -10,7 +10,14 @@ does not keep back, which is exactly the asymmetry rule R4 exploits.
 from __future__ import annotations
 
 import heapq
-from typing import Mapping
+from typing import Iterable, Mapping
+
+DEFAULT_ADAPTIVE_MINIMUM = 3
+"""Default floor of candidates kept by the adaptive gap cut."""
+
+
+def _rank_key(item: tuple[int, float]) -> tuple[float, int]:
+    return (-item[1], item[0])
 
 
 def top_k_candidates(scores: Mapping[int, float], k: int) -> tuple[tuple[int, float], ...]:
@@ -20,13 +27,54 @@ def top_k_candidates(scores: Mapping[int, float], k: int) -> tuple[tuple[int, fl
     Ties break on ascending candidate id so results are deterministic.
 
     >>> top_k_candidates({3: 1.0, 1: 2.0, 2: 1.0, 9: 0.0}, 2)
-    ((1, 2.0), (3, 1.0))
+    ((1, 2.0), (2, 1.0))
     """
     if k < 0:
         raise ValueError(f"k must be >= 0, got {k}")
     positive = [(candidate, score) for candidate, score in scores.items() if score > 0.0]
-    best = heapq.nsmallest(k, positive, key=lambda item: (-item[1], item[0]))
+    best = heapq.nsmallest(k, positive, key=_rank_key)
     return tuple(best)
+
+
+def top_k_pairs(pairs: Iterable[tuple[int, float]], k: int) -> tuple[tuple[int, float], ...]:
+    """:func:`top_k_candidates` over already-materialised ``(id, score)``
+    pairs with strictly positive scores.
+
+    This is the bounded-heap selection used by the array kernels
+    (``heapq.nsmallest`` keeps at most ``k`` items in memory); the
+    ranking key is shared with :func:`top_k_candidates` so both paths
+    break ties identically.
+
+    >>> top_k_pairs([(3, 1.0), (1, 2.0), (2, 1.0)], 2)
+    ((1, 2.0), (2, 1.0))
+    """
+    return tuple(heapq.nsmallest(k, pairs, key=_rank_key))
+
+
+def adaptive_cut(
+    ranked: tuple[tuple[int, float], ...],
+    gap_ratio: float = 0.2,
+    minimum: int = DEFAULT_ADAPTIVE_MINIMUM,
+) -> tuple[tuple[int, float], ...]:
+    """Cut an already-ranked candidate list at the first weight *gap*.
+
+    Shared tail of :func:`adaptive_candidates`: the list is truncated at
+    the first position whose weight drops below ``gap_ratio`` of the
+    running mean of the weights kept so far, keeping at least
+    ``minimum`` candidates.
+    """
+    if not 0.0 < gap_ratio < 1.0:
+        raise ValueError(f"gap_ratio must be in (0, 1), got {gap_ratio}")
+    if minimum < 1:
+        raise ValueError(f"minimum must be >= 1, got {minimum}")
+    if len(ranked) <= minimum:
+        return ranked
+    kept_weight = 0.0
+    for position, (_, weight) in enumerate(ranked):
+        if position >= minimum and weight < gap_ratio * (kept_weight / position):
+            return ranked[:position]
+        kept_weight += weight
+    return ranked
 
 
 def adaptive_candidates(
@@ -51,16 +99,4 @@ def adaptive_candidates(
     >>> adaptive_candidates({1: 10.0, 2: 9.5, 3: 0.1, 4: 0.05}, 4, minimum=2)
     ((1, 10.0), (2, 9.5))
     """
-    if not 0.0 < gap_ratio < 1.0:
-        raise ValueError(f"gap_ratio must be in (0, 1), got {gap_ratio}")
-    if minimum < 1:
-        raise ValueError(f"minimum must be >= 1, got {minimum}")
-    ranked = top_k_candidates(scores, k)
-    if len(ranked) <= minimum:
-        return ranked
-    kept_weight = 0.0
-    for position, (_, weight) in enumerate(ranked):
-        if position >= minimum and weight < gap_ratio * (kept_weight / position):
-            return ranked[:position]
-        kept_weight += weight
-    return ranked
+    return adaptive_cut(top_k_candidates(scores, k), gap_ratio, minimum)

@@ -140,6 +140,7 @@ class KBStatistics:
         self.name_attributes: tuple[str, ...] = self._pick_name_attributes()
         self._top_neighbors: list[tuple[int, ...]] = self._compute_top_neighbors()
         self._top_in_neighbors: list[tuple[int, ...]] | None = None
+        self._in_neighbor_csr = None
 
     # ------------------------------------------------------------------
     # Names
@@ -184,6 +185,15 @@ class KBStatistics:
         """``topNneighbors(e)``: neighbors linked via the top-N relations."""
         return self._top_neighbors[eid]
 
+    def _ensure_top_in_neighbors(self) -> list[tuple[int, ...]]:
+        if self._top_in_neighbors is None:
+            reverse: list[list[int]] = [[] for _ in range(len(self.kb))]
+            for source, targets in enumerate(self._top_neighbors):
+                for target in targets:
+                    reverse[target].append(source)
+            self._top_in_neighbors = [tuple(sources) for sources in reverse]
+        return self._top_in_neighbors
+
     def top_in_neighbors(self, eid: int) -> tuple[int, ...]:
         """Entities that have ``eid`` among their top-N neighbors.
 
@@ -192,13 +202,21 @@ class KBStatistics:
         value similarity, that evidence is propagated to the pairs of
         their *in*-neighbors.
         """
-        if self._top_in_neighbors is None:
-            reverse: list[list[int]] = [[] for _ in range(len(self.kb))]
-            for source, targets in enumerate(self._top_neighbors):
-                for target in targets:
-                    reverse[target].append(source)
-            self._top_in_neighbors = [tuple(sources) for sources in reverse]
-        return self._top_in_neighbors[eid]
+        return self._ensure_top_in_neighbors()[eid]
+
+    def in_neighbor_csr(self):
+        """The ``top_in_neighbors`` map as a flat CSR adjacency.
+
+        Cached; row ``eid`` lists the same sources, in the same order,
+        as :meth:`top_in_neighbors`.  This is the layout consumed by
+        the array kernels (:mod:`repro.kernels`) for ``gamma``
+        propagation.
+        """
+        if self._in_neighbor_csr is None:
+            from repro.kernels.interning import CSRAdjacency
+
+            self._in_neighbor_csr = CSRAdjacency.from_lists(self._ensure_top_in_neighbors())
+        return self._in_neighbor_csr
 
     def __repr__(self) -> str:
         return (

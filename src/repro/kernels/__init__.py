@@ -1,0 +1,48 @@
+"""Array-backed sparse kernels for the blocking-graph hot path.
+
+Algorithm 1's cost is dominated by three passes -- ``beta``
+accumulation over purged token blocks, the transpose + top-K pruning of
+the value evidence, and ``gamma`` propagation over retained edges.  The
+reference implementation (:mod:`repro.graph.construction`) runs them
+over dicts of dicts; this package re-implements them over integer-
+interned flat arrays (CSR-style), with two interchangeable backends:
+
+* :mod:`repro.kernels.python_backend` -- dependency-free dense
+  scratch-row + touched-list accumulators;
+* :mod:`repro.kernels.numpy_backend` -- vectorised expansion +
+  ``unique``/``bincount`` collapse (used when numpy is importable).
+
+Both are **bit-identical** to the dict reference (same float
+accumulation order per pair), so backend selection
+(``MinoanERConfig.kernel_backend``) is purely a performance knob, and
+the dict path remains the equivalence oracle for tests.
+
+:mod:`repro.kernels.partition` adapts the same kernels to the
+stage-parallel pipeline's partitioned dataflow.
+"""
+
+from repro.kernels.dispatch import (
+    KERNEL_BACKENDS,
+    available_backends,
+    get_backend,
+    numpy_available,
+    resolve_backend_name,
+)
+from repro.kernels.interning import (
+    CSRAdjacency,
+    InternedBlocks,
+    block_weight,
+    retained_edge_arrays,
+)
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "CSRAdjacency",
+    "InternedBlocks",
+    "available_backends",
+    "block_weight",
+    "get_backend",
+    "numpy_available",
+    "resolve_backend_name",
+    "retained_edge_arrays",
+]

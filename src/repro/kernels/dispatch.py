@@ -1,0 +1,74 @@
+"""Kernel backend registry and selection.
+
+Three interchangeable implementations of the blocking-graph hot path:
+
+* ``"dict"`` -- the reference dict-of-dicts implementation in
+  :mod:`repro.graph.construction` (the equivalence oracle);
+* ``"python"`` -- the dependency-free array kernels
+  (:mod:`repro.kernels.python_backend`);
+* ``"numpy"`` -- the vectorised kernels
+  (:mod:`repro.kernels.numpy_backend`), available when numpy imports;
+* ``"auto"`` -- ``numpy`` when available, else ``python``.
+
+All three produce bit-identical ``DisjunctiveBlockingGraph``s; selection
+is a pure performance knob (``MinoanERConfig.kernel_backend``).
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+KERNEL_BACKENDS = ("auto", "dict", "python", "numpy")
+"""Accepted values of ``MinoanERConfig.kernel_backend``."""
+
+_NUMPY_AVAILABLE: bool | None = None
+
+
+def numpy_available() -> bool:
+    """True iff the numpy backend can be imported (checked once)."""
+    global _NUMPY_AVAILABLE
+    if _NUMPY_AVAILABLE is None:
+        try:
+            import repro.kernels.numpy_backend  # noqa: F401
+        except ImportError:
+            _NUMPY_AVAILABLE = False
+        else:
+            _NUMPY_AVAILABLE = True
+    return _NUMPY_AVAILABLE
+
+
+def available_backends() -> tuple[str, ...]:
+    """The concrete backends importable in this environment."""
+    names = ["dict", "python"]
+    if numpy_available():
+        names.append("numpy")
+    return tuple(names)
+
+
+def resolve_backend_name(backend: str) -> str:
+    """Map a configured backend name to a concrete one.
+
+    ``"auto"`` resolves to ``"numpy"`` when importable and ``"python"``
+    otherwise; explicit names are validated.
+    """
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; expected one of {KERNEL_BACKENDS}"
+        )
+    if backend == "auto":
+        return "numpy" if numpy_available() else "python"
+    if backend == "numpy" and not numpy_available():
+        raise ValueError("kernel backend 'numpy' requested but numpy is not importable")
+    return backend
+
+
+def get_backend(backend: str) -> ModuleType | None:
+    """The kernel module for ``backend``, or None for the dict reference."""
+    resolved = resolve_backend_name(backend)
+    if resolved == "dict":
+        return None
+    if resolved == "numpy":
+        import repro.kernels.numpy_backend as module
+    else:
+        import repro.kernels.python_backend as module
+    return module

@@ -1,0 +1,241 @@
+"""Integer-interned, array-backed views of the blocking inputs.
+
+The dict-of-dicts hot path of Algorithm 1 spends most of its time
+hashing ``(entity, entity)`` pairs.  The kernel layer removes that cost
+by interning the inputs once into flat, contiguous integer arrays:
+
+* :class:`InternedBlocks` -- a CSR-style view of a
+  :class:`~repro.blocking.base.BlockCollection`: one flat ``array('i')``
+  of entity ids per side with per-block offsets, the per-block
+  ``1 / log2(|b1|*|b2| + 1)`` weight hoisted into an ``array('d')``
+  (computed once, in pure Python, so every backend sees bit-identical
+  weights), and a per-KB1-entity CSR index of the blocks that contain
+  the entity (in ascending block order, which preserves the reference
+  implementation's floating-point accumulation order per pair).
+* :class:`CSRAdjacency` -- a flat-array adjacency (offsets + ids), used
+  for the top in-neighbor maps that drive ``gamma`` propagation.
+* :func:`retained_edge_arrays` -- the undirected union of retained
+  ``beta`` edges as three parallel arrays, in exactly the first-insertion
+  order of :func:`repro.graph.construction.retained_beta_edges`, so
+  ``gamma`` accumulation orders (and therefore float sums) match the
+  dict reference bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Iterable, Sequence
+
+from repro.graph.blocking_graph import CandidateList
+
+EdgeArrays = tuple[array, array, array]
+"""Retained beta edges as parallel ``(sources, targets, weights)`` arrays."""
+
+
+class CSRAdjacency:
+    """A compressed sparse adjacency: ``ids[offsets[i]:offsets[i+1]]``
+    are the neighbors of node ``i``.
+
+    Built once from per-node neighbor tuples; :meth:`to_lists` returns a
+    cached list-of-lists view for pure-Python inner loops.
+
+    >>> adj = CSRAdjacency.from_lists([(1, 2), (), (0,)])
+    >>> adj.neighbors(0)
+    array('i', [1, 2])
+    >>> len(adj)
+    3
+    """
+
+    def __init__(self, offsets: array, ids: array):
+        self.offsets = offsets
+        self.ids = ids
+        self._lists: list[list[int]] | None = None
+
+    @classmethod
+    def from_lists(cls, lists: Sequence[Sequence[int]]) -> "CSRAdjacency":
+        offsets = array("i", [0])
+        ids = array("i")
+        for neighbors in lists:
+            ids.extend(neighbors)
+            offsets.append(len(ids))
+        return cls(offsets, ids)
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    def neighbors(self, node: int) -> array:
+        """Neighbor ids of ``node`` (a flat array slice)."""
+        return self.ids[self.offsets[node] : self.offsets[node + 1]]
+
+    def to_lists(self) -> list[list[int]]:
+        """Cached list-of-lists view (fast to iterate from Python)."""
+        if self._lists is None:
+            ids = self.ids.tolist()
+            offsets = self.offsets.tolist()
+            self._lists = [
+                ids[offsets[node] : offsets[node + 1]] for node in range(len(self))
+            ]
+        return self._lists
+
+    def __getstate__(self):
+        return (self.offsets, self.ids)
+
+    def __setstate__(self, state):
+        self.offsets, self.ids = state
+        self._lists = None
+
+    def __repr__(self) -> str:
+        return f"CSRAdjacency({len(self)} nodes, {len(self.ids)} edges)"
+
+
+def block_weight(comparisons: int) -> float:
+    """The block's edge-weight contribution ``1 / log2(|b1|*|b2| + 1)``.
+
+    Computed with :func:`math.log2` in every backend so the interned
+    weights are bit-identical to the dict reference's.
+    """
+    return 1.0 / math.log2(comparisons + 1.0)
+
+
+class InternedBlocks:
+    """A :class:`~repro.blocking.base.BlockCollection` as flat arrays.
+
+    Attributes
+    ----------
+    n1, n2:
+        Entity counts of the two KBs (array extents).
+    side1_offsets / side1_ids, side2_offsets / side2_ids:
+        CSR layout of the per-block entity id lists.
+    weights:
+        Per-block ``1 / log2(|b1|*|b2| + 1)``, hoisted out of the
+        accumulation loops.
+    entity_block_offsets / entity_block_ids:
+        Per-KB1-entity CSR index of the blocks containing the entity,
+        in ascending block order.
+    """
+
+    def __init__(
+        self,
+        n1: int,
+        n2: int,
+        side1_offsets: array,
+        side1_ids: array,
+        side2_offsets: array,
+        side2_ids: array,
+        weights: array,
+    ):
+        self.n1 = n1
+        self.n2 = n2
+        self.side1_offsets = side1_offsets
+        self.side1_ids = side1_ids
+        self.side2_offsets = side2_offsets
+        self.side2_ids = side2_ids
+        self.weights = weights
+        self.entity_block_offsets, self.entity_block_ids = self._index_entities()
+
+    @classmethod
+    def from_blocks(
+        cls,
+        blocks: Iterable,
+        n1: int,
+        n2: int,
+    ) -> "InternedBlocks":
+        """Intern a block collection (or any iterable of objects with
+        ``side1`` / ``side2`` id sequences)."""
+        return cls.from_block_items(
+            ((block.side1, block.side2) for block in blocks), n1, n2
+        )
+
+    @classmethod
+    def from_block_items(
+        cls,
+        items: Iterable[tuple[Sequence[int], Sequence[int]]],
+        n1: int,
+        n2: int,
+    ) -> "InternedBlocks":
+        """Intern plain ``(side1, side2)`` tuples (picklable stage input)."""
+        side1_offsets = array("i", [0])
+        side2_offsets = array("i", [0])
+        side1_ids = array("i")
+        side2_ids = array("i")
+        weights = array("d")
+        for side1, side2 in items:
+            side1_ids.extend(side1)
+            side2_ids.extend(side2)
+            side1_offsets.append(len(side1_ids))
+            side2_offsets.append(len(side2_ids))
+            weights.append(block_weight(len(side1) * len(side2)))
+        return cls(n1, n2, side1_offsets, side1_ids, side2_offsets, side2_ids, weights)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.weights)
+
+    def total_comparisons(self) -> int:
+        """``||B||`` of the interned collection."""
+        off1, off2 = self.side1_offsets, self.side2_offsets
+        return sum(
+            (off1[b + 1] - off1[b]) * (off2[b + 1] - off2[b])
+            for b in range(self.n_blocks)
+        )
+
+    def _index_entities(self) -> tuple[array, array]:
+        """CSR index KB1 entity -> ids of blocks containing it.
+
+        Two counting passes; block ids per entity come out ascending,
+        which keeps each pair's weight-accumulation order equal to the
+        reference implementation's block iteration order.
+        """
+        counts = [0] * (self.n1 + 1)
+        ids = self.side1_ids
+        for eid in ids:
+            counts[eid + 1] += 1
+        for eid in range(self.n1):
+            counts[eid + 1] += counts[eid]
+        offsets = array("i", counts)
+        cursor = counts[:]  # next write position per entity
+        block_ids = array("i", bytes(4 * len(ids)))
+        off1 = self.side1_offsets
+        for block in range(self.n_blocks):
+            for position in range(off1[block], off1[block + 1]):
+                eid = ids[position]
+                block_ids[cursor[eid]] = block
+                cursor[eid] += 1
+        return offsets, block_ids
+
+    def __repr__(self) -> str:
+        return (
+            f"InternedBlocks({self.n_blocks} blocks, "
+            f"{len(self.side1_ids)}+{len(self.side2_ids)} assignments)"
+        )
+
+
+def retained_edge_arrays(
+    value_candidates_1: Sequence[CandidateList],
+    value_candidates_2: Sequence[CandidateList],
+) -> EdgeArrays:
+    """Undirected union of the directed top-K ``beta`` edges, as arrays.
+
+    Preserves the first-insertion order (side 1 sweeps first, then side
+    2 adds edges not already retained) of
+    :func:`repro.graph.construction.retained_beta_edges`, so downstream
+    ``gamma`` float accumulation visits edges in the identical order.
+    """
+    sources = array("i")
+    targets = array("i")
+    weights = array("d")
+    seen: set[tuple[int, int]] = set()
+    for eid1, candidates in enumerate(value_candidates_1):
+        for eid2, weight in candidates:
+            sources.append(eid1)
+            targets.append(eid2)
+            weights.append(weight)
+            seen.add((eid1, eid2))
+    for eid2, candidates in enumerate(value_candidates_2):
+        for eid1, weight in candidates:
+            if (eid1, eid2) not in seen:
+                sources.append(eid1)
+                targets.append(eid2)
+                weights.append(weight)
+    return sources, targets, weights

@@ -1,0 +1,67 @@
+"""Array kernels adapted to the stage-parallel pipeline's dataflow.
+
+:mod:`repro.parallel.pipeline` splits graph construction into
+partitioned stages: ``beta`` accumulation over token-block partitions
+and ``gamma`` propagation over retained-edge partitions, with the
+driver merging per-partition partial rows (in partition order) before
+the top-K stages.  These kernels compute the same per-partition
+partials as the dict stage kernels -- bit-identical floats, because
+within a partition each pair's weights still accumulate in block/edge
+order -- but over the interned arrays instead of nested dicts.
+
+All functions are module-level and operate on picklable inputs, so the
+``process`` backend of :class:`~repro.parallel.context.ParallelContext`
+can ship them to workers.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Sequence
+
+from repro.kernels.dispatch import get_backend
+from repro.kernels.interning import CSRAdjacency, InternedBlocks
+
+Partial = dict[int, dict[int, float]]
+"""Per-partition accumulator: KB1 id -> (KB2 id -> partial weight)."""
+
+
+def beta_partition_kernel(
+    blocks: list[tuple[Sequence[int], Sequence[int]]],
+    n1: int,
+    n2: int,
+    backend: str,
+) -> Partial:
+    """Partial ``beta`` over one partition of ``(side1, side2)`` items.
+
+    Same partial rows as
+    :func:`repro.parallel.pipeline.beta_kernel`, computed by interning
+    the partition once and running the array backend's accumulator.
+    """
+    impl = get_backend(backend)
+    interned = InternedBlocks.from_block_items(blocks, n1, n2)
+    rows = impl.accumulate_beta(interned)
+    return {eid: row for eid, row in enumerate(rows) if row}
+
+
+def gamma_partition_kernel(
+    edges: list[tuple[int, int, float]],
+    in_neighbors_1: list[tuple[int, ...]],
+    in_neighbors_2: list[tuple[int, ...]],
+    backend: str,
+) -> Partial:
+    """Partial ``gamma`` over one partition of retained beta edges.
+
+    Same partial rows as
+    :func:`repro.parallel.pipeline.gamma_kernel`: every edge's weight
+    propagates to the cross product of the endpoints' top in-neighbors,
+    accumulated in edge order within the partition.
+    """
+    impl = get_backend(backend)
+    sources = array("i", (edge[0] for edge in edges))
+    targets = array("i", (edge[1] for edge in edges))
+    weights = array("d", (edge[2] for edge in edges))
+    adjacency1 = CSRAdjacency.from_lists(in_neighbors_1)
+    adjacency2 = CSRAdjacency.from_lists(in_neighbors_2)
+    rows = impl.accumulate_gamma((sources, targets, weights), adjacency1, adjacency2)
+    return {eid: row for eid, row in enumerate(rows) if row}

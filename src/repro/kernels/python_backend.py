@@ -1,0 +1,237 @@
+"""Dependency-free array kernels: dense scratch row + touched list.
+
+The accumulator pattern shared by both kernels: one dense ``float``
+scratch row (length = the other KB's entity count) plus a *touched*
+list of the slots written this round.  Accumulating into a list slot is
+a plain index store -- no per-pair hashing -- and resetting only the
+touched slots keeps each round O(nnz) instead of O(n).
+
+Top-K selection runs over ``(score, -id)`` decorated tuples in a
+bounded min-heap, so every comparison is a C-level tuple comparison
+(no key-function calls); the decoration realises the same total order
+as :func:`repro.graph.pruning.top_k_candidates`.
+
+Floating-point equivalence with the dict reference
+(:mod:`repro.graph.construction`) is by construction:
+
+* per KB1 entity, blocks are visited in ascending block order, so every
+  ``(i, j)`` pair accumulates its block weights in exactly the order the
+  reference's block-outer loop does;
+* side-2 rows are *copies* of the accumulated sums (bucketed by
+  candidate id), mirroring ``transpose_beta``'s copy semantics;
+* ``gamma`` visits retained edges grouped per in-neighbor source but in
+  retained-edge order within each group, matching the reference's
+  edge-outer loop order per ``(source, target)`` pair.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush, heappushpop
+
+from repro.graph.blocking_graph import CandidateList
+from repro.graph.pruning import adaptive_cut
+from repro.kernels.interning import CSRAdjacency, EdgeArrays, InternedBlocks
+
+name = "python"
+
+AdaptiveCut = tuple[float, int] | None
+"""``(gap_ratio, minimum)`` for dynamic pruning, or None for plain top-K."""
+
+
+def is_available() -> bool:
+    return True
+
+
+def _select_row(
+    ids: list[int],
+    sums: list[float],
+    k: int,
+    cut: AdaptiveCut,
+) -> CandidateList:
+    """Top-K of one sparse row, ranked by ``(-score, id)``.
+
+    Decorated as ``(score, -id)`` so the bounded min-heap keeps the k
+    largest under the exact tie-break order of ``top_k_candidates``.
+    """
+    if k <= 0 or not ids:
+        return ()
+    decorated = [(score, -candidate) for score, candidate in zip(sums, ids)]
+    if len(decorated) > k:
+        heap: list[tuple[float, int]] = []
+        worst = None
+        for item in decorated:
+            if worst is None:
+                heappush(heap, item)
+                if len(heap) == k:
+                    worst = heap[0]
+            elif item > worst:
+                heappushpop(heap, item)
+                worst = heap[0]
+        heap.sort(reverse=True)
+        decorated = heap
+    else:
+        decorated.sort(reverse=True)
+    ranked = tuple([(-negated, score) for score, negated in decorated])
+    if cut is not None:
+        ranked = adaptive_cut(ranked, cut[0], cut[1])
+    return ranked
+
+
+def _beta_sparse_rows(interned: InternedBlocks):
+    """Yield ``(candidate ids, beta sums)`` per KB1 entity, in order."""
+    n2 = interned.n2
+    entity_offsets = interned.entity_block_offsets.tolist()
+    entity_blocks = interned.entity_block_ids.tolist()
+    side2_offsets = interned.side2_offsets.tolist()
+    side2_ids = interned.side2_ids.tolist()
+    weights = interned.weights.tolist()
+    scratch = [0.0] * n2
+    for entity in range(interned.n1):
+        touched: list[int] = []
+        append = touched.append
+        for block in entity_blocks[entity_offsets[entity] : entity_offsets[entity + 1]]:
+            weight = weights[block]
+            for candidate in side2_ids[side2_offsets[block] : side2_offsets[block + 1]]:
+                value = scratch[candidate]
+                if value != 0.0:
+                    scratch[candidate] = value + weight
+                else:
+                    scratch[candidate] = weight
+                    append(candidate)
+        sums = [scratch[candidate] for candidate in touched]
+        yield touched, sums
+        for candidate in touched:
+            scratch[candidate] = 0.0
+
+
+def beta_sparse(interned: InternedBlocks) -> list[tuple[list[int], list[float]]]:
+    """Backend-native sparse ``beta``: per-entity ``(ids, sums)`` rows.
+
+    This is the representation the fused ``value_topk`` consumes; the
+    dict view of :func:`accumulate_beta` exists only as the
+    oracle-comparable interface.
+    """
+    return list(_beta_sparse_rows(interned))
+
+
+def accumulate_beta(interned: InternedBlocks) -> list[dict[int, float]]:
+    """Per-KB1-entity ``beta`` rows as dicts (oracle-comparable view).
+
+    Bit-identical to :func:`repro.graph.construction.accumulate_beta`
+    on the same blocks; used by the equivalence tests and benchmarks.
+    """
+    return [dict(zip(ids, sums)) for ids, sums in _beta_sparse_rows(interned)]
+
+
+def value_topk(
+    interned: InternedBlocks,
+    k: int,
+    cut: AdaptiveCut = None,
+) -> tuple[list[CandidateList], list[CandidateList]]:
+    """Fused beta accumulation + transpose + top-K for both sides.
+
+    Equivalent to ``value_evidence`` without materialising the n2 column
+    dicts: side-1 rows are pruned as soon as they are accumulated, and
+    their nonzeros are bucketed per KB2 entity (a copy, exactly like
+    ``transpose_beta``) for the side-2 pruning pass.
+    """
+    n2 = interned.n2
+    column_ids: list[list[int]] = [[] for _ in range(n2)]
+    column_sums: list[list[float]] = [[] for _ in range(n2)]
+    side1: list[CandidateList] = []
+    for entity, (ids, sums) in enumerate(_beta_sparse_rows(interned)):
+        side1.append(_select_row(ids, sums, k, cut))
+        for candidate, value in zip(ids, sums):
+            column_ids[candidate].append(entity)
+            column_sums[candidate].append(value)
+    side2 = [
+        _select_row(ids, sums, k, cut)
+        for ids, sums in zip(column_ids, column_sums)
+    ]
+    return side1, side2
+
+
+def _gamma_sparse_rows(
+    edges: EdgeArrays,
+    adjacency1: CSRAdjacency,
+    adjacency2: CSRAdjacency,
+):
+    """Yield ``(target ids, gamma sums)`` per KB1 source, in order.
+
+    Every retained beta edge ``(i, j, w)`` adds ``w`` to ``gamma[s][t]``
+    for every ``(s, t)`` in ``in1(i) x in2(j)``.  Edges are grouped per
+    source ``s`` (preserving edge order within each group) so one dense
+    scratch row per source accumulates all its targets without hashing.
+    """
+    n1, n2 = len(adjacency1), len(adjacency2)
+    edge_sources = edges[0].tolist()
+    edge_weights = edges[2].tolist()
+    in1 = adjacency1.to_lists()
+    in2 = adjacency2.to_lists()
+    edge_targets = [in2[target] for target in edges[1]]
+
+    source_edges: list[list[int]] = [[] for _ in range(n1)]
+    for edge, eid1 in enumerate(edge_sources):
+        for source in in1[eid1]:
+            source_edges[source].append(edge)
+
+    scratch = [0.0] * n2
+    for source in range(n1):
+        touched: list[int] = []
+        append = touched.append
+        for edge in source_edges[source]:
+            weight = edge_weights[edge]
+            for target in edge_targets[edge]:
+                value = scratch[target]
+                if value != 0.0:
+                    scratch[target] = value + weight
+                else:
+                    scratch[target] = weight
+                    append(target)
+        sums = [scratch[target] for target in touched]
+        yield touched, sums
+        for target in touched:
+            scratch[target] = 0.0
+
+
+def accumulate_gamma(
+    edges: EdgeArrays,
+    adjacency1: CSRAdjacency,
+    adjacency2: CSRAdjacency,
+) -> list[dict[int, float]]:
+    """Per-KB1-entity ``gamma`` rows as dicts (oracle-comparable view).
+
+    Same row values as the accumulation loop of
+    :func:`repro.graph.construction.neighbor_evidence`; used by the
+    partition kernels and the equivalence tests.
+    """
+    return [
+        dict(zip(ids, sums))
+        for ids, sums in _gamma_sparse_rows(edges, adjacency1, adjacency2)
+    ]
+
+
+def gamma_topk(
+    edges: EdgeArrays,
+    adjacency1: CSRAdjacency,
+    adjacency2: CSRAdjacency,
+    k: int,
+    cut: AdaptiveCut = None,
+) -> tuple[list[CandidateList], list[CandidateList]]:
+    """Fused gamma propagation + transpose + top-K for both sides."""
+    n2 = len(adjacency2)
+    column_ids: list[list[int]] = [[] for _ in range(n2)]
+    column_sums: list[list[float]] = [[] for _ in range(n2)]
+    side1: list[CandidateList] = []
+    for source, (ids, sums) in enumerate(
+        _gamma_sparse_rows(edges, adjacency1, adjacency2)
+    ):
+        side1.append(_select_row(ids, sums, k, cut))
+        for target, value in zip(ids, sums):
+            column_ids[target].append(source)
+            column_sums[target].append(value)
+    side2 = [
+        _select_row(ids, sums, k, cut)
+        for ids, sums in zip(column_ids, column_sums)
+    ]
+    return side1, side2

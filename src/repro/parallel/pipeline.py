@@ -29,6 +29,8 @@ from repro.graph.construction import name_evidence, retained_beta_edges
 from repro.graph.pruning import top_k_candidates
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.statistics import KBStatistics
+from repro.kernels.dispatch import resolve_backend_name
+from repro.kernels.partition import beta_partition_kernel, gamma_partition_kernel
 from repro.parallel.context import ParallelContext
 
 # ----------------------------------------------------------------------
@@ -153,12 +155,22 @@ class ParallelMinoanER:
         timings["blocking"] = time.perf_counter() - phase
 
         # -- Graph construction stages (Figure 4: alpha & beta during
-        #    blocking, gamma after the top-neighbor barrier).
+        #    blocking, gamma after the top-neighbor barrier).  The
+        #    accumulation stages run either the dict kernels or the
+        #    array kernels of repro.kernels.partition; both produce
+        #    bit-identical partials, so the choice is a pure perf knob.
         phase = time.perf_counter()
+        backend = resolve_backend_name(config.kernel_backend)
         names_1, names_2 = name_evidence(names)
 
         block_items = [(block.side1, block.side2) for block in tokens]
-        partials = context.run_stage("graph:beta", block_items, beta_kernel)
+        if backend == "dict":
+            partials = context.run_stage("graph:beta", block_items, beta_kernel)
+        else:
+            partials = context.run_stage(
+                "graph:beta", block_items, beta_partition_kernel,
+                len(kb1), len(kb2), backend,
+            )
         beta_rows = merge_partials(partials, len(kb1))
         beta_columns = transpose_rows(beta_rows, len(kb2))
 
@@ -167,9 +179,15 @@ class ParallelMinoanER:
         value_2 = _staged_top_k(context, "graph:topk_value_2", beta_columns, k)
 
         edges = [(e1, e2, w) for (e1, e2), w in retained_beta_edges(value_1, value_2).items()]
-        partials = context.run_stage(
-            "graph:gamma", edges, gamma_kernel, in_neighbors_1, in_neighbors_2
-        )
+        if backend == "dict":
+            partials = context.run_stage(
+                "graph:gamma", edges, gamma_kernel, in_neighbors_1, in_neighbors_2
+            )
+        else:
+            partials = context.run_stage(
+                "graph:gamma", edges, gamma_partition_kernel,
+                in_neighbors_1, in_neighbors_2, backend,
+            )
         gamma_rows = merge_partials(partials, len(kb1))
         gamma_columns = transpose_rows(gamma_rows, len(kb2))
         neighbor_1 = _staged_top_k(context, "graph:topk_neighbor_1", gamma_rows, k)

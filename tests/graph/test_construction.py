@@ -35,6 +35,36 @@ class TestNameEvidence:
         assert forward == {3: 7}
         assert 8 not in reverse
 
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_first_wins_follows_collection_order_under_shuffle(self, seed):
+        """Regression: the winning alpha edge is a pure function of the
+        block *collection order* -- nothing else.  Shuffling the blocks
+        may change which conflicting singleton wins, but the winner must
+        always be the first eligible block of the shuffled order, and
+        re-running on the same order must reproduce it exactly."""
+        import random
+
+        blocks = [Block(f"n{i}", [i % 5], [10 + i]) for i in range(20)]
+        blocks += [Block(f"m{i}", [i % 5 + 5], [10 + i]) for i in range(20)]
+        shuffled = list(blocks)
+        random.Random(seed).shuffle(shuffled)
+        collection = BlockCollection(shuffled)
+
+        forward, reverse = name_evidence(collection)
+        # Replay the documented rule over the shuffled order.
+        expected_forward: dict[int, int] = {}
+        expected_reverse: dict[int, int] = {}
+        for block in shuffled:
+            if block.is_singleton_pair:
+                eid1, eid2 = block.side1[0], block.side2[0]
+                if eid1 not in expected_forward and eid2 not in expected_reverse:
+                    expected_forward[eid1] = eid2
+                    expected_reverse[eid2] = eid1
+        assert forward == expected_forward
+        assert reverse == expected_reverse
+        # Same insertion order in again: bitwise repeatable.
+        assert name_evidence(collection) == (forward, reverse)
+
 
 class TestValueEvidence:
     def test_beta_reconstructs_value_similarity(self):
@@ -143,6 +173,35 @@ class TestBuildBlockingGraph:
         assert graph.beta(1, r1, r2) > 0
         # Their neighbors are value-similar: gamma edge.
         assert graph.gamma(1, r1, r2) > 0
+
+    @pytest.mark.parametrize("backend", ["python", "numpy", "auto"])
+    @pytest.mark.parametrize("dynamic", [False, True])
+    def test_kernel_backends_bit_identical(self, restaurant_kbs, backend, dynamic):
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        kb1, kb2 = restaurant_kbs
+        stats1 = KBStatistics(kb1)
+        stats2 = KBStatistics(kb2)
+        names = name_blocks(stats1, stats2)
+        tokens = token_blocks(kb1, kb2)
+        reference = build_blocking_graph(
+            stats1, stats2, names, tokens, k=5, dynamic_pruning=dynamic
+        )
+        kernel = build_blocking_graph(
+            stats1, stats2, names, tokens, k=5, dynamic_pruning=dynamic,
+            backend=backend,
+        )
+        assert kernel.identical(reference)
+
+    def test_unknown_backend_rejected(self, restaurant_kbs):
+        kb1, kb2 = restaurant_kbs
+        stats1 = KBStatistics(kb1)
+        stats2 = KBStatistics(kb2)
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            build_blocking_graph(
+                stats1, stats2, name_blocks(stats1, stats2),
+                token_blocks(kb1, kb2), backend="bogus",
+            )
 
     def test_k_bounds_candidate_lists(self, mini_pair):
         pair = mini_pair

@@ -36,6 +36,24 @@ class TestEquivalence:
             )
         assert parallel.matches == serial.matches
 
+    @pytest.mark.parametrize("kernel_backend", ["python", "numpy"])
+    def test_array_partition_kernels_bit_identical(self, mini_pair, kernel_backend):
+        """The array partition kernels must reproduce the dict partition
+        kernels exactly -- same partials per partition, hence a
+        bit-identical merged graph under the same partitioning."""
+        if kernel_backend == "numpy":
+            pytest.importorskip("numpy")
+        with ParallelContext(num_workers=3, backend="thread") as context:
+            dict_result = ParallelMinoanER(
+                MinoanERConfig(kernel_backend="dict"), context
+            ).resolve(mini_pair.kb1, mini_pair.kb2)
+        with ParallelContext(num_workers=3, backend="thread") as context:
+            kernel_result = ParallelMinoanER(
+                MinoanERConfig(kernel_backend=kernel_backend), context
+            ).resolve(mini_pair.kb1, mini_pair.kb2)
+        assert kernel_result.graph.identical(dict_result.graph)
+        assert kernel_result.matches == dict_result.matches
+
     def test_ablations_identical(self, mini_pair):
         for overrides in (
             {"use_reciprocity": False},
