@@ -1,0 +1,227 @@
+"""Benchmark the online serving engine: latency, throughput, equivalence.
+
+Measures, on one benchmark profile:
+
+* index build time and save/load round-trip time (plus file size);
+* single-query latency -- cold (cache cleared between queries) and warm
+  (repeated query mix) -- reported as p50/p95/mean milliseconds and
+  queries/second;
+* batch throughput of ``match_batch`` over the whole of KB1;
+* the batch/serve equivalence verdict: serving all of KB1 in one batch
+  must reproduce ``MinoanER.resolve`` exactly.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick  # CI smoke
+
+``--quick`` scales the profile down and caps the query count so the
+benchmark finishes in seconds on CI runners.  The process exits nonzero
+if the equivalence check fails, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.pipeline import MinoanER  # noqa: E402
+from repro.datasets.profiles import load_profile, profile_names, scaled_profile  # noqa: E402
+from repro.serving import MatchEngine, ResolutionIndex  # noqa: E402
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _latency_summary(samples_ms: list[float]) -> dict:
+    ordered = sorted(samples_ms)
+    total_s = sum(samples_ms) / 1e3
+    return {
+        "queries": len(samples_ms),
+        "p50_ms": _percentile(ordered, 0.50),
+        "p95_ms": _percentile(ordered, 0.95),
+        "mean_ms": (sum(samples_ms) / len(samples_ms)) if samples_ms else 0.0,
+        "qps": (len(samples_ms) / total_s) if total_s > 0 else 0.0,
+    }
+
+
+def bench_build_and_persistence(pair, tmp_dir: Path) -> tuple[ResolutionIndex, dict]:
+    started = time.perf_counter()
+    index = ResolutionIndex.build(pair.kb2)
+    build_s = time.perf_counter() - started
+
+    path = tmp_dir / "bench.idx"
+    started = time.perf_counter()
+    index.save(path)
+    save_s = time.perf_counter() - started
+    started = time.perf_counter()
+    loaded = ResolutionIndex.load(path)
+    load_s = time.perf_counter() - started
+
+    return loaded, {
+        "build_ms": build_s * 1e3,
+        "save_ms": save_s * 1e3,
+        "load_ms": load_s * 1e3,
+        "file_bytes": path.stat().st_size,
+        "entities": index.n2,
+        "tokens": len(index.postings),
+    }
+
+
+def bench_single_queries(index: ResolutionIndex, queries: list) -> dict:
+    # Cold: every query misses (cache cleared each time).
+    engine = MatchEngine(index)
+    cold: list[float] = []
+    for entity in queries:
+        engine.cache.clear()
+        started = time.perf_counter()
+        engine.match(entity)
+        cold.append((time.perf_counter() - started) * 1e3)
+
+    # Warm: prime the cache with the whole mix, then measure a second
+    # pass -- every query hits.
+    engine.cache.clear()
+    for entity in queries:
+        engine.match(entity)
+    warm: list[float] = []
+    for entity in queries:
+        started = time.perf_counter()
+        engine.match(entity)
+        warm.append((time.perf_counter() - started) * 1e3)
+
+    stats = engine.stats()
+    return {
+        "cold": _latency_summary(cold),
+        "warm": _latency_summary(warm),
+        "cache": stats["cache"],
+        "candidates_mean": stats["candidates_mean"],
+        "candidates_max": stats["candidates_max"],
+    }
+
+
+def bench_batch(index: ResolutionIndex, pair) -> dict:
+    engine = MatchEngine(index)
+    entities = list(pair.kb1)
+    started = time.perf_counter()
+    decisions = engine.match_batch(entities)
+    elapsed_s = time.perf_counter() - started
+    matched = sum(1 for d in decisions if d.matched)
+    return {
+        "queries": len(entities),
+        "total_ms": elapsed_s * 1e3,
+        "qps": len(entities) / elapsed_s if elapsed_s > 0 else 0.0,
+        "matched": matched,
+    }
+
+
+def verify_equivalence(index: ResolutionIndex, pair) -> dict:
+    batch = MinoanER(index.config).resolve(pair.kb1, pair.kb2)
+    decisions = MatchEngine(index).match_batch(list(pair.kb1))
+    served = {
+        (eid1, d.kb2_id) for eid1, d in enumerate(decisions) if d.matched
+    }
+    return {
+        "batch_matches": len(batch.matches),
+        "served_matches": len(served),
+        "identical": served == batch.matches,
+    }
+
+
+def run(profile: str, scale: float | None, max_queries: int, tmp_dir: Path) -> dict:
+    pair = scaled_profile(profile, scale) if scale else load_profile(profile)
+    index, persistence = bench_build_and_persistence(pair, tmp_dir)
+    queries = list(pair.kb1)[:max_queries]
+    return {
+        "profile": profile,
+        "scale": scale,
+        "n1": len(pair.kb1),
+        "n2": len(pair.kb2),
+        "index": persistence,
+        "single": bench_single_queries(index, queries),
+        "batch": bench_batch(index, pair),
+        "equivalence": verify_equivalence(index, pair),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default="restaurant", choices=profile_names())
+    parser.add_argument(
+        "--max-queries", type=int, default=500,
+        help="cap on single-query latency samples (default %(default)s)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the JSON record here (default: print to stdout only)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: scaled profile, 100 queries",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.3 if args.quick else None
+    max_queries = 100 if args.quick else args.max_queries
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run(args.profile, scale, max_queries, Path(tmp))
+
+    record = {
+        "benchmark": "serving",
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "result": result,
+    }
+    if args.output:
+        args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    single = result["single"]
+    batch = result["batch"]
+    print(
+        f"{result['profile']} (n1={result['n1']}, n2={result['n2']}): "
+        f"index build {result['index']['build_ms']:.1f}ms, "
+        f"{result['index']['file_bytes'] / 1024:.0f}KiB on disk"
+    )
+    print(
+        f"  single cold: p50 {single['cold']['p50_ms']:.3f}ms, "
+        f"p95 {single['cold']['p95_ms']:.3f}ms, {single['cold']['qps']:.0f} q/s"
+    )
+    print(
+        f"  single warm: p50 {single['warm']['p50_ms']:.3f}ms, "
+        f"p95 {single['warm']['p95_ms']:.3f}ms, {single['warm']['qps']:.0f} q/s"
+    )
+    print(
+        f"  batch: {batch['queries']} queries in {batch['total_ms']:.1f}ms "
+        f"({batch['qps']:.0f} q/s), {batch['matched']} matched"
+    )
+    equivalence = result["equivalence"]
+    if not equivalence["identical"]:
+        print(
+            f"EQUIVALENCE FAILED: served {equivalence['served_matches']} != "
+            f"batch {equivalence['batch_matches']}"
+        )
+        return 1
+    print(
+        f"  equivalence: serving == batch "
+        f"({equivalence['batch_matches']} matches)"
+    )
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

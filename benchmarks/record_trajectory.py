@@ -1,14 +1,18 @@
-"""Record the kernel-layer performance trajectory to ``BENCH_PR1.json``.
+"""Record the performance trajectory to ``BENCH_PR2.json``.
 
-Two measurements, both against the dict reference implementation of
-:mod:`repro.graph.construction` on the ``bbc_dbpedia`` profile (the
-largest of the four calibrated benchmark pairs):
+Three measurements:
 
 * micro-kernel wall times (best of N) for the beta accumulation, the
   fused value transpose + top-K, and the fused gamma propagation +
-  top-K, per available array backend, plus the one-off interning cost;
+  top-K, per available array backend, plus the one-off interning cost --
+  all against the dict reference on the ``bbc_dbpedia`` profile (the
+  largest of the four calibrated benchmark pairs);
 * a bit-identity verdict of ``build_blocking_graph`` between the dict
-  reference and every array backend, on all four dataset profiles.
+  reference and every array backend, on all four dataset profiles;
+* the online serving trajectory (:mod:`benchmarks.bench_serving`):
+  index build/persistence cost, single-query p50/p95 latency and
+  throughput (cold and warm cache), batch throughput, and the
+  batch/serve equivalence verdict.
 
 Run from the repository root::
 
@@ -142,12 +146,24 @@ def verify_bit_identity(profiles: list[str], scale: float | None) -> dict:
     return verdicts
 
 
+def bench_serving_trajectory(quick: bool) -> dict:
+    """Serving latency/throughput via :mod:`benchmarks.bench_serving`."""
+    import tempfile
+
+    import bench_serving
+
+    scale = 0.3 if quick else None
+    max_queries = 100 if quick else 500
+    with tempfile.TemporaryDirectory() as tmp:
+        return bench_serving.run("restaurant", scale, max_queries, Path(tmp))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", default="bbc_dbpedia", choices=profile_names())
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
-        "--output", type=Path, default=REPO_ROOT / "BENCH_PR1.json",
+        "--output", type=Path, default=REPO_ROOT / "BENCH_PR2.json",
         help="where to write the JSON record",
     )
     parser.add_argument(
@@ -162,16 +178,18 @@ def main(argv: list[str] | None = None) -> int:
 
     micro = time_micro_kernels(args.profile, repeats, scale)
     identity = verify_bit_identity(identity_profiles, scale)
+    serving = bench_serving_trajectory(args.quick)
 
     record = {
-        "pr": 1,
-        "title": "Array-backed sparse kernel layer for the blocking-graph hot path",
+        "pr": 2,
+        "title": "Online query-time resolution engine over a frozen KB index",
         "python": platform.python_version(),
         "auto_backend": resolve_backend_name("auto"),
         "k": K,
         "quick": args.quick,
         "micro_kernels": micro,
         "bit_identical": identity,
+        "serving": serving,
     }
     args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
 
@@ -189,6 +207,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"BIT-IDENTITY FAILED: {', '.join(failures)}")
         return 1
     print(f"bit-identical on: {', '.join(identity)}")
+    single = serving["single"]
+    print(
+        f"serving ({serving['profile']}): cold p50 {single['cold']['p50_ms']:.3f}ms / "
+        f"p95 {single['cold']['p95_ms']:.3f}ms ({single['cold']['qps']:.0f} q/s), "
+        f"batch {serving['batch']['qps']:.0f} q/s"
+    )
+    if not serving["equivalence"]["identical"]:
+        print("SERVING EQUIVALENCE FAILED")
+        return 1
+    print(f"serving equivalence: ok ({serving['equivalence']['batch_matches']} matches)")
     print(f"wrote {args.output}")
     return 0
 

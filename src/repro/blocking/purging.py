@@ -23,6 +23,8 @@ on tie order.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.blocking.base import BlockCollection
 
 DEFAULT_BUDGET_RATIO = 0.01
@@ -32,6 +34,36 @@ fewer), the regime the paper's Table 2 reports."""
 MIN_BUDGET = 1000
 """Purging exists to bound a quadratic blowup; below this many
 comparisons there is nothing to bound, so tiny inputs keep all blocks."""
+
+
+def purging_threshold_from_counts(
+    counts: Iterable[int],
+    cartesian: int,
+    budget_ratio: float = DEFAULT_BUDGET_RATIO,
+) -> int:
+    """:func:`purging_threshold` over bare per-block comparison counts.
+
+    The serving engine uses this form: at query time a block is a
+    ``(query entities, posting list)`` pair whose comparison count is
+    known without materialising a :class:`~repro.blocking.base.Block`.
+    """
+    if budget_ratio <= 0:
+        raise ValueError(f"budget_ratio must be > 0, got {budget_ratio}")
+    per_level: dict[int, int] = {}
+    for comparisons in counts:
+        per_level[comparisons] = per_level.get(comparisons, 0) + comparisons
+    levels = sorted(per_level)
+    if not levels:
+        return 0
+    budget = max(budget_ratio * cartesian, float(MIN_BUDGET))
+    threshold = levels[0]
+    cumulative = 0
+    for level in levels:
+        cumulative += per_level[level]
+        if cumulative > budget and level != levels[0]:
+            break
+        threshold = level
+    return threshold
 
 
 def purging_threshold(
@@ -46,23 +78,9 @@ def purging_threshold(
     At least the smallest level is always kept, so purging never empties
     a non-empty collection.
     """
-    if budget_ratio <= 0:
-        raise ValueError(f"budget_ratio must be > 0, got {budget_ratio}")
-    per_level: dict[int, int] = {}
-    for block in blocks:
-        per_level[block.comparisons] = per_level.get(block.comparisons, 0) + block.comparisons
-    levels = sorted(per_level)
-    if not levels:
-        return 0
-    budget = max(budget_ratio * cartesian, float(MIN_BUDGET))
-    threshold = levels[0]
-    cumulative = 0
-    for level in levels:
-        cumulative += per_level[level]
-        if cumulative > budget and level != levels[0]:
-            break
-        threshold = level
-    return threshold
+    return purging_threshold_from_counts(
+        (block.comparisons for block in blocks), cartesian, budget_ratio
+    )
 
 
 def purge_blocks(

@@ -1,4 +1,4 @@
-"""Command-line interface: resolve, dedupe, generate, experiment.
+"""Command-line interface: resolve, dedupe, generate, experiment, index, serve.
 
 Usage::
 
@@ -6,11 +6,16 @@ Usage::
     python -m repro dedupe kb.nt -o duplicates.tsv
     python -m repro generate restaurant --out-dir data/ --scale 0.5
     python -m repro experiment table3 --profiles restaurant bbc_dbpedia
+    python -m repro index kb2.nt -o kb2.idx
+    python -m repro serve kb2.idx < queries.jsonl > answers.jsonl
 
-``resolve`` and ``dedupe`` accept N-Triples (``.nt``) or
+``resolve``, ``dedupe`` and ``index`` accept N-Triples (``.nt``) or
 ``subject<TAB>predicate<TAB>object`` TSV files.  ``generate``
 materialises a synthetic benchmark profile to disk; ``experiment``
 regenerates one of the paper's tables or figures and prints it.
+``index`` freezes a target KB into a query-time resolution index, and
+``serve`` answers JSONL queries against it (see ``docs/serving.md`` for
+the wire format).
 """
 
 from __future__ import annotations
@@ -176,6 +181,56 @@ def command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_index(args: argparse.Namespace) -> int:
+    from repro.serving import ResolutionIndex
+
+    kb2 = _load_kb(args.kb, "KB2")
+    index = ResolutionIndex.build(kb2, _config_from(args))
+    index.save(args.output)
+    summary = index.describe()
+    print(
+        f"# indexed {summary['entities']} entities "
+        f"({summary['tokens']} tokens, {summary['names']} names) -> {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving import MatchEngine, ResolutionIndex
+    from repro.serving.io import read_requests, write_decisions
+
+    index = ResolutionIndex.load(args.index)
+    config = index.config.with_options(
+        serving_cache_size=args.cache_size,
+        serving_candidate_cap=args.candidate_cap,
+        serving_batch_size=args.batch_size,
+    )
+    engine = MatchEngine(index, config)
+    stream = open(args.input, "r", encoding="utf-8") if args.input else sys.stdin
+    try:
+        if config.serving_batch_size == 1:
+            for entity in read_requests(stream):
+                write_decisions([engine.match(entity)], sys.stdout)
+        else:
+            batch: list = []
+            for entity in read_requests(stream):
+                batch.append(entity)
+                if len(batch) >= config.serving_batch_size:
+                    write_decisions(engine.match_batch(batch), sys.stdout)
+                    batch = []
+            if batch:
+                write_decisions(engine.match_batch(batch), sys.stdout)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    if args.stats:
+        print(f"# {json.dumps(engine.stats())}", file=sys.stderr)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -222,6 +277,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="datasets to include (default: all four)",
     )
     experiment.set_defaults(handler=command_experiment)
+
+    index = subparsers.add_parser(
+        "index", help="freeze a target KB into a query-time resolution index"
+    )
+    index.add_argument("kb", help="target KB file (N-Triples or TSV)")
+    index.add_argument("-o", "--output", required=True, help="index file to write")
+    _add_config_arguments(index)
+    index.set_defaults(handler=command_index)
+
+    serving_defaults = MinoanERConfig()
+    serve = subparsers.add_parser(
+        "serve", help="answer JSONL queries against a resolution index"
+    )
+    serve.add_argument("index", help="index file written by 'repro index'")
+    serve.add_argument(
+        "-i", "--input", help="JSONL request file (default: stdin)"
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=serving_defaults.serving_batch_size,
+        help="queries resolved together; >1 lets related queries share "
+        "context (default %(default)s)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=serving_defaults.serving_cache_size,
+        help="LRU result-cache capacity, 0 disables (default %(default)s)",
+    )
+    serve.add_argument(
+        "--candidate-cap", type=int, default=serving_defaults.serving_candidate_cap,
+        help="per-query candidate cap (default: unlimited, exact)",
+    )
+    serve.add_argument(
+        "--stats", action="store_true",
+        help="print engine counters as JSON to stderr when done",
+    )
+    serve.set_defaults(handler=command_serve)
 
     return parser
 

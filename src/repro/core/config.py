@@ -65,6 +65,21 @@ class MinoanERConfig:
         ``numpy`` when importable and ``python`` otherwise.  All
         backends produce bit-identical graphs; this is purely a
         performance knob.
+    serving_cache_size:
+        Capacity of the :class:`repro.serving.cache.LRUCache` holding
+        single-query decisions, keyed by entity content fingerprint
+        (0 disables caching).
+    serving_candidate_cap:
+        Per-query cap on the candidate set considered by the serving
+        engine: after ``beta`` accumulation only the cap highest-scored
+        candidates survive.  ``None`` (the default) keeps every touched
+        candidate, which is required for exact batch/serve equivalence;
+        setting a cap trades recall for bounded query latency.
+    serving_batch_size:
+        Default micro-batch size of the ``serve`` CLI subcommand.  Size
+        1 answers queries independently (cacheable); larger batches are
+        resolved together, which lets related queries contribute
+        query-side context (Entity Frequencies, neighbor evidence).
     """
 
     name_attributes_k: int = 2
@@ -86,6 +101,9 @@ class MinoanERConfig:
     tokenizer_min_length: int = 1
     stopwords: tuple[str, ...] = field(default=())
     kernel_backend: str = "auto"
+    serving_cache_size: int = 1024
+    serving_candidate_cap: int | None = None
+    serving_batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.name_attributes_k < 0:
@@ -112,6 +130,19 @@ class MinoanERConfig:
             raise ValueError(
                 f"kernel_backend must be one of {KERNEL_BACKENDS}, "
                 f"got {self.kernel_backend!r}"
+            )
+        if self.serving_cache_size < 0:
+            raise ValueError(
+                f"serving_cache_size must be >= 0, got {self.serving_cache_size}"
+            )
+        if self.serving_candidate_cap is not None and self.serving_candidate_cap < 1:
+            raise ValueError(
+                f"serving_candidate_cap must be >= 1 or None, "
+                f"got {self.serving_candidate_cap}"
+            )
+        if self.serving_batch_size < 1:
+            raise ValueError(
+                f"serving_batch_size must be >= 1, got {self.serving_batch_size}"
             )
 
     def with_options(self, **changes: Any) -> "MinoanERConfig":

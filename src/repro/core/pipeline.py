@@ -24,14 +24,22 @@ from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.statistics import KBStatistics
 
 
+TIMING_PHASES = ("statistics", "blocking", "graph", "matching", "total")
+"""The documented keys of :attr:`ResolutionResult.timings`, in pipeline order."""
+
+
 @dataclass
 class ResolutionResult:
     """Everything produced by one :meth:`MinoanER.resolve` run.
 
     ``matches`` are id pairs; :meth:`uri_matches` translates them to URI
     pairs for downstream consumers; ``timings`` holds per-phase wall
-    times in seconds (keys: ``statistics``, ``blocking``, ``graph``,
-    ``matching``, ``total``).
+    times in seconds.  All :data:`TIMING_PHASES` keys (``statistics``,
+    ``blocking``, ``graph``, ``matching``, ``total``) are always
+    present: a phase that was skipped (or a result assembled by hand,
+    e.g. in tests or by a pipeline variant that fuses phases) reports
+    0.0 rather than omitting the key, so downstream consumers can index
+    ``timings`` without guarding.
     """
 
     kb1: KnowledgeBase
@@ -41,6 +49,10 @@ class ResolutionResult:
     name_block_collection: BlockCollection
     token_block_collection: BlockCollection
     timings: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for phase in TIMING_PHASES:
+            self.timings.setdefault(phase, 0.0)
 
     @property
     def matches(self) -> set[tuple[int, int]]:

@@ -34,15 +34,18 @@ from repro.kernels.interning import (
     block_weight,
     retained_edge_arrays,
 )
+from repro.kernels.python_backend import accumulate_row, select_row
 
 __all__ = [
     "KERNEL_BACKENDS",
     "CSRAdjacency",
     "InternedBlocks",
+    "accumulate_row",
     "available_backends",
     "block_weight",
     "get_backend",
     "numpy_available",
     "resolve_backend_name",
     "retained_edge_arrays",
+    "select_row",
 ]

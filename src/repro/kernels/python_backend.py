@@ -27,6 +27,7 @@ Floating-point equivalence with the dict reference
 from __future__ import annotations
 
 from heapq import heappush, heappushpop
+from typing import Iterable
 
 from repro.graph.blocking_graph import CandidateList
 from repro.graph.pruning import adaptive_cut
@@ -75,6 +76,42 @@ def _select_row(
     if cut is not None:
         ranked = adaptive_cut(ranked, cut[0], cut[1])
     return ranked
+
+
+def select_row(
+    ids: list[int],
+    sums: list[float],
+    k: int,
+    cut: AdaptiveCut = None,
+) -> CandidateList:
+    """Public single-row top-K entry point (used by the serving engine).
+
+    Ranks one sparse row under the exact total order of the batch
+    kernels -- ``(-score, id)`` with the same bounded-heap selection --
+    so a row scored at query time is pruned identically to the same row
+    scored inside :func:`value_topk` / :func:`gamma_topk`.
+    """
+    return _select_row(ids, sums, k, cut)
+
+
+def accumulate_row(
+    weighted_postings: "Iterable[tuple[float, Iterable[int]]]",
+) -> tuple[list[int], list[float]]:
+    """Accumulate one entity's ``beta`` row from weighted posting lists.
+
+    ``weighted_postings`` yields ``(block weight, candidate ids)`` per
+    block, in ascending block order.  Sums are added in visit order, so
+    feeding the blocks of one KB1 entity (sorted as the interner sorts
+    them) reproduces that entity's :func:`beta_sparse` row bit for bit
+    -- this is the single-query hot path of :mod:`repro.serving`, which
+    never materialises an :class:`~repro.kernels.interning.InternedBlocks`.
+    """
+    row: dict[int, float] = {}
+    get = row.get
+    for weight, candidates in weighted_postings:
+        for candidate in candidates:
+            row[candidate] = get(candidate, 0.0) + weight
+    return list(row.keys()), list(row.values())
 
 
 def _beta_sparse_rows(interned: InternedBlocks):

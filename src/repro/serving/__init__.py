@@ -1,0 +1,34 @@
+"""Online query-time resolution over a frozen KB index.
+
+The batch pipeline (:mod:`repro.core.pipeline`) answers "match these two
+KBs"; this package answers "match *this entity, now*" without paying the
+batch cost per query:
+
+* :class:`~repro.serving.index.ResolutionIndex` freezes everything
+  Algorithm 1 needs about the target KB -- build once (or
+  :meth:`~repro.serving.index.ResolutionIndex.load` from disk), serve
+  many;
+* :class:`~repro.serving.engine.MatchEngine` answers single queries in
+  O(candidate set) and batches with full batch-side context, backed by
+  a thread-safe content-addressed
+  :class:`~repro.serving.cache.LRUCache`;
+* :mod:`repro.serving.io` defines the JSONL wire format of the
+  ``python -m repro serve`` subcommand.
+
+Serving the whole of KB1 through
+:meth:`~repro.serving.engine.MatchEngine.match_batch` reproduces the
+batch pipeline's match set exactly (tested in
+``tests/serving/test_equivalence.py``).
+"""
+
+from repro.serving.cache import LRUCache, entity_fingerprint
+from repro.serving.engine import MatchDecision, MatchEngine
+from repro.serving.index import ResolutionIndex
+
+__all__ = [
+    "LRUCache",
+    "MatchDecision",
+    "MatchEngine",
+    "ResolutionIndex",
+    "entity_fingerprint",
+]

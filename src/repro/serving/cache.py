@@ -1,0 +1,132 @@
+"""Thread-safe LRU result cache for the serving engine.
+
+Single-query decisions depend only on the query's *content* (its
+attribute-value pairs) and the frozen index, never on the query URI, so
+the cache is keyed by a content fingerprint: two descriptions with
+identical pairs share one cache entry regardless of URI.  Batch
+decisions are never cached -- they depend on the whole batch context.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.kb.entity import EntityDescription
+
+_MISSING = object()
+
+
+def entity_fingerprint(entity: EntityDescription) -> str:
+    """Content fingerprint of a description (URI excluded).
+
+    ``EntityDescription.pairs`` is already deduplicated and sorted, so
+    the fingerprint is canonical: descriptions equal up to URI and pair
+    order fingerprint identically.
+
+    >>> a = EntityDescription("x", [("label", "Bray")])
+    >>> b = EntityDescription("y", [("label", "Bray")])
+    >>> entity_fingerprint(a) == entity_fingerprint(b)
+    True
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for attribute, value in entity.pairs:
+        digest.update(attribute.encode("utf-8"))
+        digest.update(b"\x1e")
+        digest.update(value.encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping with hit/miss counters.
+
+    All operations take the internal lock, so one instance can be
+    shared by every thread of a serving process.  ``capacity = 0``
+    disables storage (every ``get`` is a miss, ``put`` is a no-op)
+    while keeping the counters meaningful.
+
+    >>> cache = LRUCache(2)
+    >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+    >>> cache.get("a") is None  # evicted: least recently used
+    True
+    >>> cache.get("c")
+    3
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value for ``key`` (refreshing its recency), or
+        ``default``; counts a hit or a miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the least recently used
+        entry when over capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership without touching recency or counters."""
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[Hashable]:
+        """Keys in eviction order (least recently used first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict[str, int | float]:
+        """Snapshot of size and counters (consistent under the lock)."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"LRUCache(size={stats['size']}/{stats['capacity']}, "
+            f"hits={stats['hits']}, misses={stats['misses']}, "
+            f"evictions={stats['evictions']})"
+        )

@@ -1,0 +1,528 @@
+"""Query-time resolution over a frozen :class:`ResolutionIndex`.
+
+Two entry points with one contract:
+
+* :meth:`MatchEngine.match_batch` resolves a *batch* of query
+  descriptions together.  The batch supplies the query-side context of
+  Algorithm 1 -- Entity Frequencies, name attributes, top in-neighbors
+  -- and the engine then runs the exact batch pipeline against the
+  frozen index (same blocks, same kernels, same rules), so serving
+  every KB1 entity in one batch reproduces
+  :meth:`repro.core.pipeline.MinoanER.resolve` pair for pair.
+* :meth:`MatchEngine.match` resolves a *single* description as a batch
+  of one, on a dedicated hot path: candidates come only from the
+  query's shared tokens and names (never a scan of the indexed KB), the
+  ``beta`` row is accumulated with the single-row kernel entry points
+  (:func:`repro.kernels.accumulate_row` / ``select_row``) using the
+  index's hoisted singleton block weights, and rules R1-R4 run in a
+  query-local form whose per-candidate reciprocity checks touch nothing
+  outside the candidate set.  ``match(e)`` equals
+  ``match_batch([e])[0]`` by construction (tested).
+
+Batch-of-one semantics, spelled out: the query side contributes
+``EF1(t) = 1`` to every block weight, and neighbor evidence (``gamma``)
+is inert because a lone description has no resolvable relations --
+related queries must be batched together for rule R3's neighbor ranking
+to contribute.  Single-query decisions are therefore cacheable by
+content fingerprint (:mod:`repro.serving.cache`); batch decisions are
+not, and never enter the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.name_blocking import normalize_name
+from repro.blocking.purging import purge_blocks, purging_threshold_from_counts
+from repro.core.config import MinoanERConfig
+from repro.core.matcher import NonIterativeMatcher
+from repro.core.rank_aggregation import top_aggregate_candidate
+from repro.graph.blocking_graph import CandidateList, DisjunctiveBlockingGraph
+from repro.graph.pruning import DEFAULT_ADAPTIVE_MINIMUM
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.statistics import KBStatistics
+from repro.kernels import (
+    InternedBlocks,
+    accumulate_row,
+    get_backend,
+    resolve_backend_name,
+    retained_edge_arrays,
+    select_row,
+)
+from repro.serving.cache import LRUCache, entity_fingerprint
+from repro.serving.index import ResolutionIndex
+
+RULE_PRIORITY = {"R1": 0, "R2": 1, "R3": 2}
+"""Conflict-resolution priority of the matching rules (R1 strongest)."""
+
+_LATENCY_WINDOW = 2048
+"""Recent per-query latencies kept for the percentile snapshot."""
+
+
+@dataclass(frozen=True)
+class MatchDecision:
+    """The engine's answer for one query description.
+
+    ``candidates`` counts the query's retained value candidates (its
+    pruned ``beta`` out-degree), the same quantity on the single and
+    batch paths.  ``cached`` and ``latency_ms`` describe *this* lookup
+    and are excluded from equality, so a decision served from cache
+    compares equal to the one that populated it.
+    """
+
+    query_uri: str
+    kb2_id: int | None
+    kb2_uri: str | None
+    rule: str | None
+    score: float | None
+    candidates: int
+    cached: bool = field(default=False, compare=False)
+    latency_ms: float = field(default=0.0, compare=False)
+
+    @property
+    def matched(self) -> bool:
+        """True iff the engine matched the query to an indexed entity."""
+        return self.kb2_id is not None
+
+
+class MatchEngine:
+    """Online matcher over a frozen index; safe to share across threads.
+
+    Parameters
+    ----------
+    index:
+        The frozen target-KB structures.
+    config:
+        Overrides the config baked into the index.  Matching-rule and
+        serving knobs take effect immediately; the KB2-side statistics
+        knobs (``name_attributes_k``, ``relations_n``) are frozen into
+        the index and only affect the query side.
+    cache:
+        An externally owned :class:`LRUCache` (e.g. shared between
+        engines over the same index); by default the engine creates one
+        sized ``config.serving_cache_size``.
+    """
+
+    def __init__(
+        self,
+        index: ResolutionIndex,
+        config: MinoanERConfig | None = None,
+        cache: LRUCache | None = None,
+    ):
+        self.index = index
+        self.config = config or index.config
+        backend = resolve_backend_name(self.config.kernel_backend)
+        if backend == "dict":
+            # The dict reference has no array entry points; the python
+            # kernels are bit-identical to it, so serving uses them.
+            backend = "python"
+        self._impl = get_backend(backend)
+        self._cut = (
+            (self.config.pruning_gap_ratio, DEFAULT_ADAPTIVE_MINIMUM)
+            if self.config.dynamic_pruning
+            else None
+        )
+        self.cache = cache if cache is not None else LRUCache(self.config.serving_cache_size)
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._batches = 0
+        self._batch_queries = 0
+        self._matched = 0
+        self._candidates_total = 0
+        self._candidates_max = 0
+        self._latency_total = 0.0
+        self._latencies: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Single-query path
+    # ------------------------------------------------------------------
+    def match(self, entity: EntityDescription) -> MatchDecision:
+        """Resolve one description against the index (batch-of-one).
+
+        Consults the LRU cache first (content-fingerprint key); on a
+        miss, runs the query-local pipeline and caches the outcome.
+        """
+        started = time.perf_counter()
+        key = entity_fingerprint(entity)
+        outcome = self.cache.get(key)
+        hit = outcome is not None
+        if not hit:
+            outcome = self._resolve_single(entity)
+            self.cache.put(key, outcome)
+        kb2_id, rule, score, candidates = outcome
+        latency_ms = (time.perf_counter() - started) * 1e3
+        decision = MatchDecision(
+            query_uri=entity.uri,
+            kb2_id=kb2_id,
+            kb2_uri=self.index.uris2[kb2_id] if kb2_id is not None else None,
+            rule=rule,
+            score=score,
+            candidates=candidates,
+            cached=hit,
+            latency_ms=latency_ms,
+        )
+        self._record(1, latency_ms, [candidates], 1 if kb2_id is not None else 0)
+        return decision
+
+    def _resolve_single(
+        self, entity: EntityDescription
+    ) -> tuple[int | None, str | None, float | None, int]:
+        """Query-local Algorithm 1 + rules R1-R4 for a batch of one.
+
+        Returns ``(kb2 id, rule, score, retained candidates)`` --
+        exactly the outcome ``match_batch([entity])`` would produce,
+        computed in O(candidate set) instead of O(|KB2|).
+        """
+        index = self.index
+        config = self.config
+        if index.n2 == 0:
+            return None, None, None, 0
+
+        qkb = KnowledgeBase([entity], name="query", tokenizer=index.tokenizer)
+        qstats = KBStatistics(
+            qkb,
+            top_k_name_attributes=config.name_attributes_k,
+            top_n_relations=config.relations_n,
+        )
+
+        # Name evidence: the first singleton shared name in sorted order
+        # (the emit order of name_blocks + name_evidence).
+        qnames = {
+            name
+            for name in (normalize_name(raw) for raw in qstats.names(0))
+            if name
+        }
+        alpha: int | None = None
+        for name in sorted(qnames & index.names.keys()):
+            ids2 = index.names[name]
+            if len(ids2) == 1:
+                alpha = ids2[0]
+                break
+
+        # Value evidence over the query's shared-token blocks only.
+        postings = index.postings
+        shared = sorted(token for token in qkb.tokens(0) if token in postings)
+        if config.purge_blocks and shared:
+            threshold = config.max_block_comparisons
+            if threshold is None:
+                # One query entity: a token block suggests EF2(t)
+                # comparisons against a Cartesian of 1 * n2.
+                threshold = purging_threshold_from_counts(
+                    (len(postings[token]) for token in shared),
+                    cartesian=index.n2,
+                    budget_ratio=config.purging_budget_ratio,
+                )
+            shared = [token for token in shared if len(postings[token]) <= threshold]
+
+        singleton_weights = index.singleton_weights
+        ids, sums = accumulate_row(
+            (singleton_weights[token], postings[token]) for token in shared
+        )
+        cap = config.serving_candidate_cap
+        if cap is not None and len(ids) > cap:
+            capped = select_row(ids, sums, cap)
+            ids = [candidate for candidate, _ in capped]
+            sums = [score for _, score in capped]
+        value_list = select_row(ids, sums, config.candidates_k, self._cut)
+        # gamma is inert for a lone query (no resolvable relations), so
+        # the neighbor candidate lists of both sides are empty.
+
+        # Rules R1-R3, query-local.  Proposals are (candidate, score,
+        # rule); the query is implicitly side-1 entity 0.
+        collected: list[tuple[int, float, str]] = []
+        claimed_q = False
+        claimed_2: set[int] = set()
+        if config.use_name_rule and alpha is not None:
+            collected.append((alpha, float("inf"), "R1"))
+            claimed_q = True
+            claimed_2.add(alpha)
+        if config.use_value_rule and not claimed_q and value_list:
+            top_candidate, top_beta = value_list[0]
+            if top_beta >= config.value_threshold:
+                collected.append((top_candidate, top_beta, "R2"))
+                claimed_q = True
+                claimed_2.add(top_candidate)
+        if config.use_rank_aggregation:
+            if not claimed_q:
+                best = top_aggregate_candidate(value_list, (), config.theta)
+                if best is not None:
+                    candidate, score = best
+                    collected.append((candidate, score, "R3"))
+                    claimed_2.add(candidate)
+            # Side-2 sweep: every touched candidate's own value list is
+            # the single pair back to the query (rank score 1.0), so its
+            # best aggregate is the query at theta * 1.0.
+            side2_score = config.theta
+            for candidate in sorted(ids):
+                if candidate not in claimed_2:
+                    collected.append((candidate, side2_score, "R3"))
+                    claimed_2.add(candidate)
+
+        # R4 reciprocity, per candidate: the candidate always retains
+        # the query (the query is its entire candidate column), so only
+        # the query -> candidate direction can fail -- the candidate
+        # must sit in the query's pruned out-set.
+        if config.use_reciprocity:
+            out_q = {candidate for candidate, _ in value_list}
+            if alpha is not None:
+                out_q.add(alpha)
+            collected = [item for item in collected if item[0] in out_q]
+
+        if not collected:
+            return None, None, None, len(value_list)
+        # Unique mapping over pairs sharing one query entity keeps
+        # exactly the strongest proposal (rule priority, score, id).
+        candidate, score, rule = min(
+            collected, key=lambda item: (RULE_PRIORITY[item[2]], -item[1], item[0])
+        )
+        return int(candidate), rule, float(score), len(value_list)
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def match_batch(
+        self, entities: Iterable[EntityDescription]
+    ) -> list[MatchDecision]:
+        """Resolve a batch of descriptions together, with shared context.
+
+        The batch is treated as the query-side KB of Algorithm 1:
+        relations between batch entities resolve, Entity Frequencies
+        come from the batch, and neighbor evidence propagates inside
+        it.  Decisions are returned in input order; entities the rules
+        left unmatched get an unmatched decision.  Results bypass the
+        cache (they are only valid within this batch context).
+        """
+        started = time.perf_counter()
+        batch = list(entities)
+        if not batch:
+            return []
+        index = self.index
+        config = self.config
+        qkb = KnowledgeBase(batch, name="query-batch", tokenizer=index.tokenizer)
+        qstats = KBStatistics(
+            qkb,
+            top_k_name_attributes=config.name_attributes_k,
+            top_n_relations=config.relations_n,
+        )
+        graph = self._batch_graph(qkb, qstats)
+        matching = NonIterativeMatcher(config).match(graph)
+
+        # Per query entity, the strongest surviving pair (under the
+        # matcher's own conflict order; unique mapping already leaves at
+        # most one).
+        best_of: dict[int, tuple[tuple, int, str, float]] = {}
+        for pair, rule in matching.rule_of.items():
+            score = matching.scores[pair]
+            eid1 = int(pair[0])
+            order = (RULE_PRIORITY[rule], -score, pair)
+            if eid1 not in best_of or order < best_of[eid1][0]:
+                best_of[eid1] = (order, int(pair[1]), rule, float(score))
+
+        latency_ms = (time.perf_counter() - started) * 1e3
+        per_query_ms = latency_ms / len(batch)
+        decisions: list[MatchDecision] = []
+        candidate_counts: list[int] = []
+        matched = 0
+        for position, entity in enumerate(batch):
+            candidates = len(graph.value_candidates(1, position))
+            candidate_counts.append(candidates)
+            if position in best_of:
+                _, kb2_id, rule, score = best_of[position]
+                matched += 1
+                decisions.append(
+                    MatchDecision(
+                        query_uri=entity.uri,
+                        kb2_id=kb2_id,
+                        kb2_uri=index.uris2[kb2_id],
+                        rule=rule,
+                        score=score,
+                        candidates=candidates,
+                        latency_ms=per_query_ms,
+                    )
+                )
+            else:
+                decisions.append(
+                    MatchDecision(
+                        query_uri=entity.uri,
+                        kb2_id=None,
+                        kb2_uri=None,
+                        rule=None,
+                        score=None,
+                        candidates=candidates,
+                        latency_ms=per_query_ms,
+                    )
+                )
+        self._record(len(batch), latency_ms, candidate_counts, matched, batch=True)
+        return decisions
+
+    def _batch_graph(
+        self, qkb: KnowledgeBase, qstats: KBStatistics
+    ) -> DisjunctiveBlockingGraph:
+        """Algorithm 1 with the KB2 side read from the frozen index."""
+        index = self.index
+        config = self.config
+        names_forward, names_reverse = self._batch_name_evidence(qstats)
+
+        blocks = BlockCollection(kind="token")
+        postings = index.postings
+        for token in sorted(qkb.token_index.keys() & postings.keys()):
+            blocks.add(Block(token, qkb.token_index[token], postings[token]))
+        if config.purge_blocks:
+            blocks = purge_blocks(
+                blocks,
+                cartesian=len(qkb) * index.n2,
+                budget_ratio=config.purging_budget_ratio,
+                max_comparisons=config.max_block_comparisons,
+            )
+
+        interned = InternedBlocks.from_blocks(blocks, len(qkb), index.n2)
+        k = config.candidates_k
+        cap = config.serving_candidate_cap
+        if cap is None:
+            value_1, value_2 = self._impl.value_topk(interned, k, self._cut)
+        else:
+            value_1, value_2 = self._capped_value_topk(interned, k, cap)
+        edges = retained_edge_arrays(value_1, value_2)
+        neighbor_1, neighbor_2 = self._impl.gamma_topk(
+            edges, qstats.in_neighbor_csr(), index.in_neighbors, k, self._cut
+        )
+        return DisjunctiveBlockingGraph(
+            n1=len(qkb),
+            n2=index.n2,
+            name_matches_1=names_forward,
+            name_matches_2=names_reverse,
+            value_candidates_1=value_1,
+            value_candidates_2=value_2,
+            neighbor_candidates_1=neighbor_1,
+            neighbor_candidates_2=neighbor_2,
+        )
+
+    def _batch_name_evidence(
+        self, qstats: KBStatistics
+    ) -> tuple[dict[int, int], dict[int, int]]:
+        """``alpha = 1`` edges between the batch and the frozen name map,
+        in the exact order of ``name_blocks`` + ``name_evidence``."""
+        index1: dict[str, list[int]] = {}
+        for eid in range(len(qstats.kb)):
+            seen: set[str] = set()
+            for raw in qstats.names(eid):
+                name = normalize_name(raw)
+                if name and name not in seen:
+                    seen.add(name)
+                    index1.setdefault(name, []).append(eid)
+        forward: dict[int, int] = {}
+        reverse: dict[int, int] = {}
+        names2 = self.index.names
+        for name in sorted(index1.keys() & names2.keys()):
+            ids1, ids2 = index1[name], names2[name]
+            if len(ids1) == 1 and len(ids2) == 1:
+                eid1, eid2 = ids1[0], ids2[0]
+                if eid1 not in forward and eid2 not in reverse:
+                    forward[eid1] = eid2
+                    reverse[eid2] = eid1
+        return forward, reverse
+
+    def _capped_value_topk(
+        self, interned: InternedBlocks, k: int, cap: int
+    ) -> tuple[list[CandidateList], list[CandidateList]]:
+        """``value_topk`` with each query row capped to its ``cap``
+        strongest candidates before pruning and transposition.
+
+        Uses the python backend's per-row representation regardless of
+        the configured backend (the capped path is an opt-in
+        latency/recall trade-off, not a batch-equivalence path).
+        """
+        from repro.kernels import python_backend
+
+        column_ids: list[list[int]] = [[] for _ in range(interned.n2)]
+        column_sums: list[list[float]] = [[] for _ in range(interned.n2)]
+        side1: list[CandidateList] = []
+        for ids, sums in python_backend.beta_sparse(interned):
+            if len(ids) > cap:
+                capped = select_row(ids, sums, cap)
+                ids = [candidate for candidate, _ in capped]
+                sums = [score for _, score in capped]
+            side1.append(select_row(ids, sums, k, self._cut))
+            entity = len(side1) - 1
+            for candidate, value in zip(ids, sums):
+                column_ids[candidate].append(entity)
+                column_sums[candidate].append(value)
+        side2 = [
+            select_row(ids, sums, k, self._cut)
+            for ids, sums in zip(column_ids, column_sums)
+        ]
+        return side1, side2
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        queries: int,
+        latency_ms: float,
+        candidate_counts: Sequence[int],
+        matched: int,
+        batch: bool = False,
+    ) -> None:
+        with self._lock:
+            self._queries += queries
+            if batch:
+                self._batches += 1
+                self._batch_queries += queries
+            self._matched += matched
+            for count in candidate_counts:
+                self._candidates_total += count
+                if count > self._candidates_max:
+                    self._candidates_max = count
+            self._latency_total += latency_ms
+            self._latencies.append(latency_ms / (queries if batch else 1))
+            if len(self._latencies) > _LATENCY_WINDOW:
+                del self._latencies[: len(self._latencies) - _LATENCY_WINDOW]
+
+    def stats(self) -> dict[str, object]:
+        """Snapshot of the engine's counters plus the cache's.
+
+        Latency percentiles cover the most recent ``_LATENCY_WINDOW``
+        per-query latencies (batch latency is attributed evenly to its
+        queries).
+        """
+        with self._lock:
+            latencies = sorted(self._latencies)
+            snapshot: dict[str, object] = {
+                "queries": self._queries,
+                "batches": self._batches,
+                "batch_queries": self._batch_queries,
+                "matched": self._matched,
+                "candidates_total": self._candidates_total,
+                "candidates_max": self._candidates_max,
+                "candidates_mean": (
+                    self._candidates_total / self._queries if self._queries else 0.0
+                ),
+                "latency_total_ms": self._latency_total,
+                "latency_mean_ms": (
+                    self._latency_total / self._queries if self._queries else 0.0
+                ),
+                "latency_p50_ms": _percentile(latencies, 0.50),
+                "latency_p95_ms": _percentile(latencies, 0.95),
+            }
+        snapshot["cache"] = self.cache.stats()
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchEngine(index={self.index.kb_name!r}, n2={self.index.n2}, "
+            f"queries={self._queries})"
+        )
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0.0 if empty)."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]

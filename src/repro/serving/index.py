@@ -1,0 +1,227 @@
+"""The frozen query structure over a target KB: build once, serve many.
+
+Batch MinoanER re-derives everything about KB2 on every run.  For online
+serving, :class:`ResolutionIndex` freezes the KB2-side inputs of
+Algorithm 1 exactly once:
+
+* the **name-block map** (normalised name -> KB2 entity ids, in the
+  order :func:`repro.blocking.name_blocking.name_blocks` would emit
+  them) backing ``alpha = 1`` edges and rule R1,
+* the **token postings** (token -> ascending KB2 entity ids -- the KB2
+  half of every token block) with the per-token Entity Frequency and
+  the singleton-query ``1 / log2`` block weight hoisted,
+* the **top in-neighbor CSR** that drives ``gamma`` propagation
+  (:meth:`repro.kb.statistics.KBStatistics.in_neighbor_csr`),
+* the discovered **name attributes** and the pipeline
+  :class:`~repro.core.config.MinoanERConfig` (including the tokenizer),
+* the id -> URI table for emitting decisions.
+
+Nothing else about KB2 is retained: raw literal values, token sets and
+relation pairs are all folded into the structures above, so the index
+is the complete and minimal input of query-time resolution.  It
+persists via :meth:`save`/:meth:`load` so a serving process can restart
+without the source KB.
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+from pathlib import Path
+
+from repro.blocking.name_blocking import normalize_name
+from repro.core.config import MinoanERConfig
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.statistics import KBStatistics
+from repro.kb.tokenizer import Tokenizer
+from repro.kernels import CSRAdjacency, block_weight
+
+MAGIC = b"MINOANER-INDEX\x00"
+FORMAT_VERSION = 1
+
+_PERSISTED_FIELDS = (
+    "kb_name",
+    "n2",
+    "uris2",
+    "config",
+    "tokenizer",
+    "name_attributes",
+    "names",
+    "postings",
+    "singleton_weights",
+    "in_neighbors",
+)
+
+
+class ResolutionIndex:
+    """Everything Algorithm 1 needs about the target KB, precomputed.
+
+    Instances are produced by :meth:`build` (from a
+    :class:`~repro.kb.knowledge_base.KnowledgeBase`) or :meth:`load`
+    (from a file written by :meth:`save`); the constructor wires
+    already-frozen fields and is not meant to be called directly.
+
+    Attributes
+    ----------
+    kb_name / n2 / uris2:
+        Label, entity count and id -> URI table of the indexed KB.
+    config / tokenizer:
+        The pipeline configuration baked into the index.  Queries must
+        be tokenised with this tokenizer for the postings to apply.
+    name_attributes:
+        The KB's global top-k name attributes (for reporting).
+    names:
+        Normalised name -> tuple of KB2 entity ids using it.
+    postings:
+        Token -> ``array('i')`` of ascending KB2 entity ids (the KB2
+        side of the token block keyed by that token).
+    singleton_weights:
+        Token -> ``1 / log2(EF2(t) + 1)``: the block weight of the
+        token's query-time block when the query side holds one entity
+        (``|b1| = 1``), hoisted so the single-query hot path performs
+        no logarithms.
+    in_neighbors:
+        :class:`~repro.kernels.interning.CSRAdjacency` of the KB's top
+        in-neighbors (``gamma`` propagation input).
+    """
+
+    def __init__(
+        self,
+        kb_name: str,
+        n2: int,
+        uris2: list[str],
+        config: MinoanERConfig,
+        tokenizer: Tokenizer,
+        name_attributes: tuple[str, ...],
+        names: dict[str, tuple[int, ...]],
+        postings: dict[str, array],
+        singleton_weights: dict[str, float],
+        in_neighbors: CSRAdjacency,
+    ):
+        self.kb_name = kb_name
+        self.n2 = n2
+        self.uris2 = uris2
+        self.config = config
+        self.tokenizer = tokenizer
+        self.name_attributes = name_attributes
+        self.names = names
+        self.postings = postings
+        self.singleton_weights = singleton_weights
+        self.in_neighbors = in_neighbors
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, kb2: KnowledgeBase, config: MinoanERConfig | None = None
+    ) -> "ResolutionIndex":
+        """Profile ``kb2`` once and freeze every query-time structure.
+
+        Runs the same statistics pass as the batch pipeline
+        (:meth:`repro.core.pipeline.MinoanER.build_statistics`), so an
+        engine over the index reproduces the batch pipeline's view of
+        the KB exactly.
+        """
+        config = config or MinoanERConfig()
+        stats2 = KBStatistics(
+            kb2,
+            top_k_name_attributes=config.name_attributes_k,
+            top_n_relations=config.relations_n,
+        )
+
+        # Name map, in the exact emit order of name_blocks: ids appended
+        # ascending, per-entity duplicates collapsed.
+        names: dict[str, list[int]] = {}
+        for eid in range(len(kb2)):
+            seen: set[str] = set()
+            for raw in stats2.names(eid):
+                name = normalize_name(raw)
+                if name and name not in seen:
+                    seen.add(name)
+                    names.setdefault(name, []).append(eid)
+
+        postings = {
+            token: array("i", ids) for token, ids in kb2.token_index.items()
+        }
+        singleton_weights = {
+            token: block_weight(len(ids)) for token, ids in postings.items()
+        }
+
+        return cls(
+            kb_name=kb2.name,
+            n2=len(kb2),
+            uris2=[kb2.uri_of(eid) for eid in range(len(kb2))],
+            config=config,
+            tokenizer=kb2.tokenizer,
+            name_attributes=stats2.name_attributes,
+            names={name: tuple(ids) for name, ids in names.items()},
+            postings=postings,
+            singleton_weights=singleton_weights,
+            in_neighbors=stats2.in_neighbor_csr(),
+        )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def entity_frequency(self, token: str) -> int:
+        """``EF2(t)``: entities of the indexed KB containing ``token``."""
+        return len(self.postings.get(token, ()))
+
+    def uri_of(self, eid: int) -> str:
+        """URI of the indexed entity with dense id ``eid``."""
+        return self.uris2[eid]
+
+    def describe(self) -> dict[str, object]:
+        """Summary of the frozen structures (for logs and ``stats()``)."""
+        return {
+            "kb": self.kb_name,
+            "entities": self.n2,
+            "tokens": len(self.postings),
+            "posting_entries": sum(len(ids) for ids in self.postings.values()),
+            "names": len(self.names),
+            "name_attributes": list(self.name_attributes),
+            "in_neighbor_edges": len(self.in_neighbors.ids),
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the index to ``path`` (magic header + pickle payload).
+
+        The payload is a pickle of the frozen fields; like any pickle it
+        must only be loaded from trusted sources.
+        """
+        payload = {field: getattr(self, field) for field in _PERSISTED_FIELDS}
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(bytes([FORMAT_VERSION]))
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ResolutionIndex":
+        """Read an index written by :meth:`save`.
+
+        Raises ``ValueError`` on a foreign or future-versioned file
+        rather than unpickling it.
+        """
+        with open(path, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+            if magic != MAGIC:
+                raise ValueError(f"{path} is not a MinoanER resolution index")
+            version = handle.read(1)
+            if not version or version[0] != FORMAT_VERSION:
+                found = version[0] if version else None
+                raise ValueError(
+                    f"unsupported index format version {found!r} in {path} "
+                    f"(this build reads version {FORMAT_VERSION})"
+                )
+            payload = pickle.load(handle)
+        return cls(**payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResolutionIndex({self.kb_name!r}, {self.n2} entities, "
+            f"{len(self.postings)} tokens, {len(self.names)} names)"
+        )

@@ -1,0 +1,109 @@
+"""JSONL wire format of the serving engine (see ``docs/serving.md``).
+
+Requests (one JSON object per line)::
+
+    {"uri": "q1", "pairs": [["label", "fat duck bray"], ["year", "1995"]]}
+    {"uri": "q2", "attributes": {"label": "eltham palace", "city": ["london"]}}
+
+Either ``pairs`` (a list of ``[attribute, value]`` pairs, RDF-style
+multi-valued) or ``attributes`` (a mapping of attribute to value or list
+of values) describes the entity; ``uri`` is optional and defaults to a
+positional identifier.
+
+Responses (one JSON object per request line, in request order)::
+
+    {"query": "q1", "match": "http://kb2/r17", "rule": "R1",
+     "score": null, "candidates": 12, "cached": false, "latency_ms": 0.41}
+
+``match`` is null when no rule matched the query.  ``score`` is the
+producing rule's score; rule R1's score is infinite and serialises as
+null (JSON has no Infinity).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterable, Iterator, TextIO
+
+from repro.kb.entity import EntityDescription
+from repro.serving.engine import MatchDecision
+
+
+def entity_from_json(payload: dict[str, Any], default_uri: str) -> EntityDescription:
+    """Build an :class:`~repro.kb.entity.EntityDescription` from one
+    decoded request object.
+
+    >>> entity_from_json({"pairs": [["label", "Bray"]]}, "query-0").uri
+    'query-0'
+    >>> entity_from_json({"uri": "q", "attributes": {"a": ["1", "2"]}}, "-").pairs
+    (('a', '1'), ('a', '2'))
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"request must be a JSON object, got {type(payload).__name__}")
+    uri = payload.get("uri", default_uri)
+    if "pairs" in payload:
+        raw_pairs = payload["pairs"]
+        pairs = []
+        for item in raw_pairs:
+            if not isinstance(item, (list, tuple)) or len(item) != 2:
+                raise ValueError(f"each pair must be [attribute, value], got {item!r}")
+            pairs.append((item[0], item[1]))
+        return EntityDescription(uri, pairs)
+    if "attributes" in payload:
+        mapping = payload["attributes"]
+        if not isinstance(mapping, dict):
+            raise ValueError(
+                f"'attributes' must be an object, got {type(mapping).__name__}"
+            )
+        return EntityDescription.from_mapping(uri, mapping)
+    raise ValueError("request needs a 'pairs' list or an 'attributes' object")
+
+
+def entity_to_json(entity: EntityDescription) -> dict[str, Any]:
+    """The request object that round-trips through :func:`entity_from_json`."""
+    return {"uri": entity.uri, "pairs": [list(pair) for pair in entity.pairs]}
+
+
+def decision_to_json(decision: MatchDecision) -> dict[str, Any]:
+    """Serialise a decision to the response object.
+
+    Infinite scores (rule R1) become null; ids are coerced to built-in
+    ``int`` (the numpy backend may hand back ``numpy.int64``).
+    """
+    score = decision.score
+    if score is not None and not math.isfinite(score):
+        score = None
+    return {
+        "query": decision.query_uri,
+        "match": decision.kb2_uri,
+        "match_id": int(decision.kb2_id) if decision.kb2_id is not None else None,
+        "rule": decision.rule,
+        "score": float(score) if score is not None else None,
+        "candidates": int(decision.candidates),
+        "cached": decision.cached,
+        "latency_ms": round(decision.latency_ms, 3),
+    }
+
+
+def read_requests(stream: TextIO) -> Iterator[EntityDescription]:
+    """Parse a JSONL request stream, skipping blank lines.
+
+    Malformed lines raise ``ValueError`` naming the line number.
+    """
+    for number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            yield entity_from_json(payload, default_uri=f"query-{number}")
+        except (json.JSONDecodeError, ValueError) as error:
+            raise ValueError(f"bad request on line {number}: {error}") from error
+
+
+def write_decisions(decisions: Iterable[MatchDecision], stream: TextIO) -> None:
+    """Write one response line per decision, flushing after each batch."""
+    for decision in decisions:
+        stream.write(json.dumps(decision_to_json(decision)) + "\n")
+    stream.flush()

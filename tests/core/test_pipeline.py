@@ -32,6 +32,36 @@ class TestResolveOnFigure1(object):
         assert set(result.timings) == {"statistics", "blocking", "graph", "matching", "total"}
         assert result.timings["total"] >= 0
 
+    def test_timings_complete_even_when_assembled_by_hand(self, restaurant_kbs):
+        # Regression: a ResolutionResult built with partial (or no)
+        # timings must still expose every documented phase key.
+        from repro.core.pipeline import TIMING_PHASES, ResolutionResult
+
+        reference = MinoanER().resolve(*restaurant_kbs)
+        partial = ResolutionResult(
+            kb1=reference.kb1,
+            kb2=reference.kb2,
+            matching=reference.matching,
+            graph=reference.graph,
+            name_block_collection=reference.name_block_collection,
+            token_block_collection=reference.token_block_collection,
+            timings={"matching": 0.25},
+        )
+        assert set(partial.timings) == set(TIMING_PHASES)
+        assert partial.timings["matching"] == 0.25
+        assert partial.timings["blocking"] == 0.0
+
+        bare = ResolutionResult(
+            kb1=reference.kb1,
+            kb2=reference.kb2,
+            matching=reference.matching,
+            graph=reference.graph,
+            name_block_collection=reference.name_block_collection,
+            token_block_collection=reference.token_block_collection,
+        )
+        assert set(bare.timings) == set(TIMING_PHASES)
+        assert all(value == 0.0 for value in bare.timings.values())
+
 
 class TestResolveOnSynthetic:
     def test_quality_floor_on_easy_pair(self, mini_pair):

@@ -1,0 +1,161 @@
+"""LRU cache: eviction order, counters, fingerprints, thread safety."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.kb.entity import EntityDescription
+from repro.serving.cache import LRUCache, entity_fingerprint
+
+
+class TestEntityFingerprint:
+    def test_uri_excluded(self):
+        a = EntityDescription("x", [("label", "Bray")])
+        b = EntityDescription("y", [("label", "Bray")])
+        assert entity_fingerprint(a) == entity_fingerprint(b)
+
+    def test_pair_order_irrelevant(self):
+        a = EntityDescription("x", [("a", "1"), ("b", "2")])
+        b = EntityDescription("x", [("b", "2"), ("a", "1")])
+        assert entity_fingerprint(a) == entity_fingerprint(b)
+
+    def test_different_content_differs(self):
+        a = EntityDescription("x", [("label", "Bray")])
+        b = EntityDescription("x", [("label", "Eltham")])
+        assert entity_fingerprint(a) != entity_fingerprint(b)
+
+    def test_separator_injection_resistant(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        a = EntityDescription("x", [("ab", "c")])
+        b = EntityDescription("x", [("a", "bc")])
+        assert entity_fingerprint(a) != entity_fingerprint(b)
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.get("absent") is None
+        assert cache.get("absent", "fallback") == "fallback"
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+    def test_keys_in_eviction_order(self):
+        cache = LRUCache(3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        cache.get("a")
+        assert cache.keys() == ["b", "c", "a"]
+
+    def test_contains_does_not_touch_recency_or_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache
+        before = cache.stats()
+        cache.put("c", 3)  # evicts "a": membership check did not refresh it
+        assert "a" not in cache
+        assert cache.stats()["hits"] == before["hits"]
+        assert cache.stats()["misses"] == before["misses"]
+
+    def test_hit_miss_eviction_counters(self):
+        cache = LRUCache(1)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)  # evicts "a"
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["evictions"] == 1
+        assert stats["size"] == 1
+        assert stats["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+    def test_repr_reports_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        text = repr(cache)
+        assert "size=1/2" in text
+        assert "hits=1" in text
+        assert "misses=1" in text
+        assert "evictions=0" in text
+
+    def test_stats_repr_do_not_mutate(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        first = cache.stats()
+        repr(cache)
+        assert cache.stats() == first
+
+    def test_thread_hammer(self):
+        # Many threads mixing gets and puts over a small key space; the
+        # invariants to survive are: no exception, size <= capacity,
+        # lookups == hits + misses, and every surviving value correct.
+        cache = LRUCache(8)
+        keys = [f"k{i}" for i in range(32)]
+        rounds = 300
+
+        def hammer(worker: int) -> None:
+            for i in range(rounds):
+                key = keys[(worker * 7 + i) % len(keys)]
+                value = cache.get(key)
+                if value is not None:
+                    assert value == key
+                cache.put(key, key)
+                if i % 13 == 0:
+                    len(cache)
+                    cache.stats()
+                    repr(cache)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for future in [pool.submit(hammer, worker) for worker in range(8)]:
+                future.result()
+
+        stats = cache.stats()
+        assert stats["size"] <= 8
+        assert len(cache) == stats["size"]
+        assert stats["hits"] + stats["misses"] == 8 * rounds
+        for key in cache.keys():
+            assert cache.get(key) == key

@@ -1,0 +1,100 @@
+"""Batch/serve equivalence: the headline contract of repro.serving.
+
+Serving every KB1 entity through ``MatchEngine.match_batch`` must
+reproduce the batch pipeline's match set exactly -- same pairs, same
+producing rules, same scores -- on multiple synthetic profiles, and the
+contract must survive an index save/load round-trip.
+"""
+
+import pytest
+
+from repro.core.config import MinoanERConfig
+from repro.core.pipeline import MinoanER
+from repro.datasets.profiles import scaled_profile
+from repro.serving import MatchEngine, ResolutionIndex
+
+
+def assert_serving_reproduces_batch(pair, config=None):
+    config = config or MinoanERConfig()
+    batch_result = MinoanER(config).resolve(pair.kb1, pair.kb2)
+    engine = MatchEngine(ResolutionIndex.build(pair.kb2, config))
+    decisions = engine.match_batch(list(pair.kb1))
+
+    served = {
+        (eid1, decision.kb2_id)
+        for eid1, decision in enumerate(decisions)
+        if decision.matched
+    }
+    assert served == batch_result.matches
+
+    for eid1, decision in enumerate(decisions):
+        if decision.matched:
+            pair_key = (eid1, decision.kb2_id)
+            assert decision.rule == batch_result.matching.rule_of[pair_key]
+            assert decision.score == batch_result.matching.scores[pair_key]
+    return engine, batch_result
+
+
+class TestBatchServeEquivalence:
+    def test_mini_profile(self, mini_pair):
+        assert_serving_reproduces_batch(mini_pair)
+
+    def test_hard_profile(self, hard_pair):
+        assert_serving_reproduces_batch(hard_pair)
+
+    def test_restaurant_profile_scaled(self):
+        assert_serving_reproduces_batch(scaled_profile("restaurant", 0.3))
+
+    def test_bbc_profile_scaled(self):
+        assert_serving_reproduces_batch(scaled_profile("bbc_dbpedia", 0.2))
+
+    def test_equivalence_with_dynamic_pruning(self, mini_pair):
+        assert_serving_reproduces_batch(
+            mini_pair, MinoanERConfig(dynamic_pruning=True)
+        )
+
+    def test_equivalence_without_purging(self, mini_pair):
+        assert_serving_reproduces_batch(
+            mini_pair, MinoanERConfig(purge_blocks=False)
+        )
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_equivalence_per_backend(self, mini_pair, backend):
+        from repro.kernels import numpy_available
+
+        if backend == "numpy" and not numpy_available():
+            pytest.skip("numpy not importable")
+        assert_serving_reproduces_batch(
+            mini_pair, MinoanERConfig(kernel_backend=backend)
+        )
+
+
+class TestLoadedIndexEquivalence:
+    def test_roundtripped_index_serves_identically(self, mini_pair, tmp_path):
+        config = MinoanERConfig()
+        built = ResolutionIndex.build(mini_pair.kb2, config)
+        path = tmp_path / "kb2.idx"
+        built.save(path)
+        loaded = ResolutionIndex.load(path)
+
+        fresh = MatchEngine(built).match_batch(list(mini_pair.kb1))
+        reloaded = MatchEngine(loaded).match_batch(list(mini_pair.kb1))
+        assert fresh == reloaded
+
+        batch = MinoanER(config).resolve(mini_pair.kb1, mini_pair.kb2)
+        served = {
+            (eid1, decision.kb2_id)
+            for eid1, decision in enumerate(reloaded)
+            if decision.matched
+        }
+        assert served == batch.matches
+
+    def test_roundtripped_single_queries_identical(self, mini_pair, tmp_path):
+        built = ResolutionIndex.build(mini_pair.kb2)
+        path = tmp_path / "kb2.idx"
+        built.save(path)
+        loaded = ResolutionIndex.load(path)
+        fresh = MatchEngine(built)
+        reloaded = MatchEngine(loaded)
+        for entity in list(mini_pair.kb1)[:25]:
+            assert fresh.match(entity) == reloaded.match(entity)

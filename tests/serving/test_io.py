@@ -1,0 +1,184 @@
+"""JSONL wire format and the index/serve CLI subcommands."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.kb.entity import EntityDescription
+from repro.serving.engine import MatchDecision
+from repro.serving.io import (
+    decision_to_json,
+    entity_from_json,
+    entity_to_json,
+    read_requests,
+    write_decisions,
+)
+
+
+class TestEntityJson:
+    def test_pairs_form(self):
+        entity = entity_from_json(
+            {"uri": "q", "pairs": [["label", "Bray"], ["label", "Eltham"]]}, "-"
+        )
+        assert entity.uri == "q"
+        assert entity.pairs == (("label", "Bray"), ("label", "Eltham"))
+
+    def test_attributes_form(self):
+        entity = entity_from_json(
+            {"uri": "q", "attributes": {"a": "1", "b": ["2", "3"]}}, "-"
+        )
+        assert entity.pairs == (("a", "1"), ("b", "2"), ("b", "3"))
+
+    def test_default_uri(self):
+        entity = entity_from_json({"pairs": [["a", "b"]]}, "query-7")
+        assert entity.uri == "query-7"
+
+    def test_roundtrip(self):
+        entity = EntityDescription("q", [("a", "1"), ("b", "2")])
+        assert entity_from_json(entity_to_json(entity), "-") == entity
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],  # not an object
+            {"uri": "q"},  # neither pairs nor attributes
+            {"pairs": [["only-one"]]},  # malformed pair
+            {"attributes": ["not", "a", "mapping"]},
+        ],
+    )
+    def test_malformed_rejected(self, payload):
+        with pytest.raises(ValueError):
+            entity_from_json(payload, "-")
+
+
+class TestDecisionJson:
+    def test_matched_decision(self):
+        decision = MatchDecision(
+            query_uri="q", kb2_id=3, kb2_uri="t3", rule="R2",
+            score=2.5, candidates=7, cached=True, latency_ms=0.1234,
+        )
+        payload = decision_to_json(decision)
+        assert payload["query"] == "q"
+        assert payload["match"] == "t3"
+        assert payload["match_id"] == 3
+        assert payload["rule"] == "R2"
+        assert payload["score"] == 2.5
+        assert payload["candidates"] == 7
+        assert payload["cached"] is True
+        assert payload["latency_ms"] == 0.123
+        json.dumps(payload)  # must be valid JSON
+
+    def test_infinite_r1_score_is_null(self):
+        decision = MatchDecision(
+            query_uri="q", kb2_id=0, kb2_uri="t0", rule="R1",
+            score=math.inf, candidates=1,
+        )
+        payload = decision_to_json(decision)
+        assert payload["rule"] == "R1"
+        assert payload["score"] is None
+        assert "Infinity" not in json.dumps(payload)
+
+    def test_unmatched_decision(self):
+        decision = MatchDecision(
+            query_uri="q", kb2_id=None, kb2_uri=None, rule=None,
+            score=None, candidates=0,
+        )
+        payload = decision_to_json(decision)
+        assert payload["match"] is None
+        assert payload["match_id"] is None
+        assert payload["score"] is None
+
+
+class TestStreams:
+    def test_read_requests_skips_blanks_and_numbers_lines(self):
+        stream = io.StringIO(
+            '{"pairs": [["a", "1"]]}\n'
+            "\n"
+            '{"uri": "named", "attributes": {"b": "2"}}\n'
+        )
+        entities = list(read_requests(stream))
+        assert [e.uri for e in entities] == ["query-1", "named"]
+
+    def test_read_requests_raises_with_line_number(self):
+        stream = io.StringIO('{"pairs": [["a", "1"]]}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            list(read_requests(stream))
+
+    def test_write_decisions(self):
+        sink = io.StringIO()
+        write_decisions(
+            [
+                MatchDecision(
+                    query_uri="q", kb2_id=1, kb2_uri="t1", rule="R3",
+                    score=0.6, candidates=2,
+                )
+            ],
+            sink,
+        )
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["match"] == "t1"
+
+
+class TestCli:
+    def test_index_then_serve(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.datasets.profiles import scaled_profile
+        from repro.kb.rdf import save_ntriples
+
+        pair = scaled_profile("restaurant", 0.2)
+        kb2_path = tmp_path / "kb2.nt"
+        save_ntriples(pair.kb2, kb2_path)
+        index_path = tmp_path / "kb2.idx"
+
+        assert main(["index", str(kb2_path), "-o", str(index_path)]) == 0
+        assert index_path.exists()
+        capsys.readouterr()
+
+        requests = tmp_path / "queries.jsonl"
+        with requests.open("w", encoding="utf-8") as handle:
+            for entity in list(pair.kb1)[:8]:
+                handle.write(
+                    json.dumps({"uri": entity.uri, "pairs": [list(p) for p in entity.pairs]})
+                    + "\n"
+                )
+
+        assert main(
+            ["serve", str(index_path), "-i", str(requests), "--stats"]
+        ) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(responses) == 8
+        assert all("match" in r and "latency_ms" in r for r in responses)
+        assert captured.err.startswith("# {")
+        stats = json.loads(captured.err[2:])
+        assert stats["queries"] == 8
+
+    def test_serve_batched(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.datasets.profiles import scaled_profile
+        from repro.kb.rdf import save_ntriples
+
+        pair = scaled_profile("restaurant", 0.2)
+        kb2_path = tmp_path / "kb2.nt"
+        save_ntriples(pair.kb2, kb2_path)
+        index_path = tmp_path / "kb2.idx"
+        assert main(["index", str(kb2_path), "-o", str(index_path)]) == 0
+        capsys.readouterr()
+
+        requests = tmp_path / "queries.jsonl"
+        with requests.open("w", encoding="utf-8") as handle:
+            for entity in list(pair.kb1)[:6]:
+                handle.write(json.dumps(entity_to_json(entity)) + "\n")
+
+        assert main(
+            ["serve", str(index_path), "-i", str(requests), "--batch-size", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        responses = [json.loads(line) for line in out.strip().splitlines()]
+        assert len(responses) == 6
+        assert [r["query"] for r in responses] == [
+            e.uri for e in list(pair.kb1)[:6]
+        ]
