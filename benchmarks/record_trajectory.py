@@ -1,6 +1,6 @@
-"""Record the performance trajectory to ``BENCH_PR2.json``.
+"""Record the performance trajectory to ``BENCH_PR3.json``.
 
-Three measurements:
+Four measurements:
 
 * micro-kernel wall times (best of N) for the beta accumulation, the
   fused value transpose + top-K, and the fused gamma propagation +
@@ -12,7 +12,11 @@ Three measurements:
 * the online serving trajectory (:mod:`benchmarks.bench_serving`):
   index build/persistence cost, single-query p50/p95 latency and
   throughput (cold and warm cache), batch throughput, and the
-  batch/serve equivalence verdict.
+  batch/serve equivalence verdict;
+* the observability trajectory: per-phase span summary of a traced
+  resolve on the restaurant profile, and end-to-end tracing overhead
+  (best-of-N with an installed recorder vs ``observability=False``),
+  gated below 5%.
 
 Run from the repository root::
 
@@ -158,12 +162,68 @@ def bench_serving_trajectory(quick: bool) -> dict:
         return bench_serving.run("restaurant", scale, max_queries, Path(tmp))
 
 
+def bench_observability(quick: bool) -> dict:
+    """Per-phase span summary and tracing overhead on ``restaurant``.
+
+    Overhead compares best-of-N end-to-end resolve time with an
+    installed :class:`~repro.obs.Recorder` against the same resolve
+    with ``observability=False`` (the no-op recorder).
+    """
+    from repro.core.config import MinoanERConfig  # noqa: E402
+    from repro.core.pipeline import MinoanER  # noqa: E402
+    from repro.obs import Recorder, use_recorder  # noqa: E402
+
+    scale = 0.3 if quick else None
+    pair = scaled_profile("restaurant", scale) if scale else load_profile("restaurant")
+    repeats = 3 if quick else 5
+    untraced = MinoanERConfig(observability=False)
+
+    # Warm-up (imports, backend dispatch, allocator) before timing.
+    MinoanER(untraced).resolve(pair.kb1, pair.kb2)
+
+    baseline_s = _best(
+        lambda: MinoanER(untraced).resolve(pair.kb1, pair.kb2), repeats
+    )
+
+    last: dict[str, Recorder] = {}
+
+    def traced_resolve() -> None:
+        recorder = Recorder()
+        with use_recorder(recorder):
+            MinoanER().resolve(pair.kb1, pair.kb2)
+        last["recorder"] = recorder
+
+    traced_s = _best(traced_resolve, repeats)
+    recorder = last["recorder"]
+
+    spans = recorder.spans()
+    phase_ms = {
+        span.name: span.seconds * 1e3
+        for span in spans
+        if span.name in ("resolve", "statistics", "blocking", "graph", "matching")
+    }
+    overhead = traced_s / baseline_s - 1.0
+    return {
+        "profile": "restaurant",
+        "scale": scale,
+        "repeats": repeats,
+        "phase_ms": phase_ms,
+        "span_count": len(spans),
+        "counters": recorder.counters(),
+        "untraced_best_ms": baseline_s * 1e3,
+        "traced_best_ms": traced_s * 1e3,
+        "overhead_fraction": overhead,
+        "overhead_budget": 0.05,
+        "within_budget": overhead < 0.05,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", default="bbc_dbpedia", choices=profile_names())
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
-        "--output", type=Path, default=REPO_ROOT / "BENCH_PR2.json",
+        "--output", type=Path, default=REPO_ROOT / "BENCH_PR3.json",
         help="where to write the JSON record",
     )
     parser.add_argument(
@@ -179,10 +239,14 @@ def main(argv: list[str] | None = None) -> int:
     micro = time_micro_kernels(args.profile, repeats, scale)
     identity = verify_bit_identity(identity_profiles, scale)
     serving = bench_serving_trajectory(args.quick)
+    observability = bench_observability(args.quick)
 
     record = {
-        "pr": 2,
-        "title": "Online query-time resolution engine over a frozen KB index",
+        "pr": 3,
+        "title": (
+            "Fix streaming/parallel edge-case bugs and unify timing into "
+            "a repro.obs observability layer"
+        ),
         "python": platform.python_version(),
         "auto_backend": resolve_backend_name("auto"),
         "k": K,
@@ -190,6 +254,7 @@ def main(argv: list[str] | None = None) -> int:
         "micro_kernels": micro,
         "bit_identical": identity,
         "serving": serving,
+        "observability": observability,
     }
     args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
 
@@ -217,6 +282,16 @@ def main(argv: list[str] | None = None) -> int:
         print("SERVING EQUIVALENCE FAILED")
         return 1
     print(f"serving equivalence: ok ({serving['equivalence']['batch_matches']} matches)")
+    overhead_pct = observability["overhead_fraction"] * 100
+    print(
+        f"tracing overhead ({observability['profile']}): {overhead_pct:+.2f}% "
+        f"({observability['span_count']} spans)"
+    )
+    # Timing noise dominates on the scaled --quick profile; gate only
+    # the full-size measurement.
+    if not args.quick and not observability["within_budget"]:
+        print("TRACING OVERHEAD OVER BUDGET (>= 5%)")
+        return 1
     print(f"wrote {args.output}")
     return 0
 

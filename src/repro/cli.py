@@ -16,6 +16,13 @@ regenerates one of the paper's tables or figures and prints it.
 ``index`` freezes a target KB into a query-time resolution index, and
 ``serve`` answers JSONL queries against it (see ``docs/serving.md`` for
 the wire format).
+
+``resolve``, ``index`` and ``serve`` accept ``--trace FILE``
+(``--trace-format json|logfmt``): one :class:`repro.obs.Recorder` is
+installed for the whole command and its spans/counters/histograms --
+pipeline phases, parallel stages, kernel dispatches, serving latency
+and cache metrics -- are exported to ``FILE`` when the command ends
+(see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -72,6 +79,19 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--no-neighbors", action="store_true", help="disable neighbor evidence in R3"
+    )
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.obs.export import TRACE_FORMATS
+
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record an observability trace (spans + metrics) and write it here",
+    )
+    parser.add_argument(
+        "--trace-format", choices=TRACE_FORMATS, default="json",
+        help="trace file format (default %(default)s)",
     )
 
 
@@ -251,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     resolve.add_argument("-o", "--output", help="write matches TSV here (default stdout)")
     resolve.add_argument("--ground-truth", help="URI-pair TSV to score against")
     _add_config_arguments(resolve)
+    _add_trace_arguments(resolve)
     resolve.set_defaults(handler=command_resolve)
 
     dedupe = subparsers.add_parser("dedupe", help="deduplicate a single dirty KB")
@@ -284,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("kb", help="target KB file (N-Triples or TSV)")
     index.add_argument("-o", "--output", required=True, help="index file to write")
     _add_config_arguments(index)
+    _add_trace_arguments(index)
     index.set_defaults(handler=command_index)
 
     serving_defaults = MinoanERConfig()
@@ -311,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print engine counters as JSON to stderr when done",
     )
+    _add_trace_arguments(serve)
     serve.set_defaults(handler=command_serve)
 
     return parser
@@ -318,7 +341,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.handler(args)
+
+    from repro.obs import Recorder, use_recorder, write_trace
+
+    recorder = Recorder()
+    with use_recorder(recorder):
+        code = args.handler(args)
+    write_trace(recorder, trace_path, format=args.trace_format)
+    print(f"# trace written to {trace_path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

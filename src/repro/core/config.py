@@ -80,6 +80,15 @@ class MinoanERConfig:
         1 answers queries independently (cacheable); larger batches are
         resolved together, which lets related queries contribute
         query-side context (Entity Frequencies, neighbor evidence).
+    observability:
+        When True (the default) the instrumented components record
+        spans and metrics into the ambient
+        :func:`repro.obs.current_recorder` -- a no-op unless a real
+        recorder is installed (e.g. by the ``--trace`` CLI flag or
+        :func:`repro.obs.use_recorder`).  When False they pin the no-op
+        recorder, guaranteeing zero tracing work even inside an active
+        trace; phase timings (``ResolutionResult.timings``) are derived
+        from span objects and stay correct either way.
     """
 
     name_attributes_k: int = 2
@@ -104,6 +113,7 @@ class MinoanERConfig:
     serving_cache_size: int = 1024
     serving_candidate_cap: int | None = None
     serving_batch_size: int = 1
+    observability: bool = True
 
     def __post_init__(self) -> None:
         if self.name_attributes_k < 0:

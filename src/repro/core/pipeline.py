@@ -8,7 +8,6 @@ stage-parallel variant mirroring the Spark implementation lives in
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.blocking.base import BlockCollection
@@ -22,6 +21,7 @@ from repro.graph.blocking_graph import DisjunctiveBlockingGraph
 from repro.graph.construction import build_blocking_graph
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.statistics import KBStatistics
+from repro.obs import NULL_RECORDER, Recorder, current_recorder
 
 
 TIMING_PHASES = ("statistics", "blocking", "graph", "matching", "total")
@@ -34,12 +34,17 @@ class ResolutionResult:
 
     ``matches`` are id pairs; :meth:`uri_matches` translates them to URI
     pairs for downstream consumers; ``timings`` holds per-phase wall
-    times in seconds.  All :data:`TIMING_PHASES` keys (``statistics``,
-    ``blocking``, ``graph``, ``matching``, ``total``) are always
-    present: a phase that was skipped (or a result assembled by hand,
-    e.g. in tests or by a pipeline variant that fuses phases) reports
-    0.0 rather than omitting the key, so downstream consumers can index
-    ``timings`` without guarding.
+    times in seconds.  Since the observability layer landed, ``timings``
+    is a *derived view*: the pipeline times each phase as a
+    :class:`repro.obs.Span` and copies the span durations here for
+    backward compatibility (export the full trace with the ``--trace``
+    CLI flag or :func:`repro.obs.use_recorder`).  All
+    :data:`TIMING_PHASES` keys (``statistics``, ``blocking``,
+    ``graph``, ``matching``, ``total``) are always present: a phase
+    that was skipped (or a result assembled by hand, e.g. in tests or
+    by a pipeline variant that fuses phases) reports 0.0 rather than
+    omitting the key, so downstream consumers can index ``timings``
+    without guarding.
     """
 
     kb1: KnowledgeBase
@@ -91,6 +96,11 @@ class MinoanER:
     config:
         Pipeline configuration; defaults to the paper's recommended
         global configuration ``(k, K, N, theta) = (2, 15, 3, 0.6)``.
+    recorder:
+        Observability sink for the per-phase spans.  ``None`` (the
+        default) resolves the ambient :func:`repro.obs.current_recorder`
+        at each run -- a no-op unless a trace is active -- and
+        ``config.observability = False`` pins the no-op recorder.
 
     Examples
     --------
@@ -103,8 +113,22 @@ class MinoanER:
     {('a', 'b')}
     """
 
-    def __init__(self, config: MinoanERConfig | None = None):
+    def __init__(
+        self,
+        config: MinoanERConfig | None = None,
+        recorder: Recorder | None = None,
+    ):
         self.config = config or MinoanERConfig()
+        self._recorder = recorder
+
+    @property
+    def recorder(self) -> Recorder:
+        """The span/metric sink of the next run (never None)."""
+        if self._recorder is not None:
+            return self._recorder
+        if not self.config.observability:
+            return NULL_RECORDER
+        return current_recorder()
 
     def build_statistics(self, kb: KnowledgeBase) -> KBStatistics:
         """Per-KB statistics with this pipeline's ``k`` and ``N``."""
@@ -133,37 +157,44 @@ class MinoanER:
         return names, tokens
 
     def resolve(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> ResolutionResult:
-        """Run the full pipeline and return matches plus all intermediates."""
-        timings: dict[str, float] = {}
-        started = time.perf_counter()
+        """Run the full pipeline and return matches plus all intermediates.
 
-        phase = time.perf_counter()
-        stats1 = self.build_statistics(kb1)
-        stats2 = self.build_statistics(kb2)
-        timings["statistics"] = time.perf_counter() - phase
+        Each Algorithm 1/2 phase is timed as a span (``statistics``,
+        ``blocking``, ``graph``, ``matching``, nested under ``resolve``)
+        on :attr:`recorder`; ``ResolutionResult.timings`` is derived
+        from those spans.
+        """
+        recorder = self.recorder
+        with recorder.span("resolve", n1=len(kb1), n2=len(kb2)) as root:
+            with recorder.span("statistics") as span_statistics:
+                stats1 = self.build_statistics(kb1)
+                stats2 = self.build_statistics(kb2)
 
-        phase = time.perf_counter()
-        names, tokens = self.build_blocks(stats1, stats2)
-        timings["blocking"] = time.perf_counter() - phase
+            with recorder.span("blocking") as span_blocking:
+                names, tokens = self.build_blocks(stats1, stats2)
 
-        phase = time.perf_counter()
-        graph = build_blocking_graph(
-            stats1,
-            stats2,
-            names,
-            tokens,
-            k=self.config.candidates_k,
-            dynamic_pruning=self.config.dynamic_pruning,
-            pruning_gap_ratio=self.config.pruning_gap_ratio,
-            backend=self.config.kernel_backend,
-        )
-        timings["graph"] = time.perf_counter() - phase
+            with recorder.span("graph") as span_graph:
+                graph = build_blocking_graph(
+                    stats1,
+                    stats2,
+                    names,
+                    tokens,
+                    k=self.config.candidates_k,
+                    dynamic_pruning=self.config.dynamic_pruning,
+                    pruning_gap_ratio=self.config.pruning_gap_ratio,
+                    backend=self.config.kernel_backend,
+                )
 
-        phase = time.perf_counter()
-        matching = NonIterativeMatcher(self.config).match(graph)
-        timings["matching"] = time.perf_counter() - phase
+            with recorder.span("matching") as span_matching:
+                matching = NonIterativeMatcher(self.config).match(graph)
 
-        timings["total"] = time.perf_counter() - started
+        timings = {
+            "statistics": span_statistics.seconds,
+            "blocking": span_blocking.seconds,
+            "graph": span_graph.seconds,
+            "matching": span_matching.seconds,
+            "total": root.seconds,
+        }
         return ResolutionResult(
             kb1=kb1,
             kb2=kb2,

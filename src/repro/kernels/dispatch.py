@@ -63,8 +63,16 @@ def resolve_backend_name(backend: str) -> str:
 
 
 def get_backend(backend: str) -> ModuleType | None:
-    """The kernel module for ``backend``, or None for the dict reference."""
+    """The kernel module for ``backend``, or None for the dict reference.
+
+    Every resolution increments the ``kernels.dispatch.<resolved>``
+    counter on the ambient :func:`repro.obs.current_recorder`, so
+    traces show which backend actually served each run.
+    """
+    from repro.obs import current_recorder
+
     resolved = resolve_backend_name(backend)
+    current_recorder().count(f"kernels.dispatch.{resolved}")
     if resolved == "dict":
         return None
     if resolved == "numpy":

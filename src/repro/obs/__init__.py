@@ -1,0 +1,43 @@
+"""Observability: nested spans, counters/gauges/histograms, exporters.
+
+One :class:`Recorder` serves every layer of the stack (see
+``docs/observability.md``):
+
+* :meth:`Recorder.span` times a phase as a nested span -- the serial
+  pipeline emits one span per Algorithm 1/2 phase, the parallel context
+  one span per stage with per-partition children;
+* :meth:`Recorder.count` / :meth:`Recorder.gauge` /
+  :meth:`Recorder.observe` record metrics -- kernel dispatches, serving
+  latency histograms, cache hit/miss counters, candidate-set sizes;
+* :func:`to_json` / :func:`to_logfmt` / :func:`write_trace` export a
+  consistent snapshot (the ``--trace`` CLI flag).
+
+Recording is ambient by default: components resolve
+:func:`current_recorder`, which is the no-op :data:`NULL_RECORDER`
+until :func:`use_recorder` installs a real one, so the instrumented hot
+paths cost nothing unless a trace was requested.
+"""
+
+from repro.obs.export import to_json, to_logfmt, write_trace
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    HistogramSnapshot,
+    NullRecorder,
+    Recorder,
+    Span,
+    current_recorder,
+    use_recorder,
+)
+
+__all__ = [
+    "HistogramSnapshot",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "current_recorder",
+    "to_json",
+    "to_logfmt",
+    "use_recorder",
+    "write_trace",
+]

@@ -1,0 +1,94 @@
+"""Exporters: one consistent snapshot of a recorder, two formats.
+
+``to_json`` produces the machine-readable trace consumed by
+``--trace out.json`` (and asserted by CI's serving-smoke job);
+``to_logfmt`` produces one ``key=value`` line per span/metric for
+grepping and log shipping.  Both read the recorder through its locked
+snapshot methods, so exporting while other threads record is safe.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.recorder import Recorder
+
+TRACE_FORMATS = ("json", "logfmt")
+"""Accepted values of the ``--trace-format`` CLI flag."""
+
+
+def trace_payload(recorder: Recorder) -> dict:
+    """The exported trace as a plain dict (the JSON document)."""
+    return {
+        "spans": [span.as_dict() for span in recorder.spans()],
+        "counters": recorder.counters(),
+        "gauges": recorder.gauges(),
+        "histograms": {
+            name: snapshot.as_dict()
+            for name, snapshot in recorder.histograms().items()
+        },
+    }
+
+
+def to_json(recorder: Recorder, indent: int | None = 2) -> str:
+    """Serialise the recorder's snapshot as a JSON document."""
+    return json.dumps(trace_payload(recorder), indent=indent, sort_keys=False)
+
+
+def _logfmt_value(value: object) -> str:
+    if isinstance(value, float):
+        return format(value, ".9g")
+    text = str(value)
+    if " " in text or '"' in text or "=" in text or text == "":
+        return json.dumps(text)
+    return text
+
+
+def _logfmt_line(kind: str, **fields: object) -> str:
+    parts = [kind] + [
+        f"{key}={_logfmt_value(value)}" for key, value in fields.items()
+    ]
+    return " ".join(parts)
+
+
+def to_logfmt(recorder: Recorder) -> str:
+    """One logfmt line per span, counter, gauge, and histogram.
+
+    Span lines carry name/id/parent/depth/seconds/status plus any span
+    attributes (prefixed ``attr.``); metric lines carry name and value
+    (histograms expand their snapshot fields).
+    """
+    lines: list[str] = []
+    for span in recorder.spans():
+        fields: dict[str, object] = {
+            "name": span.name,
+            "id": span.span_id,
+            "parent": "" if span.parent_id is None else span.parent_id,
+            "depth": span.depth,
+            "start_s": span.start,
+            "seconds": span.seconds,
+            "status": span.status,
+        }
+        for key, value in span.attributes.items():
+            fields[f"attr.{key}"] = value
+        lines.append(_logfmt_line("span", **fields))
+    for name, value in sorted(recorder.counters().items()):
+        lines.append(_logfmt_line("counter", name=name, value=value))
+    for name, value in sorted(recorder.gauges().items()):
+        lines.append(_logfmt_line("gauge", name=name, value=value))
+    for name, snapshot in sorted(recorder.histograms().items()):
+        lines.append(_logfmt_line("histogram", name=name, **snapshot.as_dict()))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_trace(
+    recorder: Recorder, path: str | Path, format: str = "json"
+) -> None:
+    """Write the recorder's snapshot to ``path`` in the given format."""
+    if format not in TRACE_FORMATS:
+        raise ValueError(
+            f"trace format must be one of {TRACE_FORMATS}, got {format!r}"
+        )
+    text = to_json(recorder) + "\n" if format == "json" else to_logfmt(recorder)
+    Path(path).write_text(text, encoding="utf-8")

@@ -1,0 +1,363 @@
+"""The in-memory trace recorder: spans, counters, gauges, histograms.
+
+All wall-clock quantities come from :func:`time.perf_counter` (the
+monotonic high-resolution clock), never from ``time.time``; span starts
+are reported relative to the recorder's creation so exported traces are
+self-contained.
+
+Thread safety: one :class:`Recorder` may be shared by every thread of a
+process.  Finished spans and metrics are guarded by a single lock; the
+*active* span stack is thread-local, so spans nest per thread and
+concurrent threads never corrupt each other's parentage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+DEFAULT_HISTOGRAM_WINDOW = 2048
+"""Recent observations kept per histogram for the percentile snapshot."""
+
+
+@dataclass
+class Span:
+    """One timed unit of work, possibly nested under a parent span.
+
+    ``start`` is seconds since the recorder's epoch (its creation);
+    ``seconds`` is the span's duration, written when the span finishes.
+    ``status`` is ``"ok"`` unless the spanned block raised, then
+    ``"error"``.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    start: float
+    seconds: float = 0.0
+    status: str = "ok"
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready view of the span."""
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "start_s": round(self.start, 9),
+            "seconds": round(self.seconds, 9),
+            "status": self.status,
+        }
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        return payload
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Point-in-time summary of one histogram.
+
+    ``count``/``total``/``minimum``/``maximum`` cover every observation
+    ever made; the percentiles cover the most recent window (bounded so
+    long-running processes stay bounded in memory).
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+def percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 if empty)."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class _Histogram:
+    """Running count/total/min/max plus a bounded percentile window."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "window")
+
+    def __init__(self, window: int):
+        self.count = 0
+        self.total = 0.0
+        self.minimum = 0.0
+        self.maximum = 0.0
+        self.window: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self.count == 0:
+            self.minimum = self.maximum = value
+        else:
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+        self.count += 1
+        self.total += value
+        self.window.append(value)
+
+    def snapshot(self) -> HistogramSnapshot:
+        ordered = sorted(self.window)
+        return HistogramSnapshot(
+            count=self.count,
+            total=self.total,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            p50=percentile(ordered, 0.50),
+            p95=percentile(ordered, 0.95),
+            p99=percentile(ordered, 0.99),
+        )
+
+
+class Recorder:
+    """Thread-safe in-memory collector of spans and metrics.
+
+    >>> recorder = Recorder()
+    >>> with recorder.span("outer"):
+    ...     with recorder.span("inner"):
+    ...         recorder.count("work.items", 3)
+    >>> [span.name for span in recorder.spans()]
+    ['inner', 'outer']
+    >>> recorder.counter_value("work.items")
+    3.0
+    """
+
+    def __init__(self, histogram_window: int = DEFAULT_HISTOGRAM_WINDOW):
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+        self._next_id = 0
+        self._finished: list[Span] = []
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, _Histogram] = {}
+        self._histogram_window = histogram_window
+        self._active = threading.local()
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._active, "stack", None)
+        if stack is None:
+            stack = self._active.stack = []
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Time the enclosed block as a span nested under the thread's
+        currently open span.
+
+        The yielded :class:`Span` carries its duration in ``seconds``
+        after the block exits, so callers may derive timing views from
+        it directly.  An exception marks the span ``status = "error"``
+        and propagates.
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            name=name,
+            span_id=self._allocate_id(),
+            parent_id=parent.span_id if parent else None,
+            depth=parent.depth + 1 if parent else 0,
+            start=time.perf_counter() - self._epoch,
+            attributes=dict(attributes),
+        )
+        stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.seconds = (time.perf_counter() - self._epoch) - span.start
+            stack.pop()
+            self._retain(span)
+
+    def record_span(
+        self,
+        name: str,
+        seconds: float,
+        parent: Span | None = None,
+        status: str = "ok",
+        **attributes: Any,
+    ) -> Span:
+        """Record an already-measured span (e.g. a partition timed
+        inside a worker process) under an explicit ``parent``."""
+        span = Span(
+            name=name,
+            span_id=self._allocate_id(),
+            parent_id=parent.span_id if parent else None,
+            depth=parent.depth + 1 if parent else 0,
+            start=max(0.0, (time.perf_counter() - self._epoch) - seconds),
+            seconds=seconds,
+            status=status,
+            attributes=dict(attributes),
+        )
+        self._retain(span)
+        return span
+
+    def _retain(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    def spans(self) -> list[Span]:
+        """Finished spans, in finish order (children before parents)."""
+        with self._lock:
+            return list(self._finished)
+
+    def span_names(self) -> set[str]:
+        with self._lock:
+            return {span.name for span in self._finished}
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to the named monotonic counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its latest value (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to the named histogram."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = _Histogram(self._histogram_window)
+            histogram.observe(value)
+
+    def histogram(self, name: str) -> HistogramSnapshot:
+        """Snapshot of one histogram (all zeros when never observed)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            return histogram.snapshot() if histogram else HistogramSnapshot()
+
+    def counters(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def histograms(self) -> dict[str, HistogramSnapshot]:
+        with self._lock:
+            return {name: h.snapshot() for name, h in self._histograms.items()}
+
+    def reset(self) -> None:
+        """Drop every finished span and metric (open spans unaffected)."""
+        with self._lock:
+            self._finished.clear()
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"Recorder(spans={len(self._finished)}, "
+                f"counters={len(self._counters)}, "
+                f"histograms={len(self._histograms)})"
+            )
+
+
+class NullRecorder(Recorder):
+    """A recorder that times spans but retains nothing.
+
+    :meth:`span` still measures durations into the yielded
+    :class:`Span` -- callers derive their timing views (e.g.
+    ``ResolutionResult.timings``) from span objects whether or not a
+    trace is being collected -- but no span or metric is stored, so the
+    instrumented paths stay allocation- and lock-free when tracing is
+    off.
+    """
+
+    def _retain(self, span: Span) -> None:  # noqa: D102 - no storage
+        pass
+
+    def _allocate_id(self) -> int:
+        return 0
+
+    def count(self, name: str, amount: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullRecorder()"
+
+
+NULL_RECORDER = NullRecorder()
+"""Shared no-op recorder: the ambient default when tracing is off."""
+
+_CURRENT: ContextVar[Recorder | None] = ContextVar("repro_obs_recorder", default=None)
+
+
+def current_recorder() -> Recorder:
+    """The ambient recorder installed by :func:`use_recorder`, or
+    :data:`NULL_RECORDER` when none is active."""
+    return _CURRENT.get() or NULL_RECORDER
+
+
+@contextmanager
+def use_recorder(recorder: Recorder) -> Iterator[Recorder]:
+    """Install ``recorder`` as the ambient recorder for the block.
+
+    Instrumented components (pipelines, parallel stages, kernels,
+    serving engines created inside the block) resolve
+    :func:`current_recorder` and record into it.  Nesting restores the
+    previous recorder on exit.
+    """
+    token = _CURRENT.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _CURRENT.reset(token)

@@ -17,7 +17,10 @@ barrier (a dashed edge in the paper's Figure 4).  Three backends:
     constraint Spark closures have in practice.
 
 Every stage run is timed and recorded, which is how the scalability
-experiment (Figure 6) measures per-phase times.
+experiment (Figure 6) measures per-phase times.  Each stage is also
+emitted as a ``stage:<name>`` span (with per-partition child spans) on
+the context's :class:`repro.obs.Recorder`, so ``--trace`` runs see the
+parallel phases in the same trace as the pipeline phases.
 """
 
 from __future__ import annotations
@@ -26,6 +29,8 @@ import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence, TypeVar
+
+from repro.obs import Recorder, current_recorder
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
@@ -37,15 +42,36 @@ BACKENDS = ("serial", "thread", "process")
 class StageRecord:
     """Timing record of one executed stage (one barrier-to-barrier unit).
 
-    ``partition_seconds`` is populated by the ``serial`` backend (each
-    partition is timed individually), which is what the simulated
-    cluster model of :func:`simulated_makespan` consumes.
+    ``partition_seconds`` is populated on every backend (partitions are
+    timed inside the worker), which is what the simulated cluster model
+    of :func:`simulated_makespan` consumes; on a failed stage it covers
+    only the partitions that completed before the failure.  ``failed``
+    is True when a partition raised (the stage is still recorded, so
+    :meth:`ParallelContext.stage_seconds` never silently under-reports
+    a failed run) and ``cancelled`` counts the pending sibling futures
+    the context revoked before re-raising.
     """
 
     name: str
     partitions: int
     seconds: float
     partition_seconds: tuple[float, ...] = ()
+    failed: bool = False
+    cancelled: int = 0
+
+
+def _timed_partition(
+    function: Callable[..., Result], chunk: list, args: tuple
+) -> tuple[Result, float]:
+    """Run one partition and measure it inside the worker.
+
+    Module-level so the ``process`` backend can pickle it; the timing
+    therefore excludes executor dispatch and result transfer, exactly
+    the per-task compute time the simulated cluster model wants.
+    """
+    started = time.perf_counter()
+    result = function(chunk, *args)
+    return result, time.perf_counter() - started
 
 
 def simulated_makespan(
@@ -118,11 +144,21 @@ class ParallelContext:
         Default partitions per stage = ``num_workers * tasks_per_worker``
         (the paper uses a parallelism factor of 3 so every task sees
         similar resources regardless of core count).
+    recorder:
+        Observability sink for stage spans.  ``None`` (the default)
+        resolves the ambient :func:`repro.obs.current_recorder` at each
+        stage, a no-op unless a trace is active.
 
     Use as a context manager, or call :meth:`shutdown` explicitly.
     """
 
-    def __init__(self, num_workers: int = 1, backend: str = "serial", tasks_per_worker: int = 3):
+    def __init__(
+        self,
+        num_workers: int = 1,
+        backend: str = "serial",
+        tasks_per_worker: int = 3,
+        recorder: Recorder | None = None,
+    ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if backend not in BACKENDS:
@@ -133,11 +169,17 @@ class ParallelContext:
         self.backend = backend
         self.tasks_per_worker = tasks_per_worker
         self.stage_log: list[StageRecord] = []
+        self._recorder = recorder
         self._executor: Executor | None = None
         if backend == "thread":
             self._executor = ThreadPoolExecutor(max_workers=num_workers)
         elif backend == "process":
             self._executor = ProcessPoolExecutor(max_workers=num_workers)
+
+    @property
+    def recorder(self) -> Recorder:
+        """The span sink of the next stage (never None)."""
+        return self._recorder if self._recorder is not None else current_recorder()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -173,29 +215,61 @@ class ParallelContext:
         Returns one result per partition, in partition order, after all
         partitions complete (the barrier).  With the ``process`` backend
         ``function`` and ``args`` must be picklable.
+
+        When a partition raises, the exception propagates, but only
+        after the context cancels every still-pending sibling future
+        (no orphaned work keeps running behind the barrier) and appends
+        a ``failed`` :class:`StageRecord` -- a failed run is visible in
+        :meth:`stage_seconds` rather than silently missing.
         """
         chunks = split_into_partitions(items, partitions or self.default_partitions())
+        recorder = self.recorder
         started = time.perf_counter()
-        partition_seconds: tuple[float, ...] = ()
-        if self._executor is None:
-            results = []
-            times = []
-            for chunk in chunks:
-                chunk_started = time.perf_counter()
-                results.append(function(chunk, *args))
-                times.append(time.perf_counter() - chunk_started)
-            partition_seconds = tuple(times)
-        else:
-            futures = [self._executor.submit(function, chunk, *args) for chunk in chunks]
-            results = [future.result() for future in futures]
-        self.stage_log.append(
-            StageRecord(
-                name=name,
-                partitions=len(chunks),
-                seconds=time.perf_counter() - started,
-                partition_seconds=partition_seconds,
+        results: list[Result] = []
+        times: list[float] = []
+        failed = False
+        cancelled = 0
+        stage_span = None
+        try:
+            with recorder.span(
+                f"stage:{name}", backend=self.backend, partitions=len(chunks)
+            ) as stage_span:
+                if self._executor is None:
+                    for chunk in chunks:
+                        result, seconds = _timed_partition(function, chunk, args)
+                        results.append(result)
+                        times.append(seconds)
+                else:
+                    futures = [
+                        self._executor.submit(_timed_partition, function, chunk, args)
+                        for chunk in chunks
+                    ]
+                    try:
+                        for future in futures:
+                            result, seconds = future.result()
+                            results.append(result)
+                            times.append(seconds)
+                    except BaseException:
+                        cancelled = sum(1 for future in futures if future.cancel())
+                        raise
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            for index, seconds in enumerate(times):
+                recorder.record_span(
+                    f"{name}:partition-{index}", seconds, parent=stage_span
+                )
+            self.stage_log.append(
+                StageRecord(
+                    name=name,
+                    partitions=len(chunks),
+                    seconds=time.perf_counter() - started,
+                    partition_seconds=tuple(times),
+                    failed=failed,
+                    cancelled=cancelled,
+                )
             )
-        )
         return results
 
     def stage_seconds(self, prefix: str = "") -> float:

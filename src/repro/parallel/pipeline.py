@@ -16,8 +16,6 @@ functions so the ``process`` backend can pickle them.
 
 from __future__ import annotations
 
-import time
-
 from repro.blocking.name_blocking import name_blocks
 from repro.blocking.purging import purge_blocks
 from repro.blocking.token_blocking import token_blocks
@@ -31,6 +29,7 @@ from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.statistics import KBStatistics
 from repro.kernels.dispatch import resolve_backend_name
 from repro.kernels.partition import beta_partition_kernel, gamma_partition_kernel
+from repro.obs import NULL_RECORDER, Recorder, current_recorder
 from repro.parallel.context import ParallelContext
 
 # ----------------------------------------------------------------------
@@ -123,94 +122,137 @@ class ParallelMinoanER:
     >>> #     result = ParallelMinoanER(config, ctx).resolve(kb1, kb2)
     """
 
-    def __init__(self, config: MinoanERConfig | None = None, context: ParallelContext | None = None):
+    def __init__(
+        self,
+        config: MinoanERConfig | None = None,
+        context: ParallelContext | None = None,
+        recorder: Recorder | None = None,
+    ):
         self.config = config or MinoanERConfig()
         self.context = context or ParallelContext()
+        self._recorder = recorder
+
+    @property
+    def recorder(self) -> Recorder:
+        """The span sink of the next run (never None)."""
+        if self._recorder is not None:
+            return self._recorder
+        if not self.config.observability:
+            return NULL_RECORDER
+        return current_recorder()
 
     def resolve(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> ResolutionResult:
-        """Run the stage-parallel pipeline; same output as the serial one."""
+        """Run the stage-parallel pipeline; same output as the serial one.
+
+        Phases are spans (as in the serial pipeline); the context's
+        stages appear as ``stage:*`` child spans of the phase that runs
+        them, and ``timings`` is derived from the phase spans.
+        """
+        context = self.context
+        recorder = self.recorder
+        if context._recorder is None and self._recorder is not None:
+            # An explicitly supplied pipeline recorder also collects the
+            # context's stage spans for the duration of this run.
+            context._recorder = recorder
+            restore_context_recorder = True
+        else:
+            restore_context_recorder = False
+
+        try:
+            return self._resolve(kb1, kb2, recorder)
+        finally:
+            if restore_context_recorder:
+                context._recorder = None
+
+    def _resolve(
+        self, kb1: KnowledgeBase, kb2: KnowledgeBase, recorder: Recorder
+    ) -> ResolutionResult:
         config, context = self.config, self.context
-        timings: dict[str, float] = {}
-        started = time.perf_counter()
+        with recorder.span(
+            "resolve", n1=len(kb1), n2=len(kb2), parallel_backend=context.backend
+        ) as root:
+            # -- Statistics (driver): name attributes, importance, top
+            #    neighbors.
+            with recorder.span("statistics") as span_statistics:
+                stats1 = KBStatistics(kb1, config.name_attributes_k, config.relations_n)
+                stats2 = KBStatistics(kb2, config.name_attributes_k, config.relations_n)
+                in_neighbors_1 = [stats1.top_in_neighbors(eid) for eid in range(len(kb1))]
+                in_neighbors_2 = [stats2.top_in_neighbors(eid) for eid in range(len(kb2))]
 
-        # -- Statistics (driver): name attributes, importance, top neighbors.
-        phase = time.perf_counter()
-        stats1 = KBStatistics(kb1, config.name_attributes_k, config.relations_n)
-        stats2 = KBStatistics(kb2, config.name_attributes_k, config.relations_n)
-        in_neighbors_1 = [stats1.top_in_neighbors(eid) for eid in range(len(kb1))]
-        in_neighbors_2 = [stats2.top_in_neighbors(eid) for eid in range(len(kb2))]
-        timings["statistics"] = time.perf_counter() - phase
+            # -- Blocking (driver indexes; purging on driver).
+            with recorder.span("blocking") as span_blocking:
+                names = name_blocks(stats1, stats2)
+                tokens = token_blocks(kb1, kb2)
+                if config.purge_blocks:
+                    tokens = purge_blocks(
+                        tokens,
+                        cartesian=len(kb1) * len(kb2),
+                        budget_ratio=config.purging_budget_ratio,
+                        max_comparisons=config.max_block_comparisons,
+                    )
 
-        # -- Blocking (driver indexes; purging on driver).
-        phase = time.perf_counter()
-        names = name_blocks(stats1, stats2)
-        tokens = token_blocks(kb1, kb2)
-        if config.purge_blocks:
-            tokens = purge_blocks(
-                tokens,
-                cartesian=len(kb1) * len(kb2),
-                budget_ratio=config.purging_budget_ratio,
-                max_comparisons=config.max_block_comparisons,
-            )
-        timings["blocking"] = time.perf_counter() - phase
+            # -- Graph construction stages (Figure 4: alpha & beta during
+            #    blocking, gamma after the top-neighbor barrier).  The
+            #    accumulation stages run either the dict kernels or the
+            #    array kernels of repro.kernels.partition; both produce
+            #    bit-identical partials, so the choice is a pure perf knob.
+            with recorder.span("graph") as span_graph:
+                backend = resolve_backend_name(config.kernel_backend)
+                names_1, names_2 = name_evidence(names)
 
-        # -- Graph construction stages (Figure 4: alpha & beta during
-        #    blocking, gamma after the top-neighbor barrier).  The
-        #    accumulation stages run either the dict kernels or the
-        #    array kernels of repro.kernels.partition; both produce
-        #    bit-identical partials, so the choice is a pure perf knob.
-        phase = time.perf_counter()
-        backend = resolve_backend_name(config.kernel_backend)
-        names_1, names_2 = name_evidence(names)
+                block_items = [(block.side1, block.side2) for block in tokens]
+                if backend == "dict":
+                    partials = context.run_stage("graph:beta", block_items, beta_kernel)
+                else:
+                    partials = context.run_stage(
+                        "graph:beta", block_items, beta_partition_kernel,
+                        len(kb1), len(kb2), backend,
+                    )
+                beta_rows = merge_partials(partials, len(kb1))
+                beta_columns = transpose_rows(beta_rows, len(kb2))
 
-        block_items = [(block.side1, block.side2) for block in tokens]
-        if backend == "dict":
-            partials = context.run_stage("graph:beta", block_items, beta_kernel)
-        else:
-            partials = context.run_stage(
-                "graph:beta", block_items, beta_partition_kernel,
-                len(kb1), len(kb2), backend,
-            )
-        beta_rows = merge_partials(partials, len(kb1))
-        beta_columns = transpose_rows(beta_rows, len(kb2))
+                k = config.candidates_k
+                value_1 = _staged_top_k(context, "graph:topk_value_1", beta_rows, k)
+                value_2 = _staged_top_k(context, "graph:topk_value_2", beta_columns, k)
 
-        k = config.candidates_k
-        value_1 = _staged_top_k(context, "graph:topk_value_1", beta_rows, k)
-        value_2 = _staged_top_k(context, "graph:topk_value_2", beta_columns, k)
+                edges = [(e1, e2, w) for (e1, e2), w in retained_beta_edges(value_1, value_2).items()]
+                if backend == "dict":
+                    partials = context.run_stage(
+                        "graph:gamma", edges, gamma_kernel, in_neighbors_1, in_neighbors_2
+                    )
+                else:
+                    partials = context.run_stage(
+                        "graph:gamma", edges, gamma_partition_kernel,
+                        in_neighbors_1, in_neighbors_2, backend,
+                    )
+                gamma_rows = merge_partials(partials, len(kb1))
+                gamma_columns = transpose_rows(gamma_rows, len(kb2))
+                neighbor_1 = _staged_top_k(context, "graph:topk_neighbor_1", gamma_rows, k)
+                neighbor_2 = _staged_top_k(context, "graph:topk_neighbor_2", gamma_columns, k)
 
-        edges = [(e1, e2, w) for (e1, e2), w in retained_beta_edges(value_1, value_2).items()]
-        if backend == "dict":
-            partials = context.run_stage(
-                "graph:gamma", edges, gamma_kernel, in_neighbors_1, in_neighbors_2
-            )
-        else:
-            partials = context.run_stage(
-                "graph:gamma", edges, gamma_partition_kernel,
-                in_neighbors_1, in_neighbors_2, backend,
-            )
-        gamma_rows = merge_partials(partials, len(kb1))
-        gamma_columns = transpose_rows(gamma_rows, len(kb2))
-        neighbor_1 = _staged_top_k(context, "graph:topk_neighbor_1", gamma_rows, k)
-        neighbor_2 = _staged_top_k(context, "graph:topk_neighbor_2", gamma_columns, k)
+                graph = DisjunctiveBlockingGraph(
+                    n1=len(kb1),
+                    n2=len(kb2),
+                    name_matches_1=names_1,
+                    name_matches_2=names_2,
+                    value_candidates_1=value_1,
+                    value_candidates_2=value_2,
+                    neighbor_candidates_1=neighbor_1,
+                    neighbor_candidates_2=neighbor_2,
+                )
 
-        graph = DisjunctiveBlockingGraph(
-            n1=len(kb1),
-            n2=len(kb2),
-            name_matches_1=names_1,
-            name_matches_2=names_2,
-            value_candidates_1=value_1,
-            value_candidates_2=value_2,
-            neighbor_candidates_1=neighbor_1,
-            neighbor_candidates_2=neighbor_2,
-        )
-        timings["graph"] = time.perf_counter() - phase
+            # -- Matching (rules over node partitions; barriers between
+            #    rules).
+            with recorder.span("matching") as span_matching:
+                matching = _staged_matching(context, graph, config)
 
-        # -- Matching (rules over node partitions; barriers between rules).
-        phase = time.perf_counter()
-        matching = _staged_matching(context, graph, config)
-        timings["matching"] = time.perf_counter() - phase
-
-        timings["total"] = time.perf_counter() - started
+        timings = {
+            "statistics": span_statistics.seconds,
+            "blocking": span_blocking.seconds,
+            "graph": span_graph.seconds,
+            "matching": span_matching.seconds,
+            "total": root.seconds,
+        }
         return ResolutionResult(
             kb1=kb1,
             kb2=kb2,

@@ -30,7 +30,6 @@ not, and never enter the cache.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -54,14 +53,12 @@ from repro.kernels import (
     retained_edge_arrays,
     select_row,
 )
+from repro.obs import NULL_RECORDER, Recorder, current_recorder
 from repro.serving.cache import LRUCache, entity_fingerprint
 from repro.serving.index import ResolutionIndex
 
 RULE_PRIORITY = {"R1": 0, "R2": 1, "R3": 2}
 """Conflict-resolution priority of the matching rules (R1 strongest)."""
-
-_LATENCY_WINDOW = 2048
-"""Recent per-query latencies kept for the percentile snapshot."""
 
 
 @dataclass(frozen=True)
@@ -106,6 +103,14 @@ class MatchEngine:
         An externally owned :class:`LRUCache` (e.g. shared between
         engines over the same index); by default the engine creates one
         sized ``config.serving_cache_size``.
+    recorder:
+        Observability sink for the engine's counters and latency/
+        candidate histograms (``serving.*`` metrics); :meth:`stats` is
+        a derived view over it.  ``None`` picks the ambient
+        :func:`repro.obs.current_recorder` when a trace is active at
+        construction time (so ``--trace`` runs fold serving metrics
+        into the shared trace) and otherwise a private
+        :class:`~repro.obs.Recorder`, keeping :meth:`stats` per-engine.
     """
 
     def __init__(
@@ -113,6 +118,7 @@ class MatchEngine:
         index: ResolutionIndex,
         config: MinoanERConfig | None = None,
         cache: LRUCache | None = None,
+        recorder: Recorder | None = None,
     ):
         self.index = index
         self.config = config or index.config
@@ -128,15 +134,11 @@ class MatchEngine:
             else None
         )
         self.cache = cache if cache is not None else LRUCache(self.config.serving_cache_size)
-        self._lock = threading.Lock()
-        self._queries = 0
-        self._batches = 0
-        self._batch_queries = 0
-        self._matched = 0
-        self._candidates_total = 0
-        self._candidates_max = 0
-        self._latency_total = 0.0
-        self._latencies: list[float] = []
+        if recorder is not None:
+            self.recorder = recorder
+        else:
+            ambient = current_recorder()
+            self.recorder = ambient if ambient is not NULL_RECORDER else Recorder()
 
     # ------------------------------------------------------------------
     # Single-query path
@@ -151,6 +153,7 @@ class MatchEngine:
         key = entity_fingerprint(entity)
         outcome = self.cache.get(key)
         hit = outcome is not None
+        self.recorder.count("serving.cache.hits" if hit else "serving.cache.misses")
         if not hit:
             outcome = self._resolve_single(entity)
             self.cache.put(key, outcome)
@@ -459,7 +462,7 @@ class MatchEngine:
         return side1, side2
 
     # ------------------------------------------------------------------
-    # Counters
+    # Metrics
     # ------------------------------------------------------------------
     def _record(
         self,
@@ -469,60 +472,56 @@ class MatchEngine:
         matched: int,
         batch: bool = False,
     ) -> None:
-        with self._lock:
-            self._queries += queries
-            if batch:
-                self._batches += 1
-                self._batch_queries += queries
-            self._matched += matched
-            for count in candidate_counts:
-                self._candidates_total += count
-                if count > self._candidates_max:
-                    self._candidates_max = count
-            self._latency_total += latency_ms
-            self._latencies.append(latency_ms / (queries if batch else 1))
-            if len(self._latencies) > _LATENCY_WINDOW:
-                del self._latencies[: len(self._latencies) - _LATENCY_WINDOW]
+        """Record one lookup's metrics on :attr:`recorder`.
+
+        One ``serving.latency_ms`` observation per call: the per-query
+        latency (batch latency is attributed evenly to its queries).
+        The recorder is thread-safe, so the engine needs no lock of its
+        own.
+        """
+        recorder = self.recorder
+        recorder.count("serving.queries", queries)
+        if batch:
+            recorder.count("serving.batches")
+            recorder.count("serving.batch_queries", queries)
+        if matched:
+            recorder.count("serving.matched", matched)
+        for count in candidate_counts:
+            recorder.observe("serving.candidates", count)
+        recorder.count("serving.latency_total_ms", latency_ms)
+        recorder.observe("serving.latency_ms", latency_ms / (queries if batch else 1))
 
     def stats(self) -> dict[str, object]:
-        """Snapshot of the engine's counters plus the cache's.
+        """Snapshot of the engine's ``serving.*`` metrics plus the cache's.
 
-        Latency percentiles cover the most recent ``_LATENCY_WINDOW``
-        per-query latencies (batch latency is attributed evenly to its
-        queries).
+        A derived view over :attr:`recorder`: counters and histogram
+        snapshots are folded back into the flat dict shape this method
+        has always returned.  Latency percentiles cover the histogram's
+        bounded window of recent per-query latencies.
         """
-        with self._lock:
-            latencies = sorted(self._latencies)
-            snapshot: dict[str, object] = {
-                "queries": self._queries,
-                "batches": self._batches,
-                "batch_queries": self._batch_queries,
-                "matched": self._matched,
-                "candidates_total": self._candidates_total,
-                "candidates_max": self._candidates_max,
-                "candidates_mean": (
-                    self._candidates_total / self._queries if self._queries else 0.0
-                ),
-                "latency_total_ms": self._latency_total,
-                "latency_mean_ms": (
-                    self._latency_total / self._queries if self._queries else 0.0
-                ),
-                "latency_p50_ms": _percentile(latencies, 0.50),
-                "latency_p95_ms": _percentile(latencies, 0.95),
-            }
+        recorder = self.recorder
+        queries = int(recorder.counter_value("serving.queries"))
+        latency = recorder.histogram("serving.latency_ms")
+        candidates = recorder.histogram("serving.candidates")
+        latency_total = recorder.counter_value("serving.latency_total_ms")
+        snapshot: dict[str, object] = {
+            "queries": queries,
+            "batches": int(recorder.counter_value("serving.batches")),
+            "batch_queries": int(recorder.counter_value("serving.batch_queries")),
+            "matched": int(recorder.counter_value("serving.matched")),
+            "candidates_total": int(candidates.total),
+            "candidates_max": int(candidates.maximum),
+            "candidates_mean": candidates.total / queries if queries else 0.0,
+            "latency_total_ms": latency_total,
+            "latency_mean_ms": latency_total / queries if queries else 0.0,
+            "latency_p50_ms": latency.p50,
+            "latency_p95_ms": latency.p95,
+        }
         snapshot["cache"] = self.cache.stats()
         return snapshot
 
     def __repr__(self) -> str:
         return (
             f"MatchEngine(index={self.index.kb_name!r}, n2={self.index.n2}, "
-            f"queries={self._queries})"
+            f"queries={int(self.recorder.counter_value('serving.queries'))})"
         )
-
-
-def _percentile(ordered: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending sequence (0.0 if empty)."""
-    if not ordered:
-        return 0.0
-    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]

@@ -35,6 +35,7 @@ from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.statistics import KBStatistics
 from repro.kb.tokenizer import Tokenizer
 from repro.kernels import CSRAdjacency, block_weight
+from repro.obs import current_recorder
 
 MAGIC = b"MINOANER-INDEX\x00"
 FORMAT_VERSION = 1
@@ -121,32 +122,39 @@ class ResolutionIndex:
         Runs the same statistics pass as the batch pipeline
         (:meth:`repro.core.pipeline.MinoanER.build_statistics`), so an
         engine over the index reproduces the batch pipeline's view of
-        the KB exactly.
+        the KB exactly.  The build is traced as an ``index.build`` span
+        with ``statistics``/``names``/``postings`` children on the
+        ambient :func:`repro.obs.current_recorder`.
         """
         config = config or MinoanERConfig()
-        stats2 = KBStatistics(
-            kb2,
-            top_k_name_attributes=config.name_attributes_k,
-            top_n_relations=config.relations_n,
-        )
+        recorder = current_recorder()
+        with recorder.span("index.build", n2=len(kb2)):
+            with recorder.span("index.statistics"):
+                stats2 = KBStatistics(
+                    kb2,
+                    top_k_name_attributes=config.name_attributes_k,
+                    top_n_relations=config.relations_n,
+                )
 
-        # Name map, in the exact emit order of name_blocks: ids appended
-        # ascending, per-entity duplicates collapsed.
-        names: dict[str, list[int]] = {}
-        for eid in range(len(kb2)):
-            seen: set[str] = set()
-            for raw in stats2.names(eid):
-                name = normalize_name(raw)
-                if name and name not in seen:
-                    seen.add(name)
-                    names.setdefault(name, []).append(eid)
+            # Name map, in the exact emit order of name_blocks: ids
+            # appended ascending, per-entity duplicates collapsed.
+            with recorder.span("index.names"):
+                names: dict[str, list[int]] = {}
+                for eid in range(len(kb2)):
+                    seen: set[str] = set()
+                    for raw in stats2.names(eid):
+                        name = normalize_name(raw)
+                        if name and name not in seen:
+                            seen.add(name)
+                            names.setdefault(name, []).append(eid)
 
-        postings = {
-            token: array("i", ids) for token, ids in kb2.token_index.items()
-        }
-        singleton_weights = {
-            token: block_weight(len(ids)) for token, ids in postings.items()
-        }
+            with recorder.span("index.postings"):
+                postings = {
+                    token: array("i", ids) for token, ids in kb2.token_index.items()
+                }
+                singleton_weights = {
+                    token: block_weight(len(ids)) for token, ids in postings.items()
+                }
 
         return cls(
             kb_name=kb2.name,
@@ -194,10 +202,11 @@ class ResolutionIndex:
         must only be loaded from trusted sources.
         """
         payload = {field: getattr(self, field) for field in _PERSISTED_FIELDS}
-        with open(path, "wb") as handle:
-            handle.write(MAGIC)
-            handle.write(bytes([FORMAT_VERSION]))
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        with current_recorder().span("index.save"):
+            with open(path, "wb") as handle:
+                handle.write(MAGIC)
+                handle.write(bytes([FORMAT_VERSION]))
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
     @classmethod
     def load(cls, path: str | Path) -> "ResolutionIndex":
@@ -206,18 +215,19 @@ class ResolutionIndex:
         Raises ``ValueError`` on a foreign or future-versioned file
         rather than unpickling it.
         """
-        with open(path, "rb") as handle:
-            magic = handle.read(len(MAGIC))
-            if magic != MAGIC:
-                raise ValueError(f"{path} is not a MinoanER resolution index")
-            version = handle.read(1)
-            if not version or version[0] != FORMAT_VERSION:
-                found = version[0] if version else None
-                raise ValueError(
-                    f"unsupported index format version {found!r} in {path} "
-                    f"(this build reads version {FORMAT_VERSION})"
-                )
-            payload = pickle.load(handle)
+        with current_recorder().span("index.load"):
+            with open(path, "rb") as handle:
+                magic = handle.read(len(MAGIC))
+                if magic != MAGIC:
+                    raise ValueError(f"{path} is not a MinoanER resolution index")
+                version = handle.read(1)
+                if not version or version[0] != FORMAT_VERSION:
+                    found = version[0] if version else None
+                    raise ValueError(
+                        f"unsupported index format version {found!r} in {path} "
+                        f"(this build reads version {FORMAT_VERSION})"
+                    )
+                payload = pickle.load(handle)
         return cls(**payload)
 
     def __repr__(self) -> str:

@@ -2,13 +2,17 @@
 
 Requests (one JSON object per line)::
 
-    {"uri": "q1", "pairs": [["label", "fat duck bray"], ["year", "1995"]]}
+    {"uri": "q1", "pairs": [["label", "fat duck bray"], ["year", 1995]]}
     {"uri": "q2", "attributes": {"label": "eltham palace", "city": ["london"]}}
 
 Either ``pairs`` (a list of ``[attribute, value]`` pairs, RDF-style
 multi-valued) or ``attributes`` (a mapping of attribute to value or list
-of values) describes the entity; ``uri`` is optional and defaults to a
-positional identifier.
+of values) describes the entity.  Values may be any JSON scalar --
+strings, numbers, booleans -- and are coerced to strings at parse time;
+nested objects and arrays are rejected with the offending line number.
+``uri`` is optional and defaults to ``query-N`` where ``N`` is the
+request's position among the *accepted* requests (blank lines do not
+consume a position).
 
 Responses (one JSON object per request line, in request order)::
 
@@ -16,8 +20,10 @@ Responses (one JSON object per request line, in request order)::
      "score": null, "candidates": 12, "cached": false, "latency_ms": 0.41}
 
 ``match`` is null when no rule matched the query.  ``score`` is the
-producing rule's score; rule R1's score is infinite and serialises as
-null (JSON has no Infinity).
+producing rule's score; rule R1's score is by definition ``+inf`` and
+serialises as null (JSON has no Infinity).  Any *other* non-finite
+score is an engine invariant violation and raises instead of being
+masked as null.
 """
 
 from __future__ import annotations
@@ -29,14 +35,33 @@ from typing import Any, Iterable, Iterator, TextIO
 from repro.kb.entity import EntityDescription
 from repro.serving.engine import MatchDecision
 
+_SCALARS = (str, int, float, bool)
+
+
+def _coerce_scalar(value: Any, role: str) -> str:
+    """``value`` as a string, or ``ValueError`` for null and nested
+    structures (the tokenizer only understands flat scalars)."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        return json.dumps(value) if isinstance(value, bool) else str(value)
+    raise ValueError(
+        f"{role} must be a JSON scalar (string, number, or boolean), "
+        f"got {value!r}"
+    )
+
 
 def entity_from_json(payload: dict[str, Any], default_uri: str) -> EntityDescription:
     """Build an :class:`~repro.kb.entity.EntityDescription` from one
     decoded request object.
 
+    Scalar attribute names and values are coerced to strings (so
+    ``["year", 1995]`` and ``{"year": 1995}`` both tokenize as
+    ``"1995"``); nested objects/arrays and nulls raise ``ValueError``.
+
     >>> entity_from_json({"pairs": [["label", "Bray"]]}, "query-0").uri
     'query-0'
-    >>> entity_from_json({"uri": "q", "attributes": {"a": ["1", "2"]}}, "-").pairs
+    >>> entity_from_json({"uri": "q", "attributes": {"a": ["1", 2]}}, "-").pairs
     (('a', '1'), ('a', '2'))
     """
     if not isinstance(payload, dict):
@@ -48,7 +73,12 @@ def entity_from_json(payload: dict[str, Any], default_uri: str) -> EntityDescrip
         for item in raw_pairs:
             if not isinstance(item, (list, tuple)) or len(item) != 2:
                 raise ValueError(f"each pair must be [attribute, value], got {item!r}")
-            pairs.append((item[0], item[1]))
+            pairs.append(
+                (
+                    _coerce_scalar(item[0], "pair attribute"),
+                    _coerce_scalar(item[1], "pair value"),
+                )
+            )
         return EntityDescription(uri, pairs)
     if "attributes" in payload:
         mapping = payload["attributes"]
@@ -56,7 +86,18 @@ def entity_from_json(payload: dict[str, Any], default_uri: str) -> EntityDescrip
             raise ValueError(
                 f"'attributes' must be an object, got {type(mapping).__name__}"
             )
-        return EntityDescription.from_mapping(uri, mapping)
+        pairs = []
+        for attribute, value in mapping.items():
+            if isinstance(value, list):
+                pairs.extend(
+                    (attribute, _coerce_scalar(v, f"value of {attribute!r}"))
+                    for v in value
+                )
+            else:
+                pairs.append(
+                    (attribute, _coerce_scalar(value, f"value of {attribute!r}"))
+                )
+        return EntityDescription(uri, pairs)
     raise ValueError("request needs a 'pairs' list or an 'attributes' object")
 
 
@@ -68,12 +109,22 @@ def entity_to_json(entity: EntityDescription) -> dict[str, Any]:
 def decision_to_json(decision: MatchDecision) -> dict[str, Any]:
     """Serialise a decision to the response object.
 
-    Infinite scores (rule R1) become null; ids are coerced to built-in
-    ``int`` (the numpy backend may hand back ``numpy.int64``).
+    Rule R1's score is ``+inf`` by definition and becomes null (JSON
+    has no Infinity); any other non-finite score (``-inf`` sentinels,
+    NaN) indicates an engine bug and raises ``ValueError`` instead of
+    being silently masked.  Ids are coerced to built-in ``int`` (the
+    numpy backend may hand back ``numpy.int64``).
     """
     score = decision.score
     if score is not None and not math.isfinite(score):
-        score = None
+        if decision.rule == "R1" and score == math.inf:
+            score = None
+        else:
+            raise ValueError(
+                f"non-finite score {score!r} from rule {decision.rule!r} for "
+                f"query {decision.query_uri!r} cannot be serialised; only "
+                f"rule R1 produces an infinite (+inf) score by design"
+            )
     return {
         "query": decision.query_uri,
         "match": decision.kb2_uri,
@@ -89,17 +140,24 @@ def decision_to_json(decision: MatchDecision) -> dict[str, Any]:
 def read_requests(stream: TextIO) -> Iterator[EntityDescription]:
     """Parse a JSONL request stream, skipping blank lines.
 
-    Malformed lines raise ``ValueError`` naming the line number.
+    Default URIs are positional over *accepted* requests: the N-th
+    non-blank, well-formed request without a ``uri`` gets ``query-N``
+    (1-based), so identifiers stay contiguous regardless of blank
+    lines.  Malformed lines raise ``ValueError`` naming the raw line
+    number (blank lines included, for editor navigation).
     """
+    accepted = 0
     for number, line in enumerate(stream, start=1):
         line = line.strip()
         if not line:
             continue
         try:
             payload = json.loads(line)
-            yield entity_from_json(payload, default_uri=f"query-{number}")
+            entity = entity_from_json(payload, default_uri=f"query-{accepted + 1}")
         except (json.JSONDecodeError, ValueError) as error:
             raise ValueError(f"bad request on line {number}: {error}") from error
+        accepted += 1
+        yield entity
 
 
 def write_decisions(decisions: Iterable[MatchDecision], stream: TextIO) -> None:

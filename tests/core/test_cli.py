@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -69,6 +71,82 @@ class TestResolveCommand:
             ]
         )
         assert code == 0
+
+
+class TestTraceFlag:
+    def test_resolve_trace_covers_phases(self, dataset_dir, capsys):
+        trace = dataset_dir / "trace.json"
+        code = main(
+            [
+                "resolve",
+                str(dataset_dir / "kb1.nt"),
+                str(dataset_dir / "kb2.nt"),
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        names = {span["name"] for span in payload["spans"]}
+        assert {"resolve", "statistics", "blocking", "graph", "matching"} <= names
+        assert any(
+            key.startswith("kernels.dispatch.") for key in payload["counters"]
+        )
+        assert "# trace written to" in capsys.readouterr().err
+
+    def test_resolve_trace_logfmt(self, dataset_dir, capsys):
+        trace = dataset_dir / "trace.logfmt"
+        code = main(
+            [
+                "resolve",
+                str(dataset_dir / "kb1.nt"),
+                str(dataset_dir / "kb2.nt"),
+                "--trace",
+                str(trace),
+                "--trace-format",
+                "logfmt",
+            ]
+        )
+        assert code == 0
+        lines = trace.read_text().strip().splitlines()
+        assert any(line.startswith("span name=resolve") for line in lines)
+
+    def test_index_and_serve_trace(self, dataset_dir, capsys):
+        index_path = dataset_dir / "kb2.idx"
+        index_trace = dataset_dir / "index-trace.json"
+        assert main(
+            [
+                "index",
+                str(dataset_dir / "kb2.nt"),
+                "-o",
+                str(index_path),
+                "--trace",
+                str(index_trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        names = {s["name"] for s in json.loads(index_trace.read_text())["spans"]}
+        assert {"index.build", "index.statistics", "index.save"} <= names
+
+        requests = dataset_dir / "queries.jsonl"
+        requests.write_text('{"pairs": [["name", "anything"]]}\n', encoding="utf-8")
+        serve_trace = dataset_dir / "serve-trace.json"
+        assert main(
+            [
+                "serve",
+                str(index_path),
+                "-i",
+                str(requests),
+                "--trace",
+                str(serve_trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(serve_trace.read_text())
+        assert "index.load" in {s["name"] for s in payload["spans"]}
+        assert payload["counters"]["serving.queries"] == 1
+        assert "serving.latency_ms" in payload["histograms"]
+        assert "serving.candidates" in payload["histograms"]
 
 
 class TestDedupeCommand:

@@ -63,6 +63,61 @@ class TestResolveOnFigure1(object):
         assert all(value == 0.0 for value in bare.timings.values())
 
 
+class TestTracing:
+    def test_spans_cover_every_timing_phase(self, restaurant_kbs):
+        from repro.core.pipeline import TIMING_PHASES
+        from repro.obs import Recorder, use_recorder
+
+        recorder = Recorder()
+        with use_recorder(recorder):
+            result = MinoanER().resolve(*restaurant_kbs)
+        names = recorder.span_names()
+        # "total" is the root "resolve" span; the other phases appear
+        # under their own names.
+        for phase in TIMING_PHASES:
+            assert ("resolve" if phase == "total" else phase) in names
+        # timings is a derived view of the recorded spans.
+        root = next(s for s in recorder.spans() if s.name == "resolve")
+        assert result.timings["total"] == root.seconds
+        for phase in ("statistics", "blocking", "graph", "matching"):
+            span = next(s for s in recorder.spans() if s.name == phase)
+            assert result.timings[phase] == span.seconds
+            assert span.parent_id == root.span_id
+        assert recorder.counters().get("kernels.dispatch.numpy", 0) or (
+            recorder.counters().get("kernels.dispatch.python", 0)
+        )
+
+    def test_observability_knob_disables_recording(self, restaurant_kbs):
+        from repro.obs import Recorder, use_recorder
+
+        recorder = Recorder()
+        with use_recorder(recorder):
+            result = MinoanER(MinoanERConfig(observability=False)).resolve(
+                *restaurant_kbs
+            )
+        assert recorder.spans() == []
+        # Timings stay populated even with tracing off.
+        assert result.timings["total"] > 0.0
+
+    def test_explicit_recorder_wins_over_ambient(self, restaurant_kbs):
+        from repro.obs import Recorder, use_recorder
+
+        explicit = Recorder()
+        ambient = Recorder()
+        with use_recorder(ambient):
+            MinoanER(recorder=explicit).resolve(*restaurant_kbs)
+        assert "resolve" in explicit.span_names()
+        assert ambient.spans() == []
+
+    def test_tracing_does_not_change_matches(self, restaurant_kbs):
+        from repro.obs import Recorder, use_recorder
+
+        baseline = MinoanER().resolve(*restaurant_kbs).uri_matches()
+        with use_recorder(Recorder()):
+            traced = MinoanER().resolve(*restaurant_kbs).uri_matches()
+        assert traced == baseline
+
+
 class TestResolveOnSynthetic:
     def test_quality_floor_on_easy_pair(self, mini_pair):
         result = MinoanER().resolve(mini_pair.kb1, mini_pair.kb2)

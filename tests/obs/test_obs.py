@@ -1,0 +1,260 @@
+"""Unit tests for the observability layer: spans, metrics, exporters."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    current_recorder,
+    to_json,
+    to_logfmt,
+    use_recorder,
+    write_trace,
+)
+from repro.obs.recorder import percentile
+
+
+class TestSpanNesting:
+    def test_parentage_and_depth(self):
+        recorder = Recorder()
+        with recorder.span("outer") as outer:
+            with recorder.span("middle") as middle:
+                with recorder.span("inner") as inner:
+                    pass
+        assert outer.parent_id is None and outer.depth == 0
+        assert middle.parent_id == outer.span_id and middle.depth == 1
+        assert inner.parent_id == middle.span_id and inner.depth == 2
+        # Finish order: children before parents.
+        assert [span.name for span in recorder.spans()] == ["inner", "middle", "outer"]
+
+    def test_siblings_share_parent(self):
+        recorder = Recorder()
+        with recorder.span("root") as root:
+            with recorder.span("a") as a:
+                pass
+            with recorder.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == root.span_id
+
+    def test_durations_are_monotonic_and_nested(self):
+        recorder = Recorder()
+        with recorder.span("outer") as outer:
+            with recorder.span("inner") as inner:
+                time.sleep(0.01)
+        assert inner.seconds >= 0.01
+        assert outer.seconds >= inner.seconds
+
+    def test_exception_marks_error_and_propagates(self):
+        recorder = Recorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("boom"):
+                raise RuntimeError("x")
+        (span,) = recorder.spans()
+        assert span.status == "error"
+        assert span.seconds >= 0.0
+        # The stack was unwound: a new span is a root again.
+        with recorder.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_attributes_recorded(self):
+        recorder = Recorder()
+        with recorder.span("resolve", n1=3, n2=5) as span:
+            pass
+        assert span.attributes == {"n1": 3, "n2": 5}
+
+    def test_record_span_with_explicit_parent(self):
+        recorder = Recorder()
+        with recorder.span("stage") as stage:
+            pass
+        child = recorder.record_span("stage:partition-0", 0.25, parent=stage)
+        assert child.parent_id == stage.span_id
+        assert child.seconds == 0.25
+        assert child.depth == stage.depth + 1
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_nest_per_thread(self):
+        recorder = Recorder()
+        errors: list[str] = []
+
+        def worker(label):
+            for _ in range(50):
+                with recorder.span(f"outer-{label}") as outer:
+                    with recorder.span(f"inner-{label}") as inner:
+                        if inner.parent_id != outer.span_id:
+                            errors.append(f"{label}: bad parent")
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(recorder.spans()) == 8 * 50 * 2
+        ids = [span.span_id for span in recorder.spans()]
+        assert len(set(ids)) == len(ids)
+
+    def test_concurrent_counters_and_histograms(self):
+        recorder = Recorder()
+
+        def worker():
+            for i in range(200):
+                recorder.count("c")
+                recorder.observe("h", float(i))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.counter_value("c") == 8 * 200
+        assert recorder.histogram("h").count == 8 * 200
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        recorder = Recorder()
+        recorder.count("x")
+        recorder.count("x", 2.5)
+        assert recorder.counter_value("x") == 3.5
+        assert recorder.counters() == {"x": 3.5}
+
+    def test_gauge_last_write_wins(self):
+        recorder = Recorder()
+        recorder.gauge("g", 1)
+        recorder.gauge("g", 7)
+        assert recorder.gauges() == {"g": 7.0}
+
+    def test_histogram_snapshot(self):
+        recorder = Recorder()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            recorder.observe("h", value)
+        snap = recorder.histogram("h")
+        assert snap.count == 4
+        assert snap.total == 10.0
+        assert snap.minimum == 1.0 and snap.maximum == 4.0
+        assert snap.mean == 2.5
+        assert snap.p50 == 3.0  # nearest rank: round(0.5 * 3) = 2
+        assert snap.p95 == 4.0
+
+    def test_histogram_window_bounded_but_totals_complete(self):
+        recorder = Recorder(histogram_window=4)
+        for value in range(100):
+            recorder.observe("h", float(value))
+        snap = recorder.histogram("h")
+        assert snap.count == 100
+        assert snap.maximum == 99.0
+        assert snap.p50 >= 96.0  # window holds only the last 4
+
+    def test_missing_histogram_is_zeros(self):
+        snap = Recorder().histogram("nope")
+        assert snap.count == 0 and snap.p95 == 0.0 and snap.mean == 0.0
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([5.0], 0.95) == 5.0
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_reset(self):
+        recorder = Recorder()
+        with recorder.span("s"):
+            recorder.count("c")
+        recorder.reset()
+        assert recorder.spans() == []
+        assert recorder.counters() == {}
+
+
+class TestAmbientRecorder:
+    def test_default_is_null(self):
+        assert current_recorder() is NULL_RECORDER
+
+    def test_use_recorder_installs_and_restores(self):
+        recorder = Recorder()
+        with use_recorder(recorder) as installed:
+            assert installed is recorder
+            assert current_recorder() is recorder
+            inner = Recorder()
+            with use_recorder(inner):
+                assert current_recorder() is inner
+            assert current_recorder() is recorder
+        assert current_recorder() is NULL_RECORDER
+
+    def test_null_recorder_still_times_spans(self):
+        with NULL_RECORDER.span("timed") as span:
+            time.sleep(0.005)
+        assert span.seconds >= 0.005
+        assert NULL_RECORDER.spans() == []
+
+    def test_null_recorder_drops_metrics(self):
+        null = NullRecorder()
+        null.count("c", 5)
+        null.observe("h", 1.0)
+        null.gauge("g", 2.0)
+        assert null.counter_value("c") == 0.0
+        assert null.histogram("h").count == 0
+        assert null.gauges() == {}
+
+
+class TestExporters:
+    def _populated(self):
+        recorder = Recorder()
+        with recorder.span("resolve", n1=2):
+            with recorder.span("blocking"):
+                pass
+        recorder.count("kernels.dispatch.python", 3)
+        recorder.gauge("workers", 4)
+        recorder.observe("serving.latency_ms", 1.5)
+        return recorder
+
+    def test_json_roundtrip(self):
+        recorder = self._populated()
+        payload = json.loads(to_json(recorder))
+        assert {span["name"] for span in payload["spans"]} == {"resolve", "blocking"}
+        blocking = next(s for s in payload["spans"] if s["name"] == "blocking")
+        resolve = next(s for s in payload["spans"] if s["name"] == "resolve")
+        assert blocking["parent"] == resolve["id"]
+        assert payload["counters"]["kernels.dispatch.python"] == 3
+        assert payload["gauges"]["workers"] == 4.0
+        assert payload["histograms"]["serving.latency_ms"]["count"] == 1
+        assert resolve["attributes"] == {"n1": 2}
+
+    def test_logfmt_lines(self):
+        text = to_logfmt(self._populated())
+        lines = text.strip().splitlines()
+        kinds = [line.split(" ", 1)[0] for line in lines]
+        assert kinds.count("span") == 2
+        assert kinds.count("counter") == 1
+        assert kinds.count("gauge") == 1
+        assert kinds.count("histogram") == 1
+        assert any("name=resolve" in line and "attr.n1=2" in line for line in lines)
+
+    def test_logfmt_quotes_values_with_spaces(self):
+        recorder = Recorder()
+        with recorder.span("s", label="two words"):
+            pass
+        assert 'attr.label="two words"' in to_logfmt(recorder)
+
+    def test_write_trace_json_and_logfmt(self, tmp_path):
+        recorder = self._populated()
+        json_path = tmp_path / "trace.json"
+        logfmt_path = tmp_path / "trace.logfmt"
+        write_trace(recorder, json_path)
+        write_trace(recorder, logfmt_path, format="logfmt")
+        assert json.loads(json_path.read_text())["counters"]
+        assert logfmt_path.read_text().startswith("span ")
+
+    def test_write_trace_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="trace format"):
+            write_trace(Recorder(), tmp_path / "x", format="xml")
+
+    def test_empty_recorder_exports_cleanly(self, tmp_path):
+        recorder = Recorder()
+        payload = json.loads(to_json(recorder))
+        assert payload == {"spans": [], "counters": {}, "gauges": {}, "histograms": {}}
+        assert to_logfmt(recorder) == ""

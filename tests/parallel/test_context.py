@@ -1,9 +1,12 @@
 """Unit tests for the parallel execution context and simulated cluster."""
 
+import time
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.obs import Recorder, use_recorder
 from repro.parallel.context import (
     ParallelContext,
     simulated_makespan,
@@ -13,6 +16,18 @@ from repro.parallel.context import (
 
 def double_chunk(chunk):
     return [2 * x for x in chunk]
+
+
+def failing_chunk(chunk):
+    # Module-level so the process backend can pickle it.
+    raise RuntimeError(f"partition with {chunk!r} failed")
+
+
+def fail_first_else_sleep(chunk):
+    if 0 in chunk:
+        raise RuntimeError("first partition failed")
+    time.sleep(0.05)
+    return chunk
 
 
 class TestPartitioning:
@@ -56,11 +71,15 @@ class TestContext:
         assert [record.name for record in context.stage_log] == ["alpha", "alpha2"]
         assert context.stage_seconds("alpha") >= context.stage_seconds("alpha2")
 
-    def test_serial_backend_times_partitions(self):
-        with ParallelContext(num_workers=4) as context:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_all_backends_time_partitions(self, backend):
+        with ParallelContext(num_workers=2, backend=backend) as context:
             context.run_stage("s", list(range(8)), double_chunk)
         record = context.stage_log[0]
         assert len(record.partition_seconds) == record.partitions
+        assert all(seconds >= 0.0 for seconds in record.partition_seconds)
+        assert record.failed is False
+        assert record.cancelled == 0
 
     def test_explicit_partition_count(self):
         with ParallelContext(num_workers=1) as context:
@@ -79,6 +98,75 @@ class TestContext:
         context = ParallelContext(num_workers=2, backend="thread")
         context.shutdown()
         context.shutdown()
+
+
+class TestStageFailure:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_failure_propagates_and_is_recorded(self, backend):
+        with ParallelContext(num_workers=2, backend=backend) as context:
+            with pytest.raises(RuntimeError, match="failed"):
+                context.run_stage("boom", list(range(8)), failing_chunk)
+            # The stage must still be logged, flagged as failed.
+            assert [record.name for record in context.stage_log] == ["boom"]
+            record = context.stage_log[0]
+            assert record.failed is True
+            assert record.seconds >= 0.0
+            # Later stages append normally after a failure.
+            context.run_stage("after", [1, 2], double_chunk)
+            assert context.stage_log[-1].name == "after"
+            assert context.stage_log[-1].failed is False
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_pending_siblings_cancelled(self, backend):
+        # One worker, many partitions: the first partition fails
+        # immediately while the rest are still queued, so the driver
+        # must be able to cancel pending siblings instead of running
+        # them all.
+        with ParallelContext(num_workers=1, backend=backend) as context:
+            with pytest.raises(RuntimeError, match="first partition"):
+                context.run_stage(
+                    "boom",
+                    list(range(20)),
+                    fail_first_else_sleep,
+                    partitions=20,
+                )
+            record = context.stage_log[0]
+            assert record.failed is True
+            assert record.cancelled >= 1
+
+    def test_failed_stage_span_has_error_status(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with ParallelContext(num_workers=2, backend="serial") as context:
+                with pytest.raises(RuntimeError):
+                    context.run_stage("boom", [1, 2], failing_chunk)
+        stage_spans = [s for s in recorder.spans() if s.name == "stage:boom"]
+        assert len(stage_spans) == 1
+        assert stage_spans[0].status == "error"
+
+
+class TestStageTracing:
+    def test_stage_and_partition_spans(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with ParallelContext(num_workers=2, backend="thread") as context:
+                context.run_stage("double", list(range(8)), double_chunk)
+        stage = next(s for s in recorder.spans() if s.name == "stage:double")
+        assert stage.attributes["backend"] == "thread"
+        partitions = [
+            s for s in recorder.spans() if s.name.startswith("double:partition-")
+        ]
+        assert len(partitions) == stage.attributes["partitions"]
+        assert all(s.parent_id == stage.span_id for s in partitions)
+
+    def test_explicit_recorder_wins_over_ambient(self):
+        explicit = Recorder()
+        ambient = Recorder()
+        with use_recorder(ambient):
+            with ParallelContext(num_workers=1, recorder=explicit) as context:
+                context.run_stage("s", [1, 2], double_chunk)
+        assert any(s.name == "stage:s" for s in explicit.spans())
+        assert ambient.spans() == []
 
 
 class TestSimulatedMakespan:

@@ -93,3 +93,41 @@ class TestStageStructure:
             "matching",
             "total",
         }
+
+
+class TestTracing:
+    def test_every_stage_becomes_a_span(self, mini_pair):
+        from repro.obs import Recorder, use_recorder
+
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with ParallelContext(num_workers=2, backend="thread") as context:
+                ParallelMinoanER(context=context).resolve(
+                    mini_pair.kb1, mini_pair.kb2
+                )
+        names = recorder.span_names()
+        # Every logged stage has a "stage:<name>" span with one child
+        # span per partition.
+        for record in context.stage_log:
+            assert f"stage:{record.name}" in names
+            stage = next(
+                s for s in recorder.spans() if s.name == f"stage:{record.name}"
+            )
+            children = [
+                s for s in recorder.spans() if s.parent_id == stage.span_id
+            ]
+            assert len(children) == record.partitions
+        # Phase spans wrap the stages.
+        for phase in ("resolve", "statistics", "blocking", "graph", "matching"):
+            assert phase in names
+
+    def test_matches_identical_with_tracing_enabled(self, mini_pair):
+        from repro.obs import Recorder, use_recorder
+
+        serial = MinoanER().resolve(mini_pair.kb1, mini_pair.kb2)
+        with use_recorder(Recorder()):
+            with ParallelContext(num_workers=3, backend="thread") as context:
+                parallel = ParallelMinoanER(context=context).resolve(
+                    mini_pair.kb1, mini_pair.kb2
+                )
+        assert parallel.matches == serial.matches

@@ -208,3 +208,33 @@ class TestStats:
         engine = MatchEngine(ResolutionIndex.build(mini_pair.kb2))
         assert "MatchEngine" in repr(engine)
         assert str(len(mini_pair.kb2)) in repr(engine)
+
+    def test_metrics_land_in_ambient_recorder(self, mini_pair):
+        from repro.obs import Recorder, use_recorder
+
+        index = ResolutionIndex.build(mini_pair.kb2)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            engine = MatchEngine(index)
+        entities = list(mini_pair.kb1)[:4]
+        for entity in entities[:2]:
+            engine.match(entity)
+        engine.match_batch(entities[2:])
+        assert engine.recorder is recorder
+        counters = recorder.counters()
+        assert counters["serving.queries"] == 4
+        assert counters["serving.batches"] == 1
+        assert counters["serving.batch_queries"] == 2
+        assert counters["serving.cache.misses"] == 2
+        assert recorder.histogram("serving.latency_ms").count == 3
+        assert recorder.histogram("serving.candidates").count == 4
+        # stats() is a derived view over the same recorder.
+        assert engine.stats()["queries"] == 4
+
+    def test_private_recorder_without_ambient(self, mini_pair):
+        from repro.obs import NULL_RECORDER
+
+        engine = MatchEngine(ResolutionIndex.build(mini_pair.kb2))
+        assert engine.recorder is not NULL_RECORDER
+        engine.match(next(iter(mini_pair.kb1)))
+        assert engine.stats()["queries"] == 1

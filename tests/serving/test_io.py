@@ -39,6 +39,31 @@ class TestEntityJson:
         entity = EntityDescription("q", [("a", "1"), ("b", "2")])
         assert entity_from_json(entity_to_json(entity), "-") == entity
 
+    def test_scalar_values_coerced_in_pairs(self):
+        entity = entity_from_json(
+            {"pairs": [["year", 1995], ["rating", 4.5], ["open", True]]}, "-"
+        )
+        assert set(entity.pairs) == {
+            ("year", "1995"),
+            ("rating", "4.5"),
+            ("open", "true"),
+        }
+
+    def test_scalar_values_coerced_in_attributes(self):
+        entity = entity_from_json(
+            {"attributes": {"year": 2001, "tags": ["a", 7, False]}}, "-"
+        )
+        assert set(entity.pairs) == {
+            ("year", "2001"),
+            ("tags", "a"),
+            ("tags", "7"),
+            ("tags", "false"),
+        }
+
+    def test_pair_attribute_coerced(self):
+        entity = entity_from_json({"pairs": [[3, "x"]]}, "-")
+        assert entity.pairs == (("3", "x"),)
+
     @pytest.mark.parametrize(
         "payload",
         [
@@ -46,6 +71,12 @@ class TestEntityJson:
             {"uri": "q"},  # neither pairs nor attributes
             {"pairs": [["only-one"]]},  # malformed pair
             {"attributes": ["not", "a", "mapping"]},
+            {"pairs": [["a", None]]},  # null value
+            {"pairs": [["a", {"nested": "object"}]]},
+            {"pairs": [["a", ["nested", "array"]]]},
+            {"attributes": {"a": None}},
+            {"attributes": {"a": {"nested": "object"}}},
+            {"attributes": {"a": [["doubly", "nested"]]}},
         ],
     )
     def test_malformed_rejected(self, payload):
@@ -80,6 +111,23 @@ class TestDecisionJson:
         assert payload["score"] is None
         assert "Infinity" not in json.dumps(payload)
 
+    @pytest.mark.parametrize(
+        ("rule", "score"),
+        [
+            ("R2", math.inf),  # only R1 may be infinite
+            ("R1", -math.inf),
+            ("R1", math.nan),
+            ("R3", math.nan),
+        ],
+    )
+    def test_other_non_finite_scores_raise(self, rule, score):
+        decision = MatchDecision(
+            query_uri="q", kb2_id=0, kb2_uri="t0", rule=rule,
+            score=score, candidates=1,
+        )
+        with pytest.raises(ValueError, match="non-finite score"):
+            decision_to_json(decision)
+
     def test_unmatched_decision(self):
         decision = MatchDecision(
             query_uri="q", kb2_id=None, kb2_uri=None, rule=None,
@@ -105,6 +153,34 @@ class TestStreams:
         stream = io.StringIO('{"pairs": [["a", "1"]]}\nnot json\n')
         with pytest.raises(ValueError, match="line 2"):
             list(read_requests(stream))
+
+    def test_default_uris_contiguous_across_blank_lines(self):
+        stream = io.StringIO(
+            "\n"
+            '{"pairs": [["a", "1"]]}\n'
+            "\n\n"
+            '{"pairs": [["a", "2"]]}\n'
+            '{"uri": "named", "pairs": [["a", "3"]]}\n'
+            '{"pairs": [["a", "4"]]}\n'
+        )
+        uris = [e.uri for e in read_requests(stream)]
+        # Numbering follows accepted-request position, not raw line
+        # number: named requests consume a position, blanks do not.
+        assert uris == ["query-1", "query-2", "named", "query-4"]
+
+    def test_non_scalar_value_error_cites_raw_line_number(self):
+        stream = io.StringIO(
+            "\n"
+            '{"pairs": [["a", "1"]]}\n'
+            '{"pairs": [["a", {"bad": 1}]]}\n'
+        )
+        with pytest.raises(ValueError, match="line 3.*JSON scalar"):
+            list(read_requests(stream))
+
+    def test_read_requests_accepts_numeric_values(self):
+        stream = io.StringIO('{"pairs": [["year", 1995]]}\n')
+        (entity,) = read_requests(stream)
+        assert entity.pairs == (("year", "1995"),)
 
     def test_write_decisions(self):
         sink = io.StringIO()
