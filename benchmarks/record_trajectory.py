@@ -1,6 +1,6 @@
-"""Record the performance trajectory to ``BENCH_PR3.json``.
+"""Record the performance trajectory to ``BENCH_PR4.json``.
 
-Four measurements:
+Five measurements:
 
 * micro-kernel wall times (best of N) for the beta accumulation, the
   fused value transpose + top-K, and the fused gamma propagation +
@@ -16,7 +16,12 @@ Four measurements:
 * the observability trajectory: per-phase span summary of a traced
   resolve on the restaurant profile, and end-to-end tracing overhead
   (best-of-N with an installed recorder vs ``observability=False``),
-  gated below 5%.
+  gated below 5%;
+* the resilience trajectory: chaos-equivalence verdict (a resolve under
+  transient injected faults + retry produces the clean run's exact
+  match set), the fired-fault/retry counters of that run, and the
+  overhead of the armed-but-quiet resilience path (``failure_mode =
+  "retry"`` with no faults vs ``fail_fast``), gated below 5%.
 
 Run from the repository root::
 
@@ -218,12 +223,71 @@ def bench_observability(quick: bool) -> dict:
     }
 
 
+def bench_resilience(quick: bool) -> dict:
+    """Chaos-equivalence verdict and armed-path overhead on ``restaurant``.
+
+    Equivalence: a resolve whose phases each fail twice with transient
+    injected faults, under ``failure_mode = "retry"``, must produce the
+    clean run's exact match set and scores.  Overhead: best-of-N
+    ``retry``-armed resolve (no plan installed, so every ``inject`` is
+    one ContextVar read) vs the ``fail_fast`` baseline.
+    """
+    from repro.core.config import MinoanERConfig  # noqa: E402
+    from repro.core.pipeline import MinoanER  # noqa: E402
+    from repro.obs import Recorder, use_recorder  # noqa: E402
+    from repro.resilience import parse_chaos, use_faults  # noqa: E402
+
+    scale = 0.3 if quick else None
+    pair = scaled_profile("restaurant", scale) if scale else load_profile("restaurant")
+    repeats = 3 if quick else 5
+    fail_fast = MinoanERConfig(observability=False)
+    armed = MinoanERConfig(
+        observability=False, failure_mode="retry", retry_base_delay_s=0.0
+    )
+
+    MinoanER(fail_fast).resolve(pair.kb1, pair.kb2)  # warm-up
+    baseline_s = _best(lambda: MinoanER(fail_fast).resolve(pair.kb1, pair.kb2), repeats)
+    armed_s = _best(lambda: MinoanER(armed).resolve(pair.kb1, pair.kb2), repeats)
+
+    clean = MinoanER(fail_fast).resolve(pair.kb1, pair.kb2)
+    chaos_spec = "stage:*=error*2"
+    recorder = Recorder()
+    plan = parse_chaos(chaos_spec)
+    chaotic_config = MinoanERConfig(failure_mode="retry", retry_base_delay_s=0.0)
+    with use_recorder(recorder), use_faults(plan):
+        chaotic = MinoanER(chaotic_config).resolve(pair.kb1, pair.kb2)
+    identical = (
+        chaotic.matches == clean.matches
+        and chaotic.matching.scores == clean.matching.scores
+    )
+
+    overhead = armed_s / baseline_s - 1.0
+    return {
+        "profile": "restaurant",
+        "scale": scale,
+        "repeats": repeats,
+        "chaos": {
+            "spec": chaos_spec,
+            "faults_fired": plan.total_fired(),
+            "fired_by_site": plan.fired(),
+            "retry_attempts": recorder.counter_value("retry.attempts"),
+            "matches": len(chaotic.matches),
+            "identical_to_clean": identical,
+        },
+        "fail_fast_best_ms": baseline_s * 1e3,
+        "retry_armed_best_ms": armed_s * 1e3,
+        "overhead_fraction": overhead,
+        "overhead_budget": 0.05,
+        "within_budget": overhead < 0.05,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", default="bbc_dbpedia", choices=profile_names())
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
-        "--output", type=Path, default=REPO_ROOT / "BENCH_PR3.json",
+        "--output", type=Path, default=REPO_ROOT / "BENCH_PR4.json",
         help="where to write the JSON record",
     )
     parser.add_argument(
@@ -240,12 +304,13 @@ def main(argv: list[str] | None = None) -> int:
     identity = verify_bit_identity(identity_profiles, scale)
     serving = bench_serving_trajectory(args.quick)
     observability = bench_observability(args.quick)
+    resilience = bench_resilience(args.quick)
 
     record = {
-        "pr": 3,
+        "pr": 4,
         "title": (
-            "Fix streaming/parallel edge-case bugs and unify timing into "
-            "a repro.obs observability layer"
+            "repro.resilience: fault injection, retry/timeout policies, "
+            "and graceful degradation across the parallel and serving stacks"
         ),
         "python": platform.python_version(),
         "auto_backend": resolve_backend_name("auto"),
@@ -255,6 +320,7 @@ def main(argv: list[str] | None = None) -> int:
         "bit_identical": identity,
         "serving": serving,
         "observability": observability,
+        "resilience": resilience,
     }
     args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
 
@@ -291,6 +357,23 @@ def main(argv: list[str] | None = None) -> int:
     # the full-size measurement.
     if not args.quick and not observability["within_budget"]:
         print("TRACING OVERHEAD OVER BUDGET (>= 5%)")
+        return 1
+    chaos = resilience["chaos"]
+    print(
+        f"chaos retry ({resilience['profile']}): {chaos['faults_fired']} fault(s), "
+        f"{chaos['retry_attempts']:.0f} retries, "
+        f"identical={chaos['identical_to_clean']}"
+    )
+    if not chaos["identical_to_clean"]:
+        print("CHAOS EQUIVALENCE FAILED: retried run diverged from clean run")
+        return 1
+    if chaos["retry_attempts"] < 1:
+        print("CHAOS SMOKE FAILED: no retries fired under the chaos plan")
+        return 1
+    resilience_pct = resilience["overhead_fraction"] * 100
+    print(f"resilience armed-path overhead: {resilience_pct:+.2f}%")
+    if not args.quick and not resilience["within_budget"]:
+        print("RESILIENCE OVERHEAD OVER BUDGET (>= 5%)")
         return 1
     print(f"wrote {args.output}")
     return 0

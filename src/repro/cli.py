@@ -23,6 +23,16 @@ installed for the whole command and its spans/counters/histograms --
 pipeline phases, parallel stages, kernel dispatches, serving latency
 and cache metrics -- are exported to ``FILE`` when the command ends
 (see ``docs/observability.md``).
+
+The same three commands accept ``--chaos SPEC`` (``--chaos-seed N``):
+a deterministic fault-injection plan (see
+:func:`repro.resilience.faults.parse_chaos` and
+``docs/resilience.md``) installed for the whole command, e.g.
+``--chaos 'stage:*=error*2'``.  ``resolve`` pairs it with
+``--failure-mode retry|degrade`` (plus ``--retry-attempts``) and can
+run the stage-parallel pipeline (``--stages thread|process``,
+``--workers N``); ``serve`` pairs it with ``--deadline-ms`` and emits
+per-line JSONL error records instead of aborting the stream.
 """
 
 from __future__ import annotations
@@ -95,7 +105,47 @@ def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chaos", metavar="SPEC",
+        help="deterministic fault-injection plan, e.g. 'stage:*=error*2,"
+        "serve:match=delay:0.05' (see docs/resilience.md)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed of the chaos plan's probability draws (default %(default)s)",
+    )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.parallel.context import BACKENDS
+    from repro.resilience.policy import FAILURE_MODES
+
+    defaults = MinoanERConfig()
+    parser.add_argument(
+        "--failure-mode", choices=FAILURE_MODES, default=defaults.failure_mode,
+        help="on stage failure: abort, retry, or retry-then-skip "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--retry-attempts", type=int, default=defaults.retry_max_attempts,
+        metavar="N", help="total attempts per failed unit of work "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--stages", choices=BACKENDS, default="serial",
+        help="run the stage-parallel pipeline on this backend "
+        "(default: the serial pipeline)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker pool size of the stage-parallel pipeline "
+        "(default %(default)s)",
+    )
+
+
 def _config_from(args: argparse.Namespace) -> MinoanERConfig:
+    defaults = MinoanERConfig()
     return MinoanERConfig(
         name_attributes_k=args.name_attributes,
         candidates_k=args.candidates,
@@ -103,6 +153,10 @@ def _config_from(args: argparse.Namespace) -> MinoanERConfig:
         theta=args.theta,
         use_reciprocity=not args.no_reciprocity,
         use_neighbor_evidence=not args.no_neighbors,
+        failure_mode=getattr(args, "failure_mode", defaults.failure_mode),
+        retry_max_attempts=getattr(
+            args, "retry_attempts", defaults.retry_max_attempts
+        ),
     )
 
 
@@ -123,13 +177,39 @@ def _write_pairs(pairs: Sequence[tuple[str, str]], destination: str | None) -> N
 def command_resolve(args: argparse.Namespace) -> int:
     kb1 = _load_kb(args.kb1, "KB1")
     kb2 = _load_kb(args.kb2, "KB2")
-    result = MinoanER(_config_from(args)).resolve(kb1, kb2)
+    config = _config_from(args)
+    if args.stages == "serial" and args.workers == 1:
+        result = MinoanER(config).resolve(kb1, kb2)
+    else:
+        from repro.parallel.context import ParallelContext
+        from repro.parallel.pipeline import ParallelMinoanER
+        from repro.resilience.policy import RetryPolicy
+
+        policy = None
+        if config.failure_mode != "fail_fast":
+            policy = RetryPolicy(
+                max_attempts=config.retry_max_attempts,
+                base_delay_s=config.retry_base_delay_s,
+            )
+        with ParallelContext(
+            num_workers=args.workers,
+            backend=args.stages,
+            failure_mode=config.failure_mode,
+            retry_policy=policy,
+        ) as context:
+            result = ParallelMinoanER(config, context).resolve(kb1, kb2)
     _write_pairs(sorted(result.uri_matches()), args.output)
     print(
         f"# {len(result.matches)} matches from |E1|={len(kb1)}, |E2|={len(kb2)} "
         f"in {result.timings['total']:.2f}s",
         file=sys.stderr,
     )
+    if result.is_degraded:
+        holes = "; ".join(
+            f"{stage} partitions {list(parts)}"
+            for stage, parts in sorted(result.degraded.items())
+        )
+        print(f"# DEGRADED: partial result, skipped {holes}", file=sys.stderr)
     if args.ground_truth:
         gold = load_ground_truth_tsv(args.ground_truth)
         report = result.evaluate_uris(gold)
@@ -219,30 +299,61 @@ def command_index(args: argparse.Namespace) -> int:
 def command_serve(args: argparse.Namespace) -> int:
     import json
 
-    from repro.serving import MatchEngine, ResolutionIndex
-    from repro.serving.io import read_requests, write_decisions
+    from repro.serving import MatchEngine, RequestError, ResolutionIndex
+    from repro.serving.io import iter_requests, write_decisions
 
     index = ResolutionIndex.load(args.index)
     config = index.config.with_options(
         serving_cache_size=args.cache_size,
         serving_candidate_cap=args.candidate_cap,
         serving_batch_size=args.batch_size,
+        serving_deadline_ms=args.deadline_ms,
     )
     engine = MatchEngine(index, config)
+
+    def emit_error(message: str, *, line: int | None = None, query: str | None = None) -> None:
+        record: dict = {"error": message}
+        if line is not None:
+            record["line"] = line
+        if query is not None:
+            record["query"] = query
+        sys.stdout.write(json.dumps(record) + "\n")
+        sys.stdout.flush()
+
+    def answer_batch(batch: list) -> None:
+        try:
+            decisions = engine.match_batch(batch)
+        except Exception as error:
+            engine.recorder.count("serving.query_errors", len(batch))
+            for entity in batch:
+                emit_error(str(error), query=entity.uri)
+            return
+        write_decisions(decisions, sys.stdout)
+
     stream = open(args.input, "r", encoding="utf-8") if args.input else sys.stdin
     try:
-        if config.serving_batch_size == 1:
-            for entity in read_requests(stream):
-                write_decisions([engine.match(entity)], sys.stdout)
-        else:
-            batch: list = []
-            for entity in read_requests(stream):
-                batch.append(entity)
+        # One bad line (or one failing query) gets one JSONL error
+        # record; the stream keeps going.
+        batch: list = []
+        for item in iter_requests(stream, recorder=engine.recorder):
+            if isinstance(item, RequestError):
+                emit_error(item.error, line=item.line)
+                continue
+            if config.serving_batch_size == 1:
+                try:
+                    decision = engine.match(item)
+                except Exception as error:
+                    engine.recorder.count("serving.query_errors")
+                    emit_error(str(error), query=item.uri)
+                    continue
+                write_decisions([decision], sys.stdout)
+            else:
+                batch.append(item)
                 if len(batch) >= config.serving_batch_size:
-                    write_decisions(engine.match_batch(batch), sys.stdout)
+                    answer_batch(batch)
                     batch = []
-            if batch:
-                write_decisions(engine.match_batch(batch), sys.stdout)
+        if batch:
+            answer_batch(batch)
     finally:
         if stream is not sys.stdin:
             stream.close()
@@ -271,7 +382,9 @@ def build_parser() -> argparse.ArgumentParser:
     resolve.add_argument("-o", "--output", help="write matches TSV here (default stdout)")
     resolve.add_argument("--ground-truth", help="URI-pair TSV to score against")
     _add_config_arguments(resolve)
+    _add_resilience_arguments(resolve)
     _add_trace_arguments(resolve)
+    _add_chaos_arguments(resolve)
     resolve.set_defaults(handler=command_resolve)
 
     dedupe = subparsers.add_parser("dedupe", help="deduplicate a single dirty KB")
@@ -306,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("-o", "--output", required=True, help="index file to write")
     _add_config_arguments(index)
     _add_trace_arguments(index)
+    _add_chaos_arguments(index)
     index.set_defaults(handler=command_index)
 
     serving_defaults = MinoanERConfig()
@@ -330,10 +444,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-query candidate cap (default: unlimited, exact)",
     )
     serve.add_argument(
+        "--deadline-ms", type=float, default=serving_defaults.serving_deadline_ms,
+        metavar="MS", help="per-lookup time budget; on expiry the query gets a "
+        "degraded name-evidence-only answer (default: no deadline)",
+    )
+    serve.add_argument(
         "--stats", action="store_true",
         help="print engine counters as JSON to stderr when done",
     )
     _add_trace_arguments(serve)
+    _add_chaos_arguments(serve)
     serve.set_defaults(handler=command_serve)
 
     return parser
@@ -342,16 +462,42 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
-    if not trace_path:
+    chaos_spec = getattr(args, "chaos", None)
+    if not trace_path and not chaos_spec:
         return args.handler(args)
 
-    from repro.obs import Recorder, use_recorder, write_trace
+    from contextlib import ExitStack
 
-    recorder = Recorder()
-    with use_recorder(recorder):
+    recorder = None
+    plan = None
+    with ExitStack() as stack:
+        if trace_path:
+            # Installed before the chaos plan so every fired fault is
+            # counted (faults.injected.<site>) in the exported trace.
+            from repro.obs import Recorder, use_recorder
+
+            recorder = Recorder()
+            stack.enter_context(use_recorder(recorder))
+        if chaos_spec:
+            from repro.resilience import parse_chaos, use_faults
+
+            plan = parse_chaos(chaos_spec, seed=args.chaos_seed)
+            stack.enter_context(use_faults(plan))
         code = args.handler(args)
-    write_trace(recorder, trace_path, format=args.trace_format)
-    print(f"# trace written to {trace_path}", file=sys.stderr)
+    if plan is not None:
+        fired = ", ".join(
+            f"{site}x{count}" for site, count in sorted(plan.fired().items())
+        )
+        print(
+            f"# chaos: {plan.total_fired()} fault(s) fired"
+            + (f" ({fired})" if fired else ""),
+            file=sys.stderr,
+        )
+    if recorder is not None:
+        from repro.obs import write_trace
+
+        write_trace(recorder, trace_path, format=args.trace_format)
+        print(f"# trace written to {trace_path}", file=sys.stderr)
     return code
 
 

@@ -80,6 +80,27 @@ class MinoanERConfig:
         1 answers queries independently (cacheable); larger batches are
         resolved together, which lets related queries contribute
         query-side context (Entity Frequencies, neighbor evidence).
+    failure_mode / retry_max_attempts / retry_base_delay_s:
+        Stage-failure behaviour of the pipelines (see
+        ``docs/resilience.md``): ``fail_fast`` aborts on the first
+        failure (the historical behaviour), ``retry`` re-runs failed
+        work up to ``retry_max_attempts`` total attempts with
+        exponential backoff starting at ``retry_base_delay_s``, and
+        ``degrade`` additionally skips exhausted stage partitions,
+        producing a partial result whose holes are enumerated in
+        ``ResolutionResult.degraded``.
+    serving_deadline_ms:
+        Per-query time budget of the serving engine.  ``None`` (the
+        default) serves without deadlines; with a budget, a query that
+        exceeds it mid-pipeline receives a *degraded* name-evidence-only
+        answer flagged ``degraded=true`` instead of blocking the
+        stream.
+    breaker_threshold / breaker_reset_s:
+        Circuit breaker guarding the numpy kernel backend in the
+        serving engine: after ``breaker_threshold`` consecutive kernel
+        failures queries fall back to the pure-python kernels
+        (bit-identical, slower) for ``breaker_reset_s`` seconds before
+        a half-open probe retries numpy.
     observability:
         When True (the default) the instrumented components record
         spans and metrics into the ambient
@@ -114,6 +135,12 @@ class MinoanERConfig:
     serving_candidate_cap: int | None = None
     serving_batch_size: int = 1
     observability: bool = True
+    failure_mode: str = "fail_fast"
+    retry_max_attempts: int = 3
+    retry_base_delay_s: float = 0.01
+    serving_deadline_ms: float | None = None
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.name_attributes_k < 0:
@@ -153,6 +180,34 @@ class MinoanERConfig:
         if self.serving_batch_size < 1:
             raise ValueError(
                 f"serving_batch_size must be >= 1, got {self.serving_batch_size}"
+            )
+        from repro.resilience.policy import FAILURE_MODES
+
+        if self.failure_mode not in FAILURE_MODES:
+            raise ValueError(
+                f"failure_mode must be one of {FAILURE_MODES}, "
+                f"got {self.failure_mode!r}"
+            )
+        if self.retry_max_attempts < 1:
+            raise ValueError(
+                f"retry_max_attempts must be >= 1, got {self.retry_max_attempts}"
+            )
+        if self.retry_base_delay_s < 0:
+            raise ValueError(
+                f"retry_base_delay_s must be >= 0, got {self.retry_base_delay_s}"
+            )
+        if self.serving_deadline_ms is not None and self.serving_deadline_ms <= 0:
+            raise ValueError(
+                f"serving_deadline_ms must be > 0 or None, "
+                f"got {self.serving_deadline_ms}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset_s < 0:
+            raise ValueError(
+                f"breaker_reset_s must be >= 0, got {self.breaker_reset_s}"
             )
 
     def with_options(self, **changes: Any) -> "MinoanERConfig":

@@ -22,6 +22,8 @@ from repro.graph.construction import build_blocking_graph
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.statistics import KBStatistics
 from repro.obs import NULL_RECORDER, Recorder, current_recorder
+from repro.resilience.faults import inject
+from repro.resilience.policy import RetryPolicy
 
 
 TIMING_PHASES = ("statistics", "blocking", "graph", "matching", "total")
@@ -45,6 +47,14 @@ class ResolutionResult:
     by a pipeline variant that fuses phases) reports 0.0 rather than
     omitting the key, so downstream consumers can index ``timings``
     without guarding.
+
+    ``degraded`` is the graceful-degradation ledger: stage name to the
+    partition indices that were skipped under ``failure_mode =
+    "degrade"`` (see ``docs/resilience.md``).  An empty dict -- the
+    normal case -- means the result is complete; a non-empty dict means
+    the match set is *partial* and names exactly what was dropped, so
+    downstream consumers can decide whether a partial answer is
+    acceptable instead of silently trusting it.
     """
 
     kb1: KnowledgeBase
@@ -54,10 +64,16 @@ class ResolutionResult:
     name_block_collection: BlockCollection
     token_block_collection: BlockCollection
     timings: dict[str, float] = field(default_factory=dict)
+    degraded: dict[str, tuple[int, ...]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for phase in TIMING_PHASES:
             self.timings.setdefault(phase, 0.0)
+
+    @property
+    def is_degraded(self) -> bool:
+        """True iff any stage partition was skipped to produce this result."""
+        return bool(self.degraded)
 
     @property
     def matches(self) -> set[tuple[int, int]]:
@@ -156,37 +172,79 @@ class MinoanER:
             )
         return names, tokens
 
+    def phase_retry_policy(self) -> RetryPolicy | None:
+        """The per-phase retry policy implied by ``config.failure_mode``.
+
+        ``None`` for ``fail_fast``.  The serial pipeline has no
+        partitions to skip, so ``degrade`` behaves like ``retry`` here:
+        a phase that keeps failing propagates after the attempt budget
+        (partition-level degradation is the parallel pipeline's job).
+        """
+        if self.config.failure_mode == "fail_fast":
+            return None
+        return RetryPolicy(
+            max_attempts=self.config.retry_max_attempts,
+            base_delay_s=self.config.retry_base_delay_s,
+        )
+
     def resolve(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> ResolutionResult:
         """Run the full pipeline and return matches plus all intermediates.
 
         Each Algorithm 1/2 phase is timed as a span (``statistics``,
         ``blocking``, ``graph``, ``matching``, nested under ``resolve``)
         on :attr:`recorder`; ``ResolutionResult.timings`` is derived
-        from those spans.
+        from those spans.  Every phase is an injection site
+        (``stage:statistics``, ``stage:token_blocking``,
+        ``stage:graph``, ``stage:matching``) and is retried per
+        :meth:`phase_retry_policy` when ``config.failure_mode`` asks
+        for it.
         """
         recorder = self.recorder
+        policy = self.phase_retry_policy()
+
+        def guarded(site, thunk):
+            def body():
+                inject(site)
+                return thunk()
+
+            if policy is None:
+                return body()
+            return policy.call(
+                body, on_retry=lambda attempt, error: recorder.count("retry.attempts")
+            )
+
         with recorder.span("resolve", n1=len(kb1), n2=len(kb2)) as root:
             with recorder.span("statistics") as span_statistics:
-                stats1 = self.build_statistics(kb1)
-                stats2 = self.build_statistics(kb2)
+                stats1, stats2 = guarded(
+                    "stage:statistics",
+                    lambda: (self.build_statistics(kb1), self.build_statistics(kb2)),
+                )
 
             with recorder.span("blocking") as span_blocking:
-                names, tokens = self.build_blocks(stats1, stats2)
+                names, tokens = guarded(
+                    "stage:token_blocking", lambda: self.build_blocks(stats1, stats2)
+                )
 
             with recorder.span("graph") as span_graph:
-                graph = build_blocking_graph(
-                    stats1,
-                    stats2,
-                    names,
-                    tokens,
-                    k=self.config.candidates_k,
-                    dynamic_pruning=self.config.dynamic_pruning,
-                    pruning_gap_ratio=self.config.pruning_gap_ratio,
-                    backend=self.config.kernel_backend,
+                graph = guarded(
+                    "stage:graph",
+                    lambda: build_blocking_graph(
+                        stats1,
+                        stats2,
+                        names,
+                        tokens,
+                        k=self.config.candidates_k,
+                        dynamic_pruning=self.config.dynamic_pruning,
+                        pruning_gap_ratio=self.config.pruning_gap_ratio,
+                        backend=self.config.kernel_backend,
+                    ),
                 )
 
             with recorder.span("matching") as span_matching:
-                matching = NonIterativeMatcher(self.config).match(graph)
+                matching = guarded(
+                    "stage:matching",
+                    lambda: NonIterativeMatcher(self.config).match(graph),
+                )
 
         timings = {
             "statistics": span_statistics.seconds,

@@ -67,12 +67,17 @@ def get_backend(backend: str) -> ModuleType | None:
 
     Every resolution increments the ``kernels.dispatch.<resolved>``
     counter on the ambient :func:`repro.obs.current_recorder`, so
-    traces show which backend actually served each run.
+    traces show which backend actually served each run.  Each dispatch
+    is also a ``kernel:<resolved>`` injection site for chaos plans (the
+    serving engine additionally injects per guarded kernel *call*; see
+    ``MatchEngine._run_kernel``).
     """
     from repro.obs import current_recorder
+    from repro.resilience.faults import inject
 
     resolved = resolve_backend_name(backend)
     current_recorder().count(f"kernels.dispatch.{resolved}")
+    inject(f"kernel:{resolved}")
     if resolved == "dict":
         return None
     if resolved == "numpy":

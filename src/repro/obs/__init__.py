@@ -18,7 +18,7 @@ until :func:`use_recorder` installs a real one, so the instrumented hot
 paths cost nothing unless a trace was requested.
 """
 
-from repro.obs.export import to_json, to_logfmt, write_trace
+from repro.obs.export import resilience_summary, to_json, to_logfmt, write_trace
 from repro.obs.recorder import (
     NULL_RECORDER,
     HistogramSnapshot,
@@ -36,6 +36,7 @@ __all__ = [
     "Recorder",
     "Span",
     "current_recorder",
+    "resilience_summary",
     "to_json",
     "to_logfmt",
     "use_recorder",

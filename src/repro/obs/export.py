@@ -17,6 +17,42 @@ from repro.obs.recorder import Recorder
 TRACE_FORMATS = ("json", "logfmt")
 """Accepted values of the ``--trace-format`` CLI flag."""
 
+RESILIENCE_COUNTERS = (
+    "retry.attempts",
+    "stage.skipped",
+    "deadline.expired",
+    "breaker.trips",
+    "serving.kernel_fallback",
+    "serving.request_errors",
+    "serving.degraded",
+)
+"""The resilience counters summarised by :func:`resilience_summary`
+(always present there, zero when nothing fired -- see
+``docs/resilience.md``)."""
+
+_FAULT_PREFIX = "faults.injected."
+
+
+def resilience_summary(recorder: Recorder) -> dict:
+    """The recorder's resilience behaviour as one flat summary.
+
+    Every :data:`RESILIENCE_COUNTERS` key is present (0.0 when it never
+    fired), ``faults.injected`` maps each injection site to its fire
+    count, and ``breaker.state`` carries the latest gauge value when a
+    circuit breaker reported one.
+    """
+    counters = recorder.counters()
+    summary: dict = {name: counters.get(name, 0.0) for name in RESILIENCE_COUNTERS}
+    summary["faults.injected"] = {
+        name[len(_FAULT_PREFIX):]: value
+        for name, value in sorted(counters.items())
+        if name.startswith(_FAULT_PREFIX)
+    }
+    gauges = recorder.gauges()
+    if "breaker.state" in gauges:
+        summary["breaker.state"] = gauges["breaker.state"]
+    return summary
+
 
 def trace_payload(recorder: Recorder) -> dict:
     """The exported trace as a plain dict (the JSON document)."""
@@ -28,6 +64,7 @@ def trace_payload(recorder: Recorder) -> dict:
             name: snapshot.as_dict()
             for name, snapshot in recorder.histograms().items()
         },
+        "resilience": resilience_summary(recorder),
     }
 
 
@@ -79,6 +116,10 @@ def to_logfmt(recorder: Recorder) -> str:
         lines.append(_logfmt_line("gauge", name=name, value=value))
     for name, snapshot in sorted(recorder.histograms().items()):
         lines.append(_logfmt_line("histogram", name=name, **snapshot.as_dict()))
+    summary = resilience_summary(recorder)
+    fired = summary.pop("faults.injected")
+    summary["faults.injected"] = sum(fired.values())
+    lines.append(_logfmt_line("resilience", **summary))
     return "\n".join(lines) + ("\n" if lines else "")
 
 

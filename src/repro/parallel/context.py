@@ -21,16 +21,31 @@ experiment (Figure 6) measures per-phase times.  Each stage is also
 emitted as a ``stage:<name>`` span (with per-partition child spans) on
 the context's :class:`repro.obs.Recorder`, so ``--trace`` runs see the
 parallel phases in the same trace as the pipeline phases.
+
+Failure handling follows Spark's contract (see ``docs/resilience.md``):
+a partition that raises is retried per the context's
+:class:`~repro.resilience.RetryPolicy` when ``failure_mode`` is
+``retry`` or ``degrade``; in ``degrade`` mode an exhausted partition is
+*skipped* -- its hole is recorded in :attr:`StageRecord.skipped` and the
+stage returns the surviving partitions' results -- while ``fail_fast``
+(the default) keeps the historical abort-on-first-failure behaviour.
+Each partition *attempt* draws the ambient fault plan at the
+``stage:<name>`` injection site; the draw happens on the driver (where
+the plan's seeded schedule lives) and the resulting
+:class:`~repro.resilience.FaultAction` ships to the worker, so chaos
+stays deterministic across the serial/thread/process backends.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence, TypeVar
 
 from repro.obs import Recorder, current_recorder
+from repro.resilience.faults import FaultAction, FaultPlan, current_faults
+from repro.resilience.policy import FAILURE_MODES, RetryPolicy
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
@@ -50,6 +65,12 @@ class StageRecord:
     :meth:`ParallelContext.stage_seconds` never silently under-reports
     a failed run) and ``cancelled`` counts the pending sibling futures
     the context revoked before re-raising.
+
+    ``retries`` counts partition re-executions (beyond first attempts)
+    and ``skipped`` holds the partition indices dropped in ``degrade``
+    mode -- together they are the stage-level resilience ledger the
+    pipelines fold into ``ResolutionResult.degraded``.  On a stage with
+    skips, ``partition_seconds`` covers the completed partitions only.
     """
 
     name: str
@@ -58,18 +79,28 @@ class StageRecord:
     partition_seconds: tuple[float, ...] = ()
     failed: bool = False
     cancelled: int = 0
+    retries: int = 0
+    skipped: tuple[int, ...] = ()
 
 
 def _timed_partition(
-    function: Callable[..., Result], chunk: list, args: tuple
+    function: Callable[..., Result],
+    chunk: list,
+    args: tuple,
+    fault: FaultAction | None = None,
 ) -> tuple[Result, float]:
     """Run one partition and measure it inside the worker.
 
     Module-level so the ``process`` backend can pickle it; the timing
     therefore excludes executor dispatch and result transfer, exactly
     the per-task compute time the simulated cluster model wants.
+    ``fault`` is a pre-drawn chaos action (the driver draws, the worker
+    applies): a delay burns partition time inside the measurement and
+    an error aborts the attempt, exactly like an organic failure.
     """
     started = time.perf_counter()
+    if fault is not None:
+        fault.apply()
     result = function(chunk, *args)
     return result, time.perf_counter() - started
 
@@ -148,8 +179,22 @@ class ParallelContext:
         Observability sink for stage spans.  ``None`` (the default)
         resolves the ambient :func:`repro.obs.current_recorder` at each
         stage, a no-op unless a trace is active.
+    failure_mode:
+        One of :data:`~repro.resilience.FAILURE_MODES`: ``fail_fast``
+        (the default; first partition failure aborts the stage),
+        ``retry`` (failed partitions are retried per ``retry_policy``,
+        then the stage fails), or ``degrade`` (exhausted partitions are
+        skipped, recorded in :attr:`StageRecord.skipped`, and the stage
+        returns the surviving results).
+    retry_policy:
+        Attempt/backoff schedule for ``retry`` and ``degrade`` modes; a
+        default :class:`~repro.resilience.RetryPolicy` is created for
+        ``retry`` mode when omitted (``degrade`` without a policy skips
+        on the first failure).
 
-    Use as a context manager, or call :meth:`shutdown` explicitly.
+    Use as a context manager, or call :meth:`shutdown` (alias
+    :meth:`close`) explicitly so thread/process pools never leak across
+    resolves.
     """
 
     def __init__(
@@ -158,6 +203,8 @@ class ParallelContext:
         backend: str = "serial",
         tasks_per_worker: int = 3,
         recorder: Recorder | None = None,
+        failure_mode: str = "fail_fast",
+        retry_policy: RetryPolicy | None = None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -165,9 +212,17 @@ class ParallelContext:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         if tasks_per_worker < 1:
             raise ValueError(f"tasks_per_worker must be >= 1, got {tasks_per_worker}")
+        if failure_mode not in FAILURE_MODES:
+            raise ValueError(
+                f"failure_mode must be one of {FAILURE_MODES}, got {failure_mode!r}"
+            )
         self.num_workers = num_workers
         self.backend = backend
         self.tasks_per_worker = tasks_per_worker
+        self.failure_mode = failure_mode
+        if retry_policy is None and failure_mode == "retry":
+            retry_policy = RetryPolicy()
+        self.retry_policy = retry_policy
         self.stage_log: list[StageRecord] = []
         self._recorder = recorder
         self._executor: Executor | None = None
@@ -196,6 +251,10 @@ class ParallelContext:
             self._executor.shutdown()
             self._executor = None
 
+    def close(self) -> None:
+        """Alias of :meth:`shutdown`, for file-like lifecycle idiom."""
+        self.shutdown()
+
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------
@@ -212,65 +271,157 @@ class ParallelContext:
     ) -> list[Result]:
         """Apply ``function(chunk, *args)`` to every partition of ``items``.
 
-        Returns one result per partition, in partition order, after all
-        partitions complete (the barrier).  With the ``process`` backend
-        ``function`` and ``args`` must be picklable.
+        Returns one result per completed partition, in partition order,
+        after all partitions complete (the barrier).  With the
+        ``process`` backend ``function`` and ``args`` must be picklable.
 
-        When a partition raises, the exception propagates, but only
-        after the context cancels every still-pending sibling future
-        (no orphaned work keeps running behind the barrier) and appends
-        a ``failed`` :class:`StageRecord` -- a failed run is visible in
-        :meth:`stage_seconds` rather than silently missing.
+        Failure handling is governed by :attr:`failure_mode`.  In
+        ``fail_fast`` a partition exception propagates, but only after
+        the context cancels every still-pending sibling future (no
+        orphaned work keeps running behind the barrier) and appends a
+        ``failed`` :class:`StageRecord` -- a failed run is visible in
+        :meth:`stage_seconds` rather than silently missing.  In
+        ``retry`` each failed partition is re-executed per
+        :attr:`retry_policy` (each retry counted as ``retry.attempts``
+        on the recorder) before the stage fails; in ``degrade`` an
+        exhausted partition is skipped instead -- its index lands in
+        :attr:`StageRecord.skipped`, ``stage.skipped`` is counted, and
+        the barrier completes with the surviving results.
+
+        Every partition attempt draws the ambient
+        :func:`repro.resilience.current_faults` plan at the
+        ``stage:<name>`` site; the drawn action runs inside the worker.
         """
         chunks = split_into_partitions(items, partitions or self.default_partitions())
         recorder = self.recorder
+        plan = current_faults()
+        site = f"stage:{name}"
         started = time.perf_counter()
         results: list[Result] = []
-        times: list[float] = []
+        times: list[tuple[int, float]] = []
+        skipped: list[int] = []
+        retries = 0
         failed = False
         cancelled = 0
         stage_span = None
+
+        def draw() -> FaultAction | None:
+            return plan.draw(site) if plan is not None else None
+
         try:
             with recorder.span(
                 f"stage:{name}", backend=self.backend, partitions=len(chunks)
             ) as stage_span:
                 if self._executor is None:
-                    for chunk in chunks:
-                        result, seconds = _timed_partition(function, chunk, args)
-                        results.append(result)
-                        times.append(seconds)
-                else:
-                    futures = [
-                        self._executor.submit(_timed_partition, function, chunk, args)
-                        for chunk in chunks
-                    ]
-                    try:
-                        for future in futures:
-                            result, seconds = future.result()
+                    for index, chunk in enumerate(chunks):
+                        attempt = 0
+                        while True:
+                            attempt += 1
+                            try:
+                                result, seconds = _timed_partition(
+                                    function, chunk, args, draw()
+                                )
+                            except Exception as error:
+                                verdict = self._partition_failure(
+                                    name, attempt, error, recorder
+                                )
+                                if verdict == "retry":
+                                    retries += 1
+                                    continue
+                                if verdict == "skip":
+                                    skipped.append(index)
+                                    break
+                                raise
                             results.append(result)
-                            times.append(seconds)
+                            times.append((index, seconds))
+                            break
+                else:
+                    futures: dict[int, Future] = {
+                        index: self._executor.submit(
+                            _timed_partition, function, chunk, args, draw()
+                        )
+                        for index, chunk in enumerate(chunks)
+                    }
+                    attempts = dict.fromkeys(futures, 1)
+                    try:
+                        for index in range(len(chunks)):
+                            while True:
+                                try:
+                                    result, seconds = futures[index].result()
+                                except Exception as error:
+                                    verdict = self._partition_failure(
+                                        name, attempts[index], error, recorder
+                                    )
+                                    if verdict == "retry":
+                                        retries += 1
+                                        attempts[index] += 1
+                                        futures[index] = self._executor.submit(
+                                            _timed_partition,
+                                            function,
+                                            chunks[index],
+                                            args,
+                                            draw(),
+                                        )
+                                        continue
+                                    if verdict == "skip":
+                                        skipped.append(index)
+                                        break
+                                    raise
+                                results.append(result)
+                                times.append((index, seconds))
+                                break
                     except BaseException:
-                        cancelled = sum(1 for future in futures if future.cancel())
+                        cancelled = sum(
+                            1 for future in futures.values() if future.cancel()
+                        )
                         raise
         except BaseException:
             failed = True
             raise
         finally:
-            for index, seconds in enumerate(times):
+            for index, seconds in times:
                 recorder.record_span(
                     f"{name}:partition-{index}", seconds, parent=stage_span
                 )
+            if skipped:
+                recorder.count("stage.skipped", len(skipped))
             self.stage_log.append(
                 StageRecord(
                     name=name,
                     partitions=len(chunks),
                     seconds=time.perf_counter() - started,
-                    partition_seconds=tuple(times),
+                    partition_seconds=tuple(seconds for _, seconds in times),
                     failed=failed,
                     cancelled=cancelled,
+                    retries=retries,
+                    skipped=tuple(skipped),
                 )
             )
         return results
+
+    def _partition_failure(
+        self, name: str, attempt: int, error: Exception, recorder: Recorder
+    ) -> str:
+        """Decide what a failed partition attempt does next.
+
+        Returns ``"retry"`` (after counting the retry and sleeping the
+        policy's backoff), ``"skip"`` (degrade mode, budget exhausted or
+        error not retryable), or ``"raise"``.
+        """
+        if self.failure_mode == "fail_fast":
+            return "raise"
+        policy = self.retry_policy
+        if (
+            policy is not None
+            and policy.is_retryable(error)
+            and attempt < policy.max_attempts
+        ):
+            recorder.count("retry.attempts")
+            time.sleep(policy.backoff_s(attempt))
+            return "retry"
+        if self.failure_mode == "degrade":
+            return "skip"
+        return "raise"
 
     def stage_seconds(self, prefix: str = "") -> float:
         """Total recorded time of stages whose name starts with ``prefix``."""

@@ -31,6 +31,8 @@ from repro.kernels.dispatch import resolve_backend_name
 from repro.kernels.partition import beta_partition_kernel, gamma_partition_kernel
 from repro.obs import NULL_RECORDER, Recorder, current_recorder
 from repro.parallel.context import ParallelContext
+from repro.resilience.faults import inject
+from repro.resilience.policy import RetryPolicy
 
 # ----------------------------------------------------------------------
 # Stage kernels (module-level: picklable for the process backend)
@@ -111,10 +113,15 @@ class ParallelMinoanER:
     Parameters
     ----------
     config:
-        Same configuration object as the serial pipeline.
+        Same configuration object as the serial pipeline.  When no
+        ``context`` is supplied, ``config.failure_mode`` and the retry
+        knobs shape the context this pipeline creates (and owns).
     context:
         Execution context; its ``stage_log`` afterwards holds the
-        per-stage timings used by the Figure 6 experiment.
+        per-stage timings used by the Figure 6 experiment.  A caller-
+        supplied context is *not* closed by this pipeline; the default
+        self-created one is, on :meth:`close` / ``with`` exit, so
+        worker pools never leak across resolves.
 
     Examples
     --------
@@ -129,8 +136,33 @@ class ParallelMinoanER:
         recorder: Recorder | None = None,
     ):
         self.config = config or MinoanERConfig()
-        self.context = context or ParallelContext()
+        self._owns_context = context is None
+        if context is None:
+            context = ParallelContext(
+                failure_mode=self.config.failure_mode,
+                retry_policy=self._config_retry_policy(),
+            )
+        self.context = context
         self._recorder = recorder
+
+    def _config_retry_policy(self) -> RetryPolicy | None:
+        if self.config.failure_mode == "fail_fast":
+            return None
+        return RetryPolicy(
+            max_attempts=self.config.retry_max_attempts,
+            base_delay_s=self.config.retry_base_delay_s,
+        )
+
+    def close(self) -> None:
+        """Shut down the context's worker pool iff this pipeline created it."""
+        if self._owns_context:
+            self.context.close()
+
+    def __enter__(self) -> "ParallelMinoanER":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     @property
     def recorder(self) -> Recorder:
@@ -168,28 +200,55 @@ class ParallelMinoanER:
         self, kb1: KnowledgeBase, kb2: KnowledgeBase, recorder: Recorder
     ) -> ResolutionResult:
         config, context = self.config, self.context
+        stage_log_start = len(context.stage_log)
+        # Driver-side phases cannot be partially skipped (there is no
+        # partition to drop), so under ``retry`` *and* ``degrade`` they
+        # are retried per the context's policy and then propagate.
+        driver_policy = (
+            context.retry_policy if context.failure_mode != "fail_fast" else None
+        )
+
+        def guarded(site, thunk):
+            def body():
+                inject(site)
+                return thunk()
+
+            if driver_policy is None:
+                return body()
+            return driver_policy.call(
+                body, on_retry=lambda attempt, error: recorder.count("retry.attempts")
+            )
+
+        def driver_statistics():
+            stats1 = KBStatistics(kb1, config.name_attributes_k, config.relations_n)
+            stats2 = KBStatistics(kb2, config.name_attributes_k, config.relations_n)
+            return stats1, stats2
+
+        def driver_blocking():
+            names = name_blocks(stats1, stats2)
+            tokens = token_blocks(kb1, kb2)
+            if config.purge_blocks:
+                tokens = purge_blocks(
+                    tokens,
+                    cartesian=len(kb1) * len(kb2),
+                    budget_ratio=config.purging_budget_ratio,
+                    max_comparisons=config.max_block_comparisons,
+                )
+            return names, tokens
+
         with recorder.span(
             "resolve", n1=len(kb1), n2=len(kb2), parallel_backend=context.backend
         ) as root:
             # -- Statistics (driver): name attributes, importance, top
             #    neighbors.
             with recorder.span("statistics") as span_statistics:
-                stats1 = KBStatistics(kb1, config.name_attributes_k, config.relations_n)
-                stats2 = KBStatistics(kb2, config.name_attributes_k, config.relations_n)
+                stats1, stats2 = guarded("stage:statistics", driver_statistics)
                 in_neighbors_1 = [stats1.top_in_neighbors(eid) for eid in range(len(kb1))]
                 in_neighbors_2 = [stats2.top_in_neighbors(eid) for eid in range(len(kb2))]
 
             # -- Blocking (driver indexes; purging on driver).
             with recorder.span("blocking") as span_blocking:
-                names = name_blocks(stats1, stats2)
-                tokens = token_blocks(kb1, kb2)
-                if config.purge_blocks:
-                    tokens = purge_blocks(
-                        tokens,
-                        cartesian=len(kb1) * len(kb2),
-                        budget_ratio=config.purging_budget_ratio,
-                        max_comparisons=config.max_block_comparisons,
-                    )
+                names, tokens = guarded("stage:token_blocking", driver_blocking)
 
             # -- Graph construction stages (Figure 4: alpha & beta during
             #    blocking, gamma after the top-neighbor barrier).  The
@@ -253,6 +312,11 @@ class ParallelMinoanER:
             "matching": span_matching.seconds,
             "total": root.seconds,
         }
+        degraded = {
+            record.name: record.skipped
+            for record in context.stage_log[stage_log_start:]
+            if record.skipped
+        }
         return ResolutionResult(
             kb1=kb1,
             kb2=kb2,
@@ -261,6 +325,7 @@ class ParallelMinoanER:
             name_block_collection=names,
             token_block_collection=tokens,
             timings=timings,
+            degraded=degraded,
         )
 
 

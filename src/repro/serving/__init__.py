@@ -24,11 +24,15 @@ batch pipeline's match set exactly (tested in
 from repro.serving.cache import LRUCache, entity_fingerprint
 from repro.serving.engine import MatchDecision, MatchEngine
 from repro.serving.index import ResolutionIndex
+from repro.serving.io import RequestError, iter_requests, read_requests
 
 __all__ = [
     "LRUCache",
     "MatchDecision",
     "MatchEngine",
+    "RequestError",
     "ResolutionIndex",
     "entity_fingerprint",
+    "iter_requests",
+    "read_requests",
 ]

@@ -26,6 +26,18 @@ related queries must be batched together for rule R3's neighbor ranking
 to contribute.  Single-query decisions are therefore cacheable by
 content fingerprint (:mod:`repro.serving.cache`); batch decisions are
 not, and never enter the cache.
+
+Resilience (see ``docs/resilience.md``): when
+``config.serving_deadline_ms`` is set, each lookup carries a
+:class:`~repro.resilience.policy.Deadline`; a query that exhausts its
+budget mid-pipeline receives a *degraded* name-evidence-only answer
+(rule R1 or unmatched, ``MatchDecision.degraded = True``, never cached)
+instead of blocking the stream.  The numpy kernel backend is guarded by
+a :class:`~repro.resilience.breaker.CircuitBreaker`: repeated kernel
+failures trip queries down to the bit-identical pure-python kernels
+until a timed half-open probe shows numpy recovered.  Lookups are
+injection sites (``serve:match``, ``serve:batch``, ``kernel:numpy``)
+for the chaos plans of :mod:`repro.resilience.faults`.
 """
 
 from __future__ import annotations
@@ -54,6 +66,9 @@ from repro.kernels import (
     select_row,
 )
 from repro.obs import NULL_RECORDER, Recorder, current_recorder
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import inject
+from repro.resilience.policy import Deadline, DeadlineExpired
 from repro.serving.cache import LRUCache, entity_fingerprint
 from repro.serving.index import ResolutionIndex
 
@@ -70,6 +85,12 @@ class MatchDecision:
     batch paths.  ``cached`` and ``latency_ms`` describe *this* lookup
     and are excluded from equality, so a decision served from cache
     compares equal to the one that populated it.
+
+    ``degraded`` marks a graceful-degradation answer: the query's
+    deadline expired mid-pipeline and the engine fell back to name
+    evidence alone (rule R1 or unmatched).  Degraded answers are
+    *content*, not lookup metadata -- they participate in equality and
+    never enter the cache.
     """
 
     query_uri: str
@@ -78,6 +99,7 @@ class MatchDecision:
     rule: str | None
     score: float | None
     candidates: int
+    degraded: bool = False
     cached: bool = field(default=False, compare=False)
     latency_ms: float = field(default=0.0, compare=False)
 
@@ -127,6 +149,7 @@ class MatchEngine:
             # The dict reference has no array entry points; the python
             # kernels are bit-identical to it, so serving uses them.
             backend = "python"
+        self._backend_name = backend
         self._impl = get_backend(backend)
         self._cut = (
             (self.config.pruning_gap_ratio, DEFAULT_ADAPTIVE_MINIMUM)
@@ -139,6 +162,19 @@ class MatchEngine:
         else:
             ambient = current_recorder()
             self.recorder = ambient if ambient is not NULL_RECORDER else Recorder()
+        if backend == "numpy":
+            # The breaker guards the only backend with a cheaper
+            # bit-identical stand-in; python/dict have nothing to fall
+            # back to, so their kernel errors propagate as usual.
+            self._fallback = get_backend("python")
+            self.breaker = CircuitBreaker(
+                failure_threshold=self.config.breaker_threshold,
+                reset_after_s=self.config.breaker_reset_s,
+                recorder=self.recorder,
+            )
+        else:
+            self._fallback = None
+            self.breaker = None
 
     # ------------------------------------------------------------------
     # Single-query path
@@ -148,15 +184,28 @@ class MatchEngine:
 
         Consults the LRU cache first (content-fingerprint key); on a
         miss, runs the query-local pipeline and caches the outcome.
+        With ``config.serving_deadline_ms`` set, a query that exhausts
+        its budget mid-pipeline gets a degraded name-evidence-only
+        answer (counted ``deadline.expired``; never cached).
         """
         started = time.perf_counter()
         key = entity_fingerprint(entity)
         outcome = self.cache.get(key)
         hit = outcome is not None
         self.recorder.count("serving.cache.hits" if hit else "serving.cache.misses")
+        degraded = False
         if not hit:
-            outcome = self._resolve_single(entity)
-            self.cache.put(key, outcome)
+            deadline = self._query_deadline()
+            try:
+                inject("serve:match")
+                outcome = self._resolve_single(entity, deadline)
+            except DeadlineExpired:
+                self.recorder.count("deadline.expired")
+                self.recorder.count("serving.degraded")
+                outcome = self._name_only_outcome(entity)
+                degraded = True
+            else:
+                self.cache.put(key, outcome)
         kb2_id, rule, score, candidates = outcome
         latency_ms = (time.perf_counter() - started) * 1e3
         decision = MatchDecision(
@@ -166,20 +215,65 @@ class MatchEngine:
             rule=rule,
             score=score,
             candidates=candidates,
+            degraded=degraded,
             cached=hit,
             latency_ms=latency_ms,
         )
         self._record(1, latency_ms, [candidates], 1 if kb2_id is not None else 0)
         return decision
 
-    def _resolve_single(
+    def _query_deadline(self) -> Deadline | None:
+        """A fresh per-lookup deadline, or None when none is configured."""
+        budget_ms = self.config.serving_deadline_ms
+        return Deadline.after_ms(budget_ms) if budget_ms is not None else None
+
+    def _alpha_match(self, qstats: KBStatistics) -> int | None:
+        """Name evidence for a lone query: the first singleton shared
+        name in sorted order (the emit order of name_blocks +
+        name_evidence)."""
+        qnames = {
+            name
+            for name in (normalize_name(raw) for raw in qstats.names(0))
+            if name
+        }
+        for name in sorted(qnames & self.index.names.keys()):
+            ids2 = self.index.names[name]
+            if len(ids2) == 1:
+                return ids2[0]
+        return None
+
+    def _name_only_outcome(
         self, entity: EntityDescription
+    ) -> tuple[int | None, str | None, float | None, int]:
+        """The degraded answer: rule R1 over name evidence, or nothing.
+
+        Deliberately the cheapest sound answer the index supports -- one
+        name lookup, no token scan, no kernels -- so it fits in whatever
+        sliver of budget remains after a deadline expires.
+        """
+        if self.index.n2 == 0 or not self.config.use_name_rule:
+            return None, None, None, 0
+        qkb = KnowledgeBase([entity], name="query", tokenizer=self.index.tokenizer)
+        qstats = KBStatistics(
+            qkb,
+            top_k_name_attributes=self.config.name_attributes_k,
+            top_n_relations=self.config.relations_n,
+        )
+        alpha = self._alpha_match(qstats)
+        if alpha is None:
+            return None, None, None, 0
+        return int(alpha), "R1", float("inf"), 0
+
+    def _resolve_single(
+        self, entity: EntityDescription, deadline: Deadline | None = None
     ) -> tuple[int | None, str | None, float | None, int]:
         """Query-local Algorithm 1 + rules R1-R4 for a batch of one.
 
         Returns ``(kb2 id, rule, score, retained candidates)`` --
         exactly the outcome ``match_batch([entity])`` would produce,
-        computed in O(candidate set) instead of O(|KB2|).
+        computed in O(candidate set) instead of O(|KB2|).  Raises
+        :class:`DeadlineExpired` at the inter-step checkpoints when the
+        optional ``deadline`` runs out.
         """
         index = self.index
         config = self.config
@@ -192,20 +286,14 @@ class MatchEngine:
             top_k_name_attributes=config.name_attributes_k,
             top_n_relations=config.relations_n,
         )
+        if deadline is not None:
+            deadline.check("name evidence")
 
-        # Name evidence: the first singleton shared name in sorted order
-        # (the emit order of name_blocks + name_evidence).
-        qnames = {
-            name
-            for name in (normalize_name(raw) for raw in qstats.names(0))
-            if name
-        }
-        alpha: int | None = None
-        for name in sorted(qnames & index.names.keys()):
-            ids2 = index.names[name]
-            if len(ids2) == 1:
-                alpha = ids2[0]
-                break
+        # Name evidence is computed even with R1 off: the alpha edge
+        # still participates in R4 reciprocity, as in the batch graph.
+        alpha = self._alpha_match(qstats)
+        if deadline is not None:
+            deadline.check("value evidence")
 
         # Value evidence over the query's shared-token blocks only.
         postings = index.postings
@@ -232,6 +320,8 @@ class MatchEngine:
             ids = [candidate for candidate, _ in capped]
             sums = [score for _, score in capped]
         value_list = select_row(ids, sums, config.candidates_k, self._cut)
+        if deadline is not None:
+            deadline.check("matching rules")
         # gamma is inert for a lone query (no resolvable relations), so
         # the neighbor candidate lists of both sides are empty.
 
@@ -299,6 +389,11 @@ class MatchEngine:
         it.  Decisions are returned in input order; entities the rules
         left unmatched get an unmatched decision.  Results bypass the
         cache (they are only valid within this batch context).
+
+        With ``config.serving_deadline_ms`` set, the budget covers the
+        whole batch; on expiry every batch entity gets a degraded
+        name-evidence-only decision (batch context is lost, so the
+        degraded answers are query-local).
         """
         started = time.perf_counter()
         batch = list(entities)
@@ -306,14 +401,24 @@ class MatchEngine:
             return []
         index = self.index
         config = self.config
-        qkb = KnowledgeBase(batch, name="query-batch", tokenizer=index.tokenizer)
-        qstats = KBStatistics(
-            qkb,
-            top_k_name_attributes=config.name_attributes_k,
-            top_n_relations=config.relations_n,
-        )
-        graph = self._batch_graph(qkb, qstats)
-        matching = NonIterativeMatcher(config).match(graph)
+        deadline = self._query_deadline()
+        try:
+            inject("serve:batch")
+            qkb = KnowledgeBase(batch, name="query-batch", tokenizer=index.tokenizer)
+            qstats = KBStatistics(
+                qkb,
+                top_k_name_attributes=config.name_attributes_k,
+                top_n_relations=config.relations_n,
+            )
+            if deadline is not None:
+                deadline.check("batch graph")
+            graph = self._batch_graph(qkb, qstats)
+            if deadline is not None:
+                deadline.check("batch matching")
+            matching = NonIterativeMatcher(config).match(graph)
+        except DeadlineExpired:
+            self.recorder.count("deadline.expired")
+            return self._degraded_batch(batch, started)
 
         # Per query entity, the strongest surviving pair (under the
         # matcher's own conflict order; unique mapping already leaves at
@@ -363,6 +468,58 @@ class MatchEngine:
         self._record(len(batch), latency_ms, candidate_counts, matched, batch=True)
         return decisions
 
+    def _degraded_batch(
+        self, batch: list[EntityDescription], started: float
+    ) -> list[MatchDecision]:
+        """Name-evidence-only decisions for a batch whose deadline expired."""
+        self.recorder.count("serving.degraded", len(batch))
+        latency_ms = (time.perf_counter() - started) * 1e3
+        per_query_ms = latency_ms / len(batch)
+        decisions: list[MatchDecision] = []
+        matched = 0
+        for entity in batch:
+            kb2_id, rule, score, candidates = self._name_only_outcome(entity)
+            if kb2_id is not None:
+                matched += 1
+            decisions.append(
+                MatchDecision(
+                    query_uri=entity.uri,
+                    kb2_id=kb2_id,
+                    kb2_uri=self.index.uris2[kb2_id] if kb2_id is not None else None,
+                    rule=rule,
+                    score=score,
+                    candidates=candidates,
+                    degraded=True,
+                    latency_ms=per_query_ms,
+                )
+            )
+        self._record(len(batch), latency_ms, [0] * len(batch), matched, batch=True)
+        return decisions
+
+    def _run_kernel(self, method: str, *args):
+        """One kernel call, routed through the circuit breaker when the
+        numpy backend is guarded.
+
+        Closed/half-open: attempt numpy (itself a ``kernel:numpy``
+        injection site) and record the outcome; a failure is answered by
+        the pure-python fallback (bit-identical, slower) and counted
+        ``serving.kernel_fallback``.  Open: skip numpy entirely.
+        """
+        breaker = self.breaker
+        if breaker is None:
+            return getattr(self._impl, method)(*args)
+        if breaker.allow():
+            try:
+                inject(f"kernel:{self._backend_name}")
+                result = getattr(self._impl, method)(*args)
+            except Exception:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+                return result
+        self.recorder.count("serving.kernel_fallback")
+        return getattr(self._fallback, method)(*args)
+
     def _batch_graph(
         self, qkb: KnowledgeBase, qstats: KBStatistics
     ) -> DisjunctiveBlockingGraph:
@@ -387,12 +544,12 @@ class MatchEngine:
         k = config.candidates_k
         cap = config.serving_candidate_cap
         if cap is None:
-            value_1, value_2 = self._impl.value_topk(interned, k, self._cut)
+            value_1, value_2 = self._run_kernel("value_topk", interned, k, self._cut)
         else:
             value_1, value_2 = self._capped_value_topk(interned, k, cap)
         edges = retained_edge_arrays(value_1, value_2)
-        neighbor_1, neighbor_2 = self._impl.gamma_topk(
-            edges, qstats.in_neighbor_csr(), index.in_neighbors, k, self._cut
+        neighbor_1, neighbor_2 = self._run_kernel(
+            "gamma_topk", edges, qstats.in_neighbor_csr(), index.in_neighbors, k, self._cut
         )
         return DisjunctiveBlockingGraph(
             n1=len(qkb),
@@ -516,7 +673,17 @@ class MatchEngine:
             "latency_mean_ms": latency_total / queries if queries else 0.0,
             "latency_p50_ms": latency.p50,
             "latency_p95_ms": latency.p95,
+            "degraded": int(recorder.counter_value("serving.degraded")),
+            "deadline_expired": int(recorder.counter_value("deadline.expired")),
+            "kernel_fallback": int(recorder.counter_value("serving.kernel_fallback")),
+            "request_errors": int(recorder.counter_value("serving.request_errors")),
+            "query_errors": int(recorder.counter_value("serving.query_errors")),
         }
+        if self.breaker is not None:
+            snapshot["breaker"] = {
+                "state": self.breaker.state,
+                "trips": self.breaker.trips,
+            }
         snapshot["cache"] = self.cache.stats()
         return snapshot
 

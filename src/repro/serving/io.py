@@ -23,28 +23,74 @@ Responses (one JSON object per request line, in request order)::
 producing rule's score; rule R1's score is by definition ``+inf`` and
 serialises as null (JSON has no Infinity).  Any *other* non-finite
 score is an engine invariant violation and raises instead of being
-masked as null.
+masked as null.  ``degraded`` is true when the answer is a
+deadline-degraded name-evidence-only decision (see
+``docs/resilience.md``).
+
+Error records: the lenient reader (:func:`iter_requests`, used by the
+``serve`` subcommand) never aborts the stream on one bad line -- it
+yields a :class:`RequestError` carrying the raw line number, which the
+server writes back as::
+
+    {"error": "bad request on line 3: ...", "line": 3}
+
+Blank lines are still silently skipped (they are separators, not
+errors); malformed JSON, nested/null/non-finite values (``NaN`` and
+``Infinity`` literals parse as floats but cannot tokenize), and
+oversized lines (> :data:`MAX_REQUEST_LINE_BYTES`) become error
+records.  The strict :func:`read_requests` (batch tooling) raises on
+the first error instead.
 """
 
 from __future__ import annotations
 
 import json
 import math
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, TextIO
 
 from repro.kb.entity import EntityDescription
+from repro.resilience.faults import inject
 from repro.serving.engine import MatchDecision
 
 _SCALARS = (str, int, float, bool)
 
+MAX_REQUEST_LINE_BYTES = 1_000_000
+"""Default per-line size guard of :func:`iter_requests`: a request line
+longer than this (in characters) is rejected without being parsed, so
+one runaway producer cannot balloon the server's memory."""
+
+
+@dataclass(frozen=True)
+class RequestError:
+    """One rejected request line of a lenient :func:`iter_requests` scan.
+
+    ``line`` is the raw 1-based line number (blank lines included, for
+    editor navigation); ``error`` is the human-readable reason.
+    """
+
+    line: int
+    error: str
+
+    def to_json(self) -> dict[str, Any]:
+        """The JSONL error record the server emits for this line."""
+        return {"error": self.error, "line": self.line}
+
 
 def _coerce_scalar(value: Any, role: str) -> str:
-    """``value`` as a string, or ``ValueError`` for null and nested
-    structures (the tokenizer only understands flat scalars)."""
+    """``value`` as a string, or ``ValueError`` for null, nested
+    structures, and non-finite numbers (the tokenizer only understands
+    flat finite scalars)."""
     if isinstance(value, str):
         return value
-    if isinstance(value, bool) or isinstance(value, (int, float)):
-        return json.dumps(value) if isinstance(value, bool) else str(value)
+    if isinstance(value, bool):
+        return json.dumps(value)
+    if isinstance(value, (int, float)):
+        # json.loads accepts the non-standard NaN/Infinity literals and
+        # hands back non-finite floats; they have no token form.
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ValueError(f"{role} must be finite, got {value!r}")
+        return str(value)
     raise ValueError(
         f"{role} must be a JSON scalar (string, number, or boolean), "
         f"got {value!r}"
@@ -132,32 +178,68 @@ def decision_to_json(decision: MatchDecision) -> dict[str, Any]:
         "rule": decision.rule,
         "score": float(score) if score is not None else None,
         "candidates": int(decision.candidates),
+        "degraded": decision.degraded,
         "cached": decision.cached,
         "latency_ms": round(decision.latency_ms, 3),
     }
 
 
-def read_requests(stream: TextIO) -> Iterator[EntityDescription]:
-    """Parse a JSONL request stream, skipping blank lines.
+def iter_requests(
+    stream: TextIO,
+    max_line_bytes: int = MAX_REQUEST_LINE_BYTES,
+    recorder=None,
+) -> Iterator[EntityDescription | RequestError]:
+    """Lenient JSONL scan: one item per non-blank line, errors included.
+
+    Well-formed requests come out as
+    :class:`~repro.kb.entity.EntityDescription`; malformed, oversized,
+    and fault-injected (``io:read_requests``) lines come out as
+    :class:`RequestError` and the scan *continues*, so one garbage
+    producer cannot take down the stream.  Blank lines are separators
+    and yield nothing.
 
     Default URIs are positional over *accepted* requests: the N-th
     non-blank, well-formed request without a ``uri`` gets ``query-N``
-    (1-based), so identifiers stay contiguous regardless of blank
-    lines.  Malformed lines raise ``ValueError`` naming the raw line
-    number (blank lines included, for editor navigation).
+    (1-based), so identifiers stay contiguous regardless of blank and
+    rejected lines.  Every rejection is counted
+    ``serving.request_errors`` on ``recorder`` (default: the ambient
+    one; the server passes its engine's so :meth:`MatchEngine.stats`
+    sees the count either way).
     """
+    if recorder is None:
+        from repro.obs import current_recorder
+
+        recorder = current_recorder()
     accepted = 0
     for number, line in enumerate(stream, start=1):
-        line = line.strip()
-        if not line:
+        stripped = line.strip()
+        if not stripped:
             continue
         try:
-            payload = json.loads(line)
+            inject("io:read_requests")
+            if len(line) > max_line_bytes:
+                raise ValueError(
+                    f"request line exceeds {max_line_bytes} bytes "
+                    f"({len(line)} bytes)"
+                )
+            payload = json.loads(stripped)
             entity = entity_from_json(payload, default_uri=f"query-{accepted + 1}")
-        except (json.JSONDecodeError, ValueError) as error:
-            raise ValueError(f"bad request on line {number}: {error}") from error
+        except (json.JSONDecodeError, ValueError, RuntimeError) as error:
+            recorder.count("serving.request_errors")
+            yield RequestError(number, f"bad request on line {number}: {error}")
+            continue
         accepted += 1
         yield entity
+
+
+def read_requests(stream: TextIO) -> Iterator[EntityDescription]:
+    """Strict JSONL parse: the lenient scan with errors promoted to
+    ``ValueError`` (raised on the first bad line, naming it).
+    """
+    for item in iter_requests(stream):
+        if isinstance(item, RequestError):
+            raise ValueError(item.error)
+        yield item
 
 
 def write_decisions(decisions: Iterable[MatchDecision], stream: TextIO) -> None:

@@ -11,11 +11,13 @@ from repro.obs import (
     NullRecorder,
     Recorder,
     current_recorder,
+    resilience_summary,
     to_json,
     to_logfmt,
     use_recorder,
     write_trace,
 )
+from repro.obs.export import RESILIENCE_COUNTERS
 from repro.obs.recorder import percentile
 
 
@@ -256,5 +258,62 @@ class TestExporters:
     def test_empty_recorder_exports_cleanly(self, tmp_path):
         recorder = Recorder()
         payload = json.loads(to_json(recorder))
-        assert payload == {"spans": [], "counters": {}, "gauges": {}, "histograms": {}}
-        assert to_logfmt(recorder) == ""
+        assert payload["spans"] == []
+        assert payload["counters"] == {}
+        assert payload["gauges"] == {}
+        assert payload["histograms"] == {}
+        # The resilience summary is always present, zeroed when quiet.
+        assert payload["resilience"]["retry.attempts"] == 0.0
+        assert payload["resilience"]["faults.injected"] == {}
+        logfmt = to_logfmt(recorder)
+        assert logfmt.startswith("resilience ")
+        assert logfmt.count("\n") == 1
+
+
+class TestResilienceSummary:
+    def _resilient(self):
+        recorder = Recorder()
+        recorder.count("retry.attempts", 3)
+        recorder.count("stage.skipped", 1)
+        recorder.count("faults.injected.stage:graph:beta", 2)
+        recorder.count("faults.injected.serve:match", 1)
+        recorder.count("serving.queries", 10)  # not a resilience counter
+        recorder.gauge("breaker.state", 2.0)
+        return recorder
+
+    def test_every_counter_present_with_zero_defaults(self):
+        summary = resilience_summary(self._resilient())
+        for name in RESILIENCE_COUNTERS:
+            assert name in summary
+        assert summary["retry.attempts"] == 3.0
+        assert summary["stage.skipped"] == 1.0
+        assert summary["deadline.expired"] == 0.0
+        assert summary["breaker.trips"] == 0.0
+        assert "serving.queries" not in summary
+
+    def test_fault_sites_mapped_without_prefix(self):
+        summary = resilience_summary(self._resilient())
+        assert summary["faults.injected"] == {
+            "serve:match": 1.0,
+            "stage:graph:beta": 2.0,
+        }
+
+    def test_breaker_state_gauge_included_when_present(self):
+        assert resilience_summary(self._resilient())["breaker.state"] == 2.0
+        assert "breaker.state" not in resilience_summary(Recorder())
+
+    def test_json_trace_carries_the_summary(self):
+        payload = json.loads(to_json(self._resilient()))
+        resilience = payload["resilience"]
+        assert resilience["retry.attempts"] == 3.0
+        assert resilience["faults.injected"]["stage:graph:beta"] == 2.0
+        # The raw counters are still exported too, untouched.
+        assert payload["counters"]["faults.injected.stage:graph:beta"] == 2.0
+
+    def test_logfmt_trace_ends_with_the_summary_line(self):
+        lines = to_logfmt(self._resilient()).strip().splitlines()
+        assert lines[-1].startswith("resilience ")
+        assert "retry.attempts=3" in lines[-1]
+        # Site breakdown collapses to a total on the one-line form.
+        assert "faults.injected=3" in lines[-1]
+        assert "breaker.state=2" in lines[-1]

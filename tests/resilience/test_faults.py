@@ -1,0 +1,191 @@
+"""Fault-injection registry: chaos grammar, schedules, ambient plans."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.obs import Recorder, use_recorder
+from repro.resilience import (
+    FaultAction,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    SITES,
+    current_faults,
+    inject,
+    parse_chaos,
+    use_faults,
+)
+
+
+class TestChaosGrammar:
+    def test_error_with_times(self):
+        plan = parse_chaos("stage:*=error*2")
+        (spec,) = plan.specs
+        assert spec.site == "stage:*"
+        assert spec.kind == "error"
+        assert spec.times == 2
+        assert spec.probability == 1.0
+
+    def test_delay_with_seconds(self):
+        (spec,) = parse_chaos("serve:match=delay:0.05").specs
+        assert spec.kind == "delay"
+        assert spec.delay_s == 0.05
+        assert spec.times is None
+
+    def test_probability_suffix(self):
+        (spec,) = parse_chaos("kernel:numpy=error@0.5").specs
+        assert spec.probability == 0.5
+
+    def test_all_suffixes_compose(self):
+        (spec,) = parse_chaos("io:*=delay:0.01*3@0.25").specs
+        assert (spec.kind, spec.delay_s, spec.times, spec.probability) == (
+            "delay", 0.01, 3, 0.25,
+        )
+
+    def test_multiple_entries_in_order(self):
+        plan = parse_chaos("stage:graph:beta=error*1, serve:match=delay:0.001")
+        assert [spec.site for spec in plan.specs] == [
+            "stage:graph:beta", "serve:match",
+        ]
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",  # no entries
+            "stage:graph",  # no '='
+            "=error",  # no site
+            "stage:*=",  # no action
+            "stage:*=explode",  # unknown action
+            "stage:*=delay",  # delay without seconds
+            "stage:*=delay:abc",
+            "stage:*=error*zero",  # bad repeat count
+            "stage:*=error*0",  # times must be >= 1
+            "stage:*=error@nope",  # bad probability
+            "stage:*=error@0",  # probability must be in (0, 1]
+            "stage:*=error@1.5",
+            "stage:*=delay:-1",  # negative delay
+        ],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_chaos(spec)
+
+    def test_catalogue_sites_are_parseable(self):
+        for site in SITES:
+            (spec,) = parse_chaos(f"{site}=error*1").specs
+            assert spec.site == site
+
+
+class TestFaultPlan:
+    def test_times_bounds_the_spec_across_sites(self):
+        plan = parse_chaos("stage:*=error*2")
+        assert plan.draw("stage:graph:beta") is not None
+        assert plan.draw("stage:graph:gamma") is not None
+        # The budget of 2 is spent; a third matching site draws nothing.
+        assert plan.draw("stage:match:R2") is None
+        assert plan.fired() == {"stage:graph:beta": 1, "stage:graph:gamma": 1}
+        assert plan.total_fired() == 2
+        assert plan.exhausted()
+
+    def test_non_matching_site_never_fires(self):
+        plan = parse_chaos("serve:*=error")
+        assert plan.draw("stage:graph:beta") is None
+        assert plan.total_fired() == 0
+
+    def test_first_matching_spec_wins(self):
+        plan = parse_chaos("stage:graph:beta=delay:0.5,stage:*=error")
+        action = plan.draw("stage:graph:beta")
+        assert action.kind == "delay"
+        assert plan.draw("stage:graph:gamma").kind == "error"
+
+    def test_probability_draws_are_seeded(self):
+        plan_a = parse_chaos("serve:match=error@0.3", seed=7)
+        plan_b = parse_chaos("serve:match=error@0.3", seed=7)
+        fired_a = [plan_a.draw("serve:match") is not None for _ in range(200)]
+        fired_b = [plan_b.draw("serve:match") is not None for _ in range(200)]
+        assert fired_a == fired_b
+        assert 0 < sum(fired_a) < len(fired_a)  # probabilistic, not constant
+        other = parse_chaos("serve:match=error@0.3", seed=8)
+        fired_other = [other.draw("serve:match") is not None for _ in range(200)]
+        assert fired_other != fired_a  # the seed matters
+
+    def test_unbounded_spec_never_exhausts(self):
+        plan = parse_chaos("stage:*=error")
+        plan.draw("stage:graph:beta")
+        assert not plan.exhausted()
+
+    def test_fired_faults_counted_on_ambient_recorder(self):
+        recorder = Recorder()
+        plan = parse_chaos("stage:*=error*2")
+        with use_recorder(recorder):
+            plan.draw("stage:graph:beta")
+            plan.draw("stage:graph:beta")
+            plan.draw("stage:graph:beta")  # exhausted: no count
+        assert recorder.counter_value("faults.injected.stage:graph:beta") == 2
+
+
+class TestFaultAction:
+    def test_error_action_raises(self):
+        with pytest.raises(FaultInjected, match="injected fault at stage:x"):
+            FaultAction(site="stage:x", kind="error").apply()
+
+    def test_delay_action_sleeps(self):
+        started = time.perf_counter()
+        FaultAction(site="stage:x", kind="delay", delay_s=0.01).apply()
+        assert time.perf_counter() - started >= 0.01
+
+    def test_actions_are_picklable(self):
+        action = FaultAction(site="stage:graph:beta", kind="delay", delay_s=0.5)
+        assert pickle.loads(pickle.dumps(action)) == action
+
+
+class TestAmbientPlan:
+    def test_no_plan_means_inject_is_noop(self):
+        assert current_faults() is None
+        inject("stage:graph:beta")  # must not raise
+
+    def test_use_faults_installs_and_restores(self):
+        plan = parse_chaos("stage:*=error*1")
+        with use_faults(plan) as installed:
+            assert installed is plan
+            assert current_faults() is plan
+        assert current_faults() is None
+
+    def test_nested_plans_restore_the_outer(self):
+        outer = parse_chaos("stage:*=error")
+        inner = parse_chaos("serve:*=error")
+        with use_faults(outer):
+            with use_faults(inner):
+                assert current_faults() is inner
+            assert current_faults() is outer
+
+    def test_inject_fires_the_ambient_plan(self):
+        plan = parse_chaos("stage:graph:beta=error*1")
+        with use_faults(plan):
+            with pytest.raises(FaultInjected):
+                inject("stage:graph:beta")
+            inject("stage:graph:beta")  # budget spent: silent
+        assert plan.total_fired() == 1
+
+
+class TestFaultSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "explode"},
+            {"kind": "delay", "delay_s": -0.1},
+            {"kind": "error", "times": 0},
+            {"kind": "error", "probability": 0.0},
+            {"kind": "error", "probability": 1.5},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(site="stage:*", **kwargs)
+
+    def test_plan_repr_mentions_fires(self):
+        plan = FaultPlan([FaultSpec(site="a", kind="error")], seed=3)
+        plan.draw("a")
+        assert "fired=1" in repr(plan)

@@ -1,0 +1,158 @@
+"""Retry and deadline policies: backoff schedules, budgets, filters."""
+
+import pytest
+
+from repro.resilience import (
+    DEFAULT_RETRYABLE,
+    Deadline,
+    DeadlineExpired,
+    FaultInjected,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        assert deadline.remaining() == 10.0
+        clock.advance(4.0)
+        assert deadline.remaining() == 6.0
+        assert not deadline.expired()
+
+    def test_expiry_is_exact_and_sticky(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(1.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        clock.advance(100.0)
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_with_label(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        deadline.check("early work")  # within budget: silent
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExpired, match="before matching rules"):
+            deadline.check("matching rules")
+
+    def test_after_ms_converts_units(self):
+        assert Deadline.after_ms(250.0).budget_s == 0.25
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Deadline(-1.0)
+
+    def test_zero_budget_expires_immediately(self):
+        deadline = Deadline(0.0, clock=FakeClock(5.0))
+        assert deadline.expired()
+
+
+class TestRetryPolicyBackoff:
+    def test_exponential_schedule_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.1, max_delay_s=10.0, jitter_ratio=0.0
+        )
+        assert [policy.backoff_s(n) for n in (1, 2, 3, 4)] == [
+            pytest.approx(0.1),
+            pytest.approx(0.2),
+            pytest.approx(0.4),
+            pytest.approx(0.8),
+        ]
+
+    def test_backoff_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=1.5, jitter_ratio=0.0)
+        assert policy.backoff_s(10) == pytest.approx(1.5)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RetryPolicy(base_delay_s=0.1, jitter_ratio=0.5, seed=11)
+        b = RetryPolicy(base_delay_s=0.1, jitter_ratio=0.5, seed=11)
+        schedule_a = [a.backoff_s(n) for n in (1, 2, 3)]
+        schedule_b = [b.backoff_s(n) for n in (1, 2, 3)]
+        assert schedule_a == schedule_b
+        for attempt, delay in zip((1, 2, 3), schedule_a):
+            plain = 0.1 * 2 ** (attempt - 1)
+            assert plain <= delay <= plain * 1.5
+
+    def test_bad_attempt_rejected(self):
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().backoff_s(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"max_delay_s": -1.0},
+            {"jitter_ratio": 1.5},
+            {"jitter_ratio": -0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryPolicyCall:
+    def _flaky(self, failures: int, error: Exception):
+        calls = {"n": 0}
+
+        def thunk():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise error
+            return calls["n"]
+
+        return thunk, calls
+
+    def test_recovers_from_transient_failures(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter_ratio=0.0)
+        thunk, calls = self._flaky(2, FaultInjected("boom"))
+        seen: list[tuple[int, BaseException]] = []
+        assert policy.call(thunk, on_retry=lambda n, e: seen.append((n, e))) == 3
+        assert calls["n"] == 3
+        assert [attempt for attempt, _ in seen] == [1, 2]
+        assert all(isinstance(error, FaultInjected) for _, error in seen)
+
+    def test_exhausted_attempts_propagate_the_last_error(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+        thunk, calls = self._flaky(5, TimeoutError("slow"))
+        with pytest.raises(TimeoutError):
+            policy.call(thunk)
+        assert calls["n"] == 2
+
+    def test_non_retryable_error_propagates_immediately(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        thunk, calls = self._flaky(5, ValueError("bad input"))
+        with pytest.raises(ValueError):
+            policy.call(thunk)
+        assert calls["n"] == 1
+
+    def test_default_retryable_set(self):
+        policy = RetryPolicy()
+        for error_type in DEFAULT_RETRYABLE:
+            assert policy.is_retryable(error_type("x"))
+        assert not policy.is_retryable(KeyError("x"))
+        assert not policy.is_retryable(ZeroDivisionError())
+
+    def test_custom_retryable_filter(self):
+        policy = RetryPolicy(
+            max_attempts=2, base_delay_s=0.0, retryable=(KeyError,)
+        )
+        thunk, calls = self._flaky(1, KeyError("k"))
+        assert policy.call(thunk) == 2
+        assert not policy.is_retryable(FaultInjected("not in the set"))

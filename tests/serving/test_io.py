@@ -7,11 +7,14 @@ import math
 import pytest
 
 from repro.kb.entity import EntityDescription
+from repro.obs import Recorder
 from repro.serving.engine import MatchDecision
 from repro.serving.io import (
+    RequestError,
     decision_to_json,
     entity_from_json,
     entity_to_json,
+    iter_requests,
     read_requests,
     write_decisions,
 )
@@ -196,6 +199,105 @@ class TestStreams:
         lines = sink.getvalue().strip().splitlines()
         assert len(lines) == 1
         assert json.loads(lines[0])["match"] == "t1"
+
+
+class TestLenientReader:
+    def test_errors_are_yielded_in_sequence_and_scan_continues(self):
+        stream = io.StringIO(
+            '{"pairs": [["a", "1"]]}\n'
+            "not json at all\n"
+            '{"pairs": [["a", "2"]]}\n'
+            '{"pairs": [["a", {"nested": 1}]]}\n'
+            '{"uri": "named", "pairs": [["a", "3"]]}\n'
+        )
+        items = list(iter_requests(stream))
+        assert isinstance(items[0], EntityDescription)
+        assert isinstance(items[1], RequestError)
+        assert isinstance(items[2], EntityDescription)
+        assert isinstance(items[3], RequestError)
+        assert isinstance(items[4], EntityDescription)
+        assert items[1].line == 2
+        assert items[3].line == 4
+        # Default URIs count accepted requests only, so they stay
+        # contiguous across rejected lines.
+        assert [e.uri for e in items if isinstance(e, EntityDescription)] == [
+            "query-1", "query-2", "named",
+        ]
+
+    def test_error_record_json_shape(self):
+        record = RequestError(7, "bad request on line 7: boom")
+        assert record.to_json() == {
+            "error": "bad request on line 7: boom", "line": 7,
+        }
+        json.dumps(record.to_json())
+
+    @pytest.mark.parametrize("literal", ["NaN", "Infinity", "-Infinity"])
+    def test_non_finite_numbers_rejected(self, literal):
+        # json.loads accepts these non-standard literals; they have no
+        # token form and must become error records, not entities.
+        stream = io.StringIO('{"pairs": [["year", %s]]}\n' % literal)
+        (item,) = iter_requests(stream)
+        assert isinstance(item, RequestError)
+        assert "finite" in item.error
+
+    def test_non_finite_rejected_in_attributes_form(self):
+        stream = io.StringIO('{"uri": "q", "attributes": {"year": NaN}}\n')
+        (item,) = iter_requests(stream)
+        assert isinstance(item, RequestError)
+
+    def test_oversized_line_rejected_without_parsing(self):
+        huge = '{"pairs": [["a", "%s"]]}' % ("x" * 200)
+        stream = io.StringIO(huge + "\n" + '{"pairs": [["a", "1"]]}\n')
+        items = list(iter_requests(stream, max_line_bytes=100))
+        assert isinstance(items[0], RequestError)
+        assert "exceeds 100 bytes" in items[0].error
+        assert isinstance(items[1], EntityDescription)
+
+    def test_blank_lines_are_separators_not_errors(self):
+        stream = io.StringIO("\n\n" + '{"pairs": [["a", "1"]]}\n' + "\n")
+        items = list(iter_requests(stream))
+        assert len(items) == 1
+        assert isinstance(items[0], EntityDescription)
+
+    def test_rejections_counted_on_the_given_recorder(self):
+        recorder = Recorder()
+        stream = io.StringIO("not json\n{bad\n" + '{"pairs": [["a", "1"]]}\n')
+        items = list(iter_requests(stream, recorder=recorder))
+        assert recorder.counter_value("serving.request_errors") == 2
+        assert sum(isinstance(item, RequestError) for item in items) == 2
+
+    def test_strict_reader_promotes_the_first_error(self):
+        stream = io.StringIO('{"pairs": [["a", "1"]]}\nnot json\n')
+        with pytest.raises(ValueError, match="bad request on line 2"):
+            list(read_requests(stream))
+
+
+class TestDegradedField:
+    def test_degraded_serialises_true(self):
+        decision = MatchDecision(
+            query_uri="q", kb2_id=0, kb2_uri="t0", rule="R1",
+            score=math.inf, candidates=0, degraded=True,
+        )
+        payload = decision_to_json(decision)
+        assert payload["degraded"] is True
+
+    def test_default_is_false(self):
+        decision = MatchDecision(
+            query_uri="q", kb2_id=None, kb2_uri=None, rule=None,
+            score=None, candidates=0,
+        )
+        assert decision_to_json(decision)["degraded"] is False
+
+    def test_degraded_participates_in_equality(self):
+        full = MatchDecision(
+            query_uri="q", kb2_id=0, kb2_uri="t0", rule="R1",
+            score=math.inf, candidates=0,
+        )
+        degraded = MatchDecision(
+            query_uri="q", kb2_id=0, kb2_uri="t0", rule="R1",
+            score=math.inf, candidates=0, degraded=True,
+        )
+        assert full != degraded
 
 
 class TestCli:

@@ -1,0 +1,181 @@
+"""Serving-side degradation: deadlines, the circuit breaker, error stats."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.config import MinoanERConfig
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.resilience import FaultInjected, parse_chaos, use_faults
+from repro.serving import MatchEngine, ResolutionIndex, iter_requests
+from repro.serving.io import decision_to_json
+
+
+TINY_BUDGET_MS = 1e-6
+"""A deadline no real query can meet: expires at the first checkpoint."""
+
+
+@pytest.fixture(scope="module")
+def named_index():
+    kb2 = KnowledgeBase(
+        [
+            EntityDescription(
+                "t0", [("label", "unique shared name"), ("city", "bray village")]
+            ),
+            EntityDescription("t1", [("label", "eltham palace"), ("city", "london")]),
+        ],
+        name="targets",
+    )
+    return ResolutionIndex.build(kb2)
+
+
+class TestDeadlines:
+    def test_expired_match_degrades_to_name_evidence(self, named_index):
+        engine = MatchEngine(
+            named_index, MinoanERConfig(serving_deadline_ms=TINY_BUDGET_MS)
+        )
+        decision = engine.match(
+            EntityDescription("q", [("name", "unique shared name")])
+        )
+        assert decision.degraded
+        assert decision.rule == "R1"
+        assert decision.kb2_uri == "t0"
+        assert decision.candidates == 0
+        stats = engine.stats()
+        assert stats["degraded"] == 1
+        assert stats["deadline_expired"] == 1
+
+    def test_degraded_answer_without_name_evidence_is_unmatched(self, named_index):
+        engine = MatchEngine(
+            named_index, MinoanERConfig(serving_deadline_ms=TINY_BUDGET_MS)
+        )
+        decision = engine.match(EntityDescription("q", [("a", "no such name")]))
+        assert decision.degraded
+        assert not decision.matched
+        assert decision.rule is None
+
+    def test_degraded_decisions_never_enter_the_cache(self, named_index):
+        engine = MatchEngine(
+            named_index, MinoanERConfig(serving_deadline_ms=TINY_BUDGET_MS)
+        )
+        entity = EntityDescription("q", [("name", "unique shared name")])
+        first = engine.match(entity)
+        second = engine.match(entity)
+        assert first.degraded and second.degraded
+        assert not second.cached
+        assert engine.stats()["cache"]["hits"] == 0
+
+    def test_expired_batch_degrades_every_entity(self, named_index):
+        engine = MatchEngine(
+            named_index, MinoanERConfig(serving_deadline_ms=TINY_BUDGET_MS)
+        )
+        batch = [
+            EntityDescription("q1", [("name", "unique shared name")]),
+            EntityDescription("q2", [("name", "nothing shared")]),
+        ]
+        decisions = engine.match_batch(batch)
+        assert [d.query_uri for d in decisions] == ["q1", "q2"]
+        assert all(d.degraded for d in decisions)
+        assert decisions[0].kb2_uri == "t0"
+        assert decisions[1].kb2_uri is None
+        stats = engine.stats()
+        assert stats["degraded"] == 2
+        assert stats["deadline_expired"] == 1  # one budget for the batch
+
+    def test_degraded_field_serialises(self, named_index):
+        engine = MatchEngine(
+            named_index, MinoanERConfig(serving_deadline_ms=TINY_BUDGET_MS)
+        )
+        payload = decision_to_json(
+            engine.match(EntityDescription("q", [("name", "unique shared name")]))
+        )
+        assert payload["degraded"] is True
+        json.dumps(payload)
+
+    def test_no_deadline_means_no_degradation(self, named_index, mini_pair):
+        engine = MatchEngine(named_index)
+        decision = engine.match(
+            EntityDescription("q", [("name", "unique shared name")])
+        )
+        assert not decision.degraded
+        stats = engine.stats()
+        assert stats["degraded"] == 0
+        assert stats["deadline_expired"] == 0
+
+    def test_generous_deadline_matches_undeadlined_answers(self, mini_pair):
+        index = ResolutionIndex.build(mini_pair.kb2)
+        plain = MatchEngine(index)
+        deadlined = MatchEngine(
+            index, MinoanERConfig(serving_deadline_ms=60_000.0)
+        )
+        for entity in list(mini_pair.kb1)[:15]:
+            assert deadlined.match(entity) == plain.match(entity)
+
+
+class TestCircuitBreaker:
+    @pytest.fixture()
+    def numpy_engine(self, mini_pair):
+        pytest.importorskip("numpy")
+        index = ResolutionIndex.build(mini_pair.kb2)
+        return MatchEngine(
+            index, MinoanERConfig(kernel_backend="numpy", breaker_threshold=1)
+        )
+
+    def test_kernel_faults_trip_to_the_python_fallback(self, mini_pair, numpy_engine):
+        batch = list(mini_pair.kb1)[:10]
+        index = ResolutionIndex.build(mini_pair.kb2)
+        expected = MatchEngine(
+            index, MinoanERConfig(kernel_backend="python")
+        ).match_batch(batch)
+        plan = parse_chaos("kernel:numpy=error*10")
+        with use_faults(plan):
+            decisions = numpy_engine.match_batch(batch)
+        assert plan.total_fired() >= 1
+        assert numpy_engine.breaker.trips >= 1
+        assert numpy_engine.breaker.state == "open"
+        stats = numpy_engine.stats()
+        assert stats["kernel_fallback"] >= 1
+        assert stats["breaker"]["trips"] == numpy_engine.breaker.trips
+        # The python fallback is bit-identical: same decisions.
+        assert decisions == expected
+
+    def test_breaker_absent_on_python_backend(self, mini_pair):
+        index = ResolutionIndex.build(mini_pair.kb2)
+        engine = MatchEngine(index, MinoanERConfig(kernel_backend="python"))
+        assert engine.breaker is None
+        assert "breaker" not in engine.stats()
+
+    def test_kernel_fault_on_python_backend_propagates(self, mini_pair):
+        # No fallback below python: its kernel site fires at backend
+        # dispatch (engine construction) and surfaces unchanged.
+        index = ResolutionIndex.build(mini_pair.kb2)
+        with use_faults(parse_chaos("kernel:python=error*1")):
+            with pytest.raises(FaultInjected):
+                MatchEngine(index, MinoanERConfig(kernel_backend="python"))
+
+
+class TestServeFaults:
+    def test_injected_match_fault_propagates_uncached(self, named_index):
+        engine = MatchEngine(named_index)
+        entity = EntityDescription("q", [("name", "unique shared name")])
+        with use_faults(parse_chaos("serve:match=error*1")):
+            with pytest.raises(FaultInjected):
+                engine.match(entity)
+            decision = engine.match(entity)  # budget spent: recovers
+        assert decision.kb2_uri == "t0"
+        assert not decision.cached  # the failed lookup cached nothing
+
+    def test_request_errors_land_on_the_engine_recorder(self, named_index):
+        engine = MatchEngine(named_index)
+        stream = io.StringIO(
+            '{"pairs": [["a", "1"]]}\n'
+            "not json\n"
+            '{"pairs": [["a", NaN]]}\n'
+        )
+        items = list(iter_requests(stream, recorder=engine.recorder))
+        assert [type(item).__name__ for item in items] == [
+            "EntityDescription", "RequestError", "RequestError",
+        ]
+        assert engine.stats()["request_errors"] == 2
