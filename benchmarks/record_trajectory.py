@@ -1,6 +1,6 @@
-"""Record the performance trajectory to ``BENCH_PR4.json``.
+"""Record the performance trajectory to ``BENCH_PR5.json``.
 
-Five measurements:
+Six measurements:
 
 * micro-kernel wall times (best of N) for the beta accumulation, the
   fused value transpose + top-K, and the fused gamma propagation +
@@ -21,7 +21,13 @@ Five measurements:
   transient injected faults + retry produces the clean run's exact
   match set), the fired-fault/retry counters of that run, and the
   overhead of the armed-but-quiet resilience path (``failure_mode =
-  "retry"`` with no faults vs ``fail_fast``), gated below 5%.
+  "retry"`` with no faults vs ``fail_fast``), gated below 5%;
+* the telemetry trajectory: the merged span summary of a traced
+  ``process``-backend parallel resolve (worker spans and kernel
+  counters shipped back from the pool via snapshot merging), a
+  validity check of the live Prometheus endpoint, and the serving
+  overhead of full telemetry (provenance sampling at rate 1.0 plus a
+  live metrics endpoint) vs a bare engine, gated below 5%.
 
 Run from the repository root::
 
@@ -282,12 +288,114 @@ def bench_resilience(quick: bool) -> dict:
     }
 
 
+def bench_telemetry(quick: bool) -> dict:
+    """Cross-process trace merging and full-telemetry serving overhead.
+
+    Merging: a ``process``-backend parallel resolve under a recorder
+    must ship worker spans and kernel-dispatch counters back to the
+    driver trace.  Overhead: best-of-N serving of the query stream with
+    provenance sampling at rate 1.0 *and* a live metrics endpoint
+    (scraped once per repeat) vs a bare engine.
+    """
+    import urllib.request
+
+    from repro.core.config import MinoanERConfig  # noqa: E402
+    from repro.obs import MetricsServer, Recorder, use_recorder  # noqa: E402
+    from repro.parallel.context import ParallelContext  # noqa: E402
+    from repro.parallel.pipeline import ParallelMinoanER  # noqa: E402
+    from repro.serving import MatchEngine, ResolutionIndex  # noqa: E402
+
+    scale = 0.3 if quick else None
+    pair = scaled_profile("restaurant", scale) if scale else load_profile("restaurant")
+    repeats = 3 if quick else 5
+
+    recorder = Recorder()
+    with use_recorder(recorder):
+        with ParallelContext(num_workers=2, backend="process") as context:
+            ParallelMinoanER(MinoanERConfig(), context).resolve(pair.kb1, pair.kb2)
+    spans = recorder.spans()
+    workers = [span for span in spans if span.name == "worker"]
+    merged_trace = {
+        "trace_id": recorder.trace_id,
+        "span_count": len(spans),
+        "worker_spans": len(workers),
+        "distinct_worker_pids": len(
+            {span.attributes.get("pid") for span in workers}
+        ),
+        "kernel_dispatch_totals": {
+            name: value
+            for name, value in recorder.counters().items()
+            if name.startswith("kernels.dispatch.")
+        },
+        "phase_cpu_seconds": {
+            name: value
+            for name, value in recorder.gauges().items()
+            if name.endswith(".cpu_seconds")
+        },
+    }
+
+    # Caching off so every query pays the full matching path; queries
+    # are re-answered per repeat either way.
+    queries = list(pair.kb1)[: 100 if quick else 300]
+    bare = MatchEngine(
+        ResolutionIndex.build(pair.kb2, MinoanERConfig(serving_cache_size=0))
+    )
+    instrumented = MatchEngine(
+        ResolutionIndex.build(
+            pair.kb2,
+            MinoanERConfig(serving_cache_size=0, provenance_sample_rate=1.0),
+        )
+    )
+
+    for entity in queries[:10]:  # warm-up
+        bare.match(entity)
+    baseline_s = _best(
+        lambda: [bare.match(entity) for entity in queries], repeats
+    )
+
+    scrapes: list[str] = []
+    with MetricsServer(instrumented.recorder) as server:
+        url = f"http://127.0.0.1:{server.port}/metrics"
+
+        def telemetry_pass() -> None:
+            for entity in queries:
+                instrumented.match(entity)
+            with urllib.request.urlopen(url, timeout=10) as response:
+                scrapes.append(response.read().decode("utf-8"))
+
+        telemetry_s = _best(telemetry_pass, repeats)
+
+    scrape = scrapes[-1]
+    endpoint_valid = (
+        "serving_queries_total" in scrape
+        and 'serving_latency_ms{quantile="0.5"}' in scrape
+        and 'serving_latency_ms{quantile="0.99"}' in scrape
+    )
+    overhead = telemetry_s / baseline_s - 1.0
+    return {
+        "profile": "restaurant",
+        "scale": scale,
+        "repeats": repeats,
+        "queries": len(queries),
+        "merged_process_trace": merged_trace,
+        "provenance_sampled": instrumented.recorder.counter_value(
+            "serving.provenance_sampled"
+        ),
+        "metrics_endpoint_valid": endpoint_valid,
+        "bare_best_ms": baseline_s * 1e3,
+        "telemetry_best_ms": telemetry_s * 1e3,
+        "overhead_fraction": overhead,
+        "overhead_budget": 0.05,
+        "within_budget": overhead < 0.05,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", default="bbc_dbpedia", choices=profile_names())
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
-        "--output", type=Path, default=REPO_ROOT / "BENCH_PR4.json",
+        "--output", type=Path, default=REPO_ROOT / "BENCH_PR5.json",
         help="where to write the JSON record",
     )
     parser.add_argument(
@@ -305,12 +413,13 @@ def main(argv: list[str] | None = None) -> int:
     serving = bench_serving_trajectory(args.quick)
     observability = bench_observability(args.quick)
     resilience = bench_resilience(args.quick)
+    telemetry = bench_telemetry(args.quick)
 
     record = {
-        "pr": 4,
+        "pr": 5,
         "title": (
-            "repro.resilience: fault injection, retry/timeout policies, "
-            "and graceful degradation across the parallel and serving stacks"
+            "end-to-end telemetry: cross-process trace merging, query "
+            "provenance, and a live metrics endpoint"
         ),
         "python": platform.python_version(),
         "auto_backend": resolve_backend_name("auto"),
@@ -321,6 +430,7 @@ def main(argv: list[str] | None = None) -> int:
         "serving": serving,
         "observability": observability,
         "resilience": resilience,
+        "telemetry": telemetry,
     }
     args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
 
@@ -374,6 +484,29 @@ def main(argv: list[str] | None = None) -> int:
     print(f"resilience armed-path overhead: {resilience_pct:+.2f}%")
     if not args.quick and not resilience["within_budget"]:
         print("RESILIENCE OVERHEAD OVER BUDGET (>= 5%)")
+        return 1
+    merged = telemetry["merged_process_trace"]
+    print(
+        f"merged process trace: {merged['worker_spans']} worker spans from "
+        f"{merged['distinct_worker_pids']} pid(s), "
+        f"{len(merged['kernel_dispatch_totals'])} dispatch counter(s)"
+    )
+    if merged["worker_spans"] < 1 or merged["distinct_worker_pids"] < 1:
+        print("TRACE MERGING FAILED: no worker spans in the driver trace")
+        return 1
+    if not merged["kernel_dispatch_totals"]:
+        print("TRACE MERGING FAILED: no kernel counters shipped back")
+        return 1
+    if not telemetry["metrics_endpoint_valid"]:
+        print("METRICS ENDPOINT INVALID: missing counters or latency quantiles")
+        return 1
+    telemetry_pct = telemetry["overhead_fraction"] * 100
+    print(
+        f"serving telemetry overhead (provenance 1.0 + metrics endpoint): "
+        f"{telemetry_pct:+.2f}% over {telemetry['queries']} queries"
+    )
+    if not args.quick and not telemetry["within_budget"]:
+        print("TELEMETRY OVERHEAD OVER BUDGET (>= 5%)")
         return 1
     print(f"wrote {args.output}")
     return 0

@@ -20,9 +20,14 @@ the wire format).
 ``resolve``, ``index`` and ``serve`` accept ``--trace FILE``
 (``--trace-format json|logfmt``): one :class:`repro.obs.Recorder` is
 installed for the whole command and its spans/counters/histograms --
-pipeline phases, parallel stages, kernel dispatches, serving latency
-and cache metrics -- are exported to ``FILE`` when the command ends
-(see ``docs/observability.md``).
+pipeline phases, parallel stages (including worker-side spans merged
+across process boundaries), kernel dispatches, serving latency and
+cache metrics -- are exported to ``FILE`` when the command ends; the
+path ``-`` writes the trace to stderr (see ``docs/observability.md``).
+``serve`` additionally accepts ``--metrics-port PORT`` (a live
+Prometheus text-format endpoint on ``/metrics``) and
+``--provenance [RATE]`` (sampled per-decision audit records on the
+wire).
 
 The same three commands accept ``--chaos SPEC`` (``--chaos-seed N``):
 a deterministic fault-injection plan (see
@@ -303,13 +308,28 @@ def command_serve(args: argparse.Namespace) -> int:
     from repro.serving.io import iter_requests, write_decisions
 
     index = ResolutionIndex.load(args.index)
-    config = index.config.with_options(
+    overrides: dict = dict(
         serving_cache_size=args.cache_size,
         serving_candidate_cap=args.candidate_cap,
         serving_batch_size=args.batch_size,
         serving_deadline_ms=args.deadline_ms,
     )
+    if args.provenance is not None:
+        overrides["provenance_sample_rate"] = args.provenance
+    config = index.config.with_options(**overrides)
     engine = MatchEngine(index, config)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs.prometheus import MetricsServer
+
+        # The engine's recorder is always a real Recorder (ambient when
+        # --trace installed one, private otherwise), so the endpoint has
+        # live serving.* metrics either way.
+        metrics_server = MetricsServer(engine.recorder, port=args.metrics_port)
+        print(
+            f"# metrics at http://{metrics_server.host}:{metrics_server.port}/metrics",
+            file=sys.stderr,
+        )
 
     def emit_error(message: str, *, line: int | None = None, query: str | None = None) -> None:
         record: dict = {"error": message}
@@ -357,6 +377,8 @@ def command_serve(args: argparse.Namespace) -> int:
     finally:
         if stream is not sys.stdin:
             stream.close()
+        if metrics_server is not None:
+            metrics_server.close()
     if args.stats:
         print(f"# {json.dumps(engine.stats())}", file=sys.stderr)
     return 0
@@ -452,6 +474,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print engine counters as JSON to stderr when done",
     )
+    serve.add_argument(
+        "--provenance", type=float, nargs="?", const=1.0, default=None,
+        metavar="RATE", help="attach per-decision provenance records to this "
+        "fraction of responses (bare flag: every response; default: the "
+        "index config's rate, normally off)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus text-format metrics on "
+        "http://127.0.0.1:PORT/metrics for the lifetime of the command "
+        "(0 picks a free port; default: no endpoint)",
+    )
     _add_trace_arguments(serve)
     _add_chaos_arguments(serve)
     serve.set_defaults(handler=command_serve)
@@ -497,7 +531,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.obs import write_trace
 
         write_trace(recorder, trace_path, format=args.trace_format)
-        print(f"# trace written to {trace_path}", file=sys.stderr)
+        destination = "stderr" if trace_path == "-" else trace_path
+        print(f"# trace written to {destination}", file=sys.stderr)
     return code
 
 

@@ -101,6 +101,13 @@ class MinoanERConfig:
         failures queries fall back to the pure-python kernels
         (bit-identical, slower) for ``breaker_reset_s`` seconds before
         a half-open probe retries numpy.
+    provenance_sample_rate:
+        Fraction of serving queries that carry a full
+        :class:`repro.obs.ProvenanceRecord` (fired rule, evidence type,
+        candidate-set size, top scores) on the wire.  0.0 (the default)
+        disables provenance; sampling is deterministic (systematic over
+        the query sequence), so replayed request streams sample the
+        same queries.  Every query gets a ``trace_id`` regardless.
     observability:
         When True (the default) the instrumented components record
         spans and metrics into the ambient
@@ -134,6 +141,7 @@ class MinoanERConfig:
     serving_cache_size: int = 1024
     serving_candidate_cap: int | None = None
     serving_batch_size: int = 1
+    provenance_sample_rate: float = 0.0
     observability: bool = True
     failure_mode: str = "fail_fast"
     retry_max_attempts: int = 3
@@ -180,6 +188,11 @@ class MinoanERConfig:
         if self.serving_batch_size < 1:
             raise ValueError(
                 f"serving_batch_size must be >= 1, got {self.serving_batch_size}"
+            )
+        if not 0.0 <= self.provenance_sample_rate <= 1.0:
+            raise ValueError(
+                f"provenance_sample_rate must be in [0, 1], "
+                f"got {self.provenance_sample_rate}"
             )
         from repro.resilience.policy import FAILURE_MODES
 

@@ -21,7 +21,7 @@ from repro.graph.blocking_graph import DisjunctiveBlockingGraph
 from repro.graph.construction import build_blocking_graph
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.statistics import KBStatistics
-from repro.obs import NULL_RECORDER, Recorder, current_recorder
+from repro.obs import NULL_RECORDER, Recorder, current_recorder, phase_span
 from repro.resilience.faults import inject
 from repro.resilience.policy import RetryPolicy
 
@@ -213,19 +213,19 @@ class MinoanER:
                 body, on_retry=lambda attempt, error: recorder.count("retry.attempts")
             )
 
-        with recorder.span("resolve", n1=len(kb1), n2=len(kb2)) as root:
-            with recorder.span("statistics") as span_statistics:
+        with phase_span(recorder, "resolve", n1=len(kb1), n2=len(kb2)) as root:
+            with phase_span(recorder, "statistics") as span_statistics:
                 stats1, stats2 = guarded(
                     "stage:statistics",
                     lambda: (self.build_statistics(kb1), self.build_statistics(kb2)),
                 )
 
-            with recorder.span("blocking") as span_blocking:
+            with phase_span(recorder, "blocking") as span_blocking:
                 names, tokens = guarded(
                     "stage:token_blocking", lambda: self.build_blocks(stats1, stats2)
                 )
 
-            with recorder.span("graph") as span_graph:
+            with phase_span(recorder, "graph") as span_graph:
                 graph = guarded(
                     "stage:graph",
                     lambda: build_blocking_graph(
@@ -240,7 +240,7 @@ class MinoanER:
                     ),
                 )
 
-            with recorder.span("matching") as span_matching:
+            with phase_span(recorder, "matching") as span_matching:
                 matching = guarded(
                     "stage:matching",
                     lambda: NonIterativeMatcher(self.config).match(graph),

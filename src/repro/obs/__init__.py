@@ -19,23 +19,37 @@ paths cost nothing unless a trace was requested.
 """
 
 from repro.obs.export import resilience_summary, to_json, to_logfmt, write_trace
+from repro.obs.prometheus import MetricsServer, render_metrics
+from repro.obs.provenance import ProvenanceRecord, ProvenanceSampler
 from repro.obs.recorder import (
     NULL_RECORDER,
     HistogramSnapshot,
     NullRecorder,
     Recorder,
+    RecorderSnapshot,
     Span,
     current_recorder,
+    next_trace_id,
+    peak_rss_kb,
+    phase_span,
     use_recorder,
 )
 
 __all__ = [
     "HistogramSnapshot",
+    "MetricsServer",
     "NULL_RECORDER",
     "NullRecorder",
+    "ProvenanceRecord",
+    "ProvenanceSampler",
     "Recorder",
+    "RecorderSnapshot",
     "Span",
     "current_recorder",
+    "next_trace_id",
+    "peak_rss_kb",
+    "phase_span",
+    "render_metrics",
     "resilience_summary",
     "to_json",
     "to_logfmt",

@@ -10,6 +10,7 @@ snapshot methods, so exporting while other threads record is safe.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 from repro.obs.recorder import Recorder
@@ -57,6 +58,7 @@ def resilience_summary(recorder: Recorder) -> dict:
 def trace_payload(recorder: Recorder) -> dict:
     """The exported trace as a plain dict (the JSON document)."""
     return {
+        "trace_id": recorder.trace_id,
         "spans": [span.as_dict() for span in recorder.spans()],
         "counters": recorder.counters(),
         "gauges": recorder.gauges(),
@@ -73,11 +75,21 @@ def to_json(recorder: Recorder, indent: int | None = 2) -> str:
     return json.dumps(trace_payload(recorder), indent=indent, sort_keys=False)
 
 
+_LOGFMT_UNSAFE = (" ", '"', "=", "\\", "\n", "\r", "\t")
+
+
 def _logfmt_value(value: object) -> str:
+    """Render one logfmt value, quoting whenever the raw text would be
+    ambiguous to split back apart.
+
+    Anything containing whitespace (including newlines/tabs), quotes,
+    ``=``, or backslashes -- or the empty string -- is emitted as a JSON
+    string literal, whose escapes round-trip through ``json.loads``.
+    """
     if isinstance(value, float):
         return format(value, ".9g")
     text = str(value)
-    if " " in text or '"' in text or "=" in text or text == "":
+    if text == "" or any(ch in text for ch in _LOGFMT_UNSAFE):
         return json.dumps(text)
     return text
 
@@ -96,7 +108,7 @@ def to_logfmt(recorder: Recorder) -> str:
     attributes (prefixed ``attr.``); metric lines carry name and value
     (histograms expand their snapshot fields).
     """
-    lines: list[str] = []
+    lines: list[str] = [_logfmt_line("trace", id=recorder.trace_id)]
     for span in recorder.spans():
         fields: dict[str, object] = {
             "name": span.name,
@@ -126,10 +138,19 @@ def to_logfmt(recorder: Recorder) -> str:
 def write_trace(
     recorder: Recorder, path: str | Path, format: str = "json"
 ) -> None:
-    """Write the recorder's snapshot to ``path`` in the given format."""
+    """Write the recorder's snapshot to ``path`` in the given format.
+
+    The conventional path ``-`` writes to stderr instead of a file, so
+    smoke runs can capture a trace without a temp file (stderr, not
+    stdout, because ``serve`` owns stdout for JSONL responses).
+    """
     if format not in TRACE_FORMATS:
         raise ValueError(
             f"trace format must be one of {TRACE_FORMATS}, got {format!r}"
         )
     text = to_json(recorder) + "\n" if format == "json" else to_logfmt(recorder)
+    if str(path) == "-":
+        sys.stderr.write(text)
+        sys.stderr.flush()
+        return
     Path(path).write_text(text, encoding="utf-8")

@@ -1,0 +1,144 @@
+"""A dependency-free Prometheus text-exposition endpoint.
+
+:func:`render_metrics` turns a :class:`~repro.obs.Recorder` snapshot
+into the Prometheus text format (version 0.0.4): counters become
+``<name>_total`` counter families, gauges map straight through, and the
+recorder's bounded-window histograms are exposed as summaries with
+``quantile`` labels plus ``_sum``/``_count`` (exact running totals).
+
+:class:`MetricsServer` serves that rendering on ``GET /metrics`` from a
+daemonized stdlib ``http.server`` thread -- no third-party client
+library, no global registry.  The server reads the recorder through its
+locked snapshot methods, so scraping a live pipeline or serving engine
+is safe.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.recorder import Recorder
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+"""The Prometheus text-exposition content type."""
+
+QUANTILES = (0.5, 0.95, 0.99)
+"""Summary quantiles rendered per histogram (matches the snapshot)."""
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_START = re.compile(r"^[^a-zA-Z_:]")
+
+
+def metric_name(name: str) -> str:
+    """Sanitize a recorder metric name into a valid Prometheus name.
+
+    Dots and other separators collapse to ``_`` (so
+    ``serving.queries`` becomes ``serving_queries``); a leading digit
+    gets a ``_`` prefix.
+    """
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if _INVALID_START.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _number(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return format(value, ".10g")
+
+
+def render_metrics(recorder: Recorder) -> str:
+    """The recorder's metrics in Prometheus text-exposition format.
+
+    Counters gain the conventional ``_total`` suffix; histograms are
+    exposed as summaries (their window-derived quantiles are point
+    estimates, while ``_sum``/``_count`` are exact lifetime totals).
+    """
+    lines: list[str] = []
+    for name, value in sorted(recorder.counters().items()):
+        family = metric_name(name) + "_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_number(value)}")
+    for name, value in sorted(recorder.gauges().items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_number(value)}")
+    for name, snapshot in sorted(recorder.histograms().items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} summary")
+        quantile_values = (snapshot.p50, snapshot.p95, snapshot.p99)
+        for quantile, value in zip(QUANTILES, quantile_values):
+            lines.append(
+                f'{family}{{quantile="{_number(quantile)}"}} {_number(value)}'
+            )
+        lines.append(f"{family}_sum {_number(snapshot.total)}")
+        lines.append(f"{family}_count {snapshot.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    # The bound recorder is attached per-server in MetricsServer.
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served here")
+            return
+        body = render_metrics(self.server.recorder).encode("utf-8")  # type: ignore[attr-defined]
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # scrapes must not pollute the serving process's stderr
+
+
+class MetricsServer:
+    """Serve ``GET /metrics`` for one recorder on a background thread.
+
+    >>> recorder = Recorder()
+    >>> recorder.count("serving.queries", 3)
+    >>> with MetricsServer(recorder) as server:
+    ...     url = f"http://127.0.0.1:{server.port}/metrics"
+
+    Port 0 (the default) binds an ephemeral port, exposed as ``.port``
+    after construction.  The thread is a daemon, so a forgotten server
+    never blocks interpreter shutdown, but callers should still
+    :meth:`close` (or use the context manager) to release the socket.
+    """
+
+    def __init__(self, recorder: Recorder, port: int = 0, host: str = "127.0.0.1"):
+        self.recorder = recorder
+        self._server = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._server.daemon_threads = True
+        self._server.recorder = recorder  # type: ignore[attr-defined]
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-metrics-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"MetricsServer(http://{self.host}:{self.port}/metrics)"

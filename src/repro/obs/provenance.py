@@ -1,0 +1,133 @@
+"""Per-query decision provenance for the serving engine.
+
+A :class:`ProvenanceRecord` is the compact audit trail of one match
+decision -- which rule fired, what kind of evidence backed it, how big
+the candidate set was, and the top candidate scores -- small enough to
+ship on the wire next to the decision itself.  Records are attached to
+a fraction of queries chosen by :class:`ProvenanceSampler`, a
+deterministic systematic sampler (no RNG, so replayed request streams
+sample the same queries).
+
+Evidence naming follows the MinoanER rules (EDBT 2019 §4.4): R1 is the
+name-evidence heuristic, R2 picks the top value-similarity candidate,
+R3 rank-aggregates value and neighbor evidence, and R4 is the
+reciprocity filter applied on top.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+RULE_EVIDENCE = {
+    "R1": "name",
+    "R2": "value",
+    "R3": "value+neighbor",
+    "R4": "reciprocity",
+}
+"""Which evidence class each MinoanER rule draws on."""
+
+
+def _wire_score(score: float) -> float | None:
+    return None if not math.isfinite(score) else score
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """The audit trail of one serving decision.
+
+    ``top_scores`` holds up to the three best ``(kb2_id, score)``
+    candidates considered (R1 name hits have none -- name evidence is
+    not scored).  ``degraded``/``cached``/``batched`` mark how the
+    answer was produced, mirroring the decision's own flags.
+    """
+
+    trace_id: str
+    query_uri: str
+    rule: str | None
+    evidence: str | None
+    candidates: int
+    top_scores: tuple[tuple[int, float], ...] = ()
+    degraded: bool = False
+    cached: bool = False
+    batched: bool = False
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready view (non-finite scores become ``null``)."""
+        return {
+            "trace_id": self.trace_id,
+            "query_uri": self.query_uri,
+            "rule": self.rule,
+            "evidence": self.evidence,
+            "candidates": self.candidates,
+            "top_scores": [
+                [kb2_id, _wire_score(score)] for kb2_id, score in self.top_scores
+            ],
+            "degraded": self.degraded,
+            "cached": self.cached,
+            "batched": self.batched,
+        }
+
+    @classmethod
+    def from_explanation(cls, explanation: Any, trace_id: str = "") -> "ProvenanceRecord":
+        """Build a record from a :class:`repro.core.explain.MatchExplanation`.
+
+        Bridges offline audits (``explain_pair`` over a batch result)
+        into the same record shape the serving engine emits, so both
+        paths feed one provenance pipeline.
+        """
+        # Imported lazily: core.pipeline imports repro.obs, so a
+        # top-level import here would be circular.
+        from repro.core.explain import MatchExplanation
+
+        if not isinstance(explanation, MatchExplanation):
+            raise TypeError(
+                f"expected MatchExplanation, got {type(explanation).__name__}"
+            )
+        rule = explanation.rule if explanation.matched else None
+        return cls(
+            trace_id=trace_id,
+            query_uri=explanation.uri1,
+            rule=rule,
+            evidence=RULE_EVIDENCE.get(rule or ""),
+            candidates=len(explanation.shared_tokens),
+            top_scores=(),
+        )
+
+
+class ProvenanceSampler:
+    """Deterministic systematic sampler: query ``n`` is sampled iff
+    ``floor(n * rate)`` advanced past ``floor((n - 1) * rate)``.
+
+    This spreads sampled queries evenly through the stream (exactly
+    ``round(n * rate)`` of the first ``n`` queries, ±1) and is fully
+    reproducible -- no randomness, so two replays of the same request
+    file sample identical queries.  Thread-safe: the sequence number is
+    allocated under a lock, which also makes it the engine's per-query
+    sequence counter.
+    """
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate!r}")
+        self.rate = float(rate)
+        self._lock = threading.Lock()
+        self._seen = 0
+
+    def next(self) -> tuple[int, bool]:
+        """Allocate the next query sequence number and decide sampling.
+
+        Returns ``(seq, sampled)`` where ``seq`` counts from 1.
+        """
+        with self._lock:
+            self._seen += 1
+            n = self._seen
+        if self.rate <= 0.0:
+            return n, False
+        sampled = math.floor(n * self.rate) > math.floor((n - 1) * self.rate)
+        return n, sampled
+
+    def __repr__(self) -> str:
+        return f"ProvenanceSampler(rate={self.rate}, seen={self._seen})"

@@ -13,6 +13,7 @@ concurrent threads never corrupt each other's parentage.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -23,6 +24,20 @@ from typing import Any, Iterator
 
 DEFAULT_HISTOGRAM_WINDOW = 2048
 """Recent observations kept per histogram for the percentile snapshot."""
+
+_TRACE_IDS = itertools.count(1)
+
+
+def next_trace_id() -> str:
+    """A deterministic process-local trace id (``trace-000001``, ...).
+
+    Deliberately not random: repeated runs of the same pipeline produce
+    the same ids, so traces stay diffable.  Worker processes never mint
+    ids of their own -- they inherit the driver's id through
+    :class:`RecorderSnapshot` merging, which is what keeps one logical
+    trace contiguous across process boundaries.
+    """
+    return f"trace-{next(_TRACE_IDS):06d}"
 
 
 @dataclass
@@ -140,6 +155,31 @@ class _Histogram:
         )
 
 
+@dataclass(frozen=True)
+class RecorderSnapshot:
+    """A picklable, immutable copy of one recorder's state.
+
+    This is the unit of cross-process trace propagation: a worker
+    records into its own child :class:`Recorder`, snapshots it, and the
+    snapshot rides back with the partition result to be
+    :meth:`Recorder.merge`-d into the driver's trace.  Everything in it
+    is plain data (tuples, dicts, :class:`Span` dataclasses), so it
+    pickles across a process pool without dragging locks along.
+
+    ``duration_s`` is the child's elapsed lifetime at snapshot time --
+    the driver uses it to rebase child start times when no parent span
+    is given.  Histogram state is ``(count, total, min, max, window)``.
+    """
+
+    trace_id: str
+    duration_s: float
+    spans: tuple[Span, ...]
+    counters: dict[str, float]
+    gauges: dict[str, float]
+    gauge_times: dict[str, float]
+    histograms: dict[str, tuple[int, float, float, float, tuple[float, ...]]]
+
+
 class Recorder:
     """Thread-safe in-memory collector of spans and metrics.
 
@@ -153,16 +193,25 @@ class Recorder:
     3.0
     """
 
-    def __init__(self, histogram_window: int = DEFAULT_HISTOGRAM_WINDOW):
+    def __init__(
+        self,
+        histogram_window: int = DEFAULT_HISTOGRAM_WINDOW,
+        trace_id: str | None = None,
+    ):
         self._lock = threading.Lock()
         self._epoch = time.perf_counter()
         self._next_id = 0
         self._finished: list[Span] = []
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
+        self._gauge_times: dict[str, float] = {}
         self._histograms: dict[str, _Histogram] = {}
         self._histogram_window = histogram_window
         self._active = threading.local()
+        self.trace_id = trace_id if trace_id is not None else next_trace_id()
+
+    def _elapsed(self) -> float:
+        return time.perf_counter() - self._epoch
 
     # ------------------------------------------------------------------
     # Spans
@@ -258,9 +307,15 @@ class Recorder:
             return self._counters.get(name, 0.0)
 
     def gauge(self, name: str, value: float) -> None:
-        """Set the named gauge to its latest value (last write wins)."""
+        """Set the named gauge to its latest value (last write wins).
+
+        The write time (seconds since the recorder's epoch) is kept
+        alongside the value so :meth:`merge` can arbitrate last-write-
+        wins against worker gauges on the rebased time axis.
+        """
         with self._lock:
             self._gauges[name] = float(value)
+            self._gauge_times[name] = self._elapsed()
 
     def observe(self, name: str, value: float) -> None:
         """Add one observation to the named histogram."""
@@ -294,7 +349,135 @@ class Recorder:
             self._finished.clear()
             self._counters.clear()
             self._gauges.clear()
+            self._gauge_times.clear()
             self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Cross-process propagation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RecorderSnapshot:
+        """A picklable, self-contained copy of everything recorded.
+
+        Worker processes return one of these alongside their partition
+        result; the driver folds it back in with :meth:`merge`.  Spans
+        are copied (the snapshot never aliases live span objects) and
+        histograms are flattened to plain tuples.
+        """
+        with self._lock:
+            duration = self._elapsed()
+            spans = tuple(
+                Span(
+                    name=span.name,
+                    span_id=span.span_id,
+                    parent_id=span.parent_id,
+                    depth=span.depth,
+                    start=span.start,
+                    seconds=span.seconds,
+                    status=span.status,
+                    attributes=dict(span.attributes),
+                )
+                for span in self._finished
+            )
+            histograms = {
+                name: (
+                    h.count,
+                    h.total,
+                    h.minimum,
+                    h.maximum,
+                    tuple(h.window),
+                )
+                for name, h in self._histograms.items()
+            }
+            return RecorderSnapshot(
+                trace_id=self.trace_id,
+                duration_s=duration,
+                spans=spans,
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+                gauge_times=dict(self._gauge_times),
+                histograms=histograms,
+            )
+
+    def merge(
+        self,
+        snapshot: RecorderSnapshot,
+        parent_span: Span | None = None,
+        offset_s: float | None = None,
+    ) -> list[Span]:
+        """Fold a child recorder's snapshot into this recorder.
+
+        Spans are renumbered into this recorder's id space (internal
+        parentage preserved), grafted under ``parent_span`` (their roots
+        become its children), and rebased onto this recorder's time
+        axis: child start times are shifted by ``offset_s``, which
+        defaults to ``parent_span.start`` -- the moment the owning
+        partition began -- or, lacking both, to "it ended just now".
+
+        Metrics merge by kind: counters sum, histograms combine exact
+        ``count/total/min/max`` (windows concatenate, still bounded),
+        and gauges are last-write-wins arbitrated by write time on the
+        rebased axis.  The whole fold happens under one lock
+        acquisition, so concurrent merges and live spans interleave
+        safely.
+
+        Returns the merged spans (new objects owned by this recorder).
+        """
+        base_depth = parent_span.depth + 1 if parent_span is not None else 0
+        base_parent = parent_span.span_id if parent_span is not None else None
+        with self._lock:
+            if offset_s is None:
+                if parent_span is not None:
+                    offset_s = parent_span.start
+                else:
+                    offset_s = max(0.0, self._elapsed() - snapshot.duration_s)
+            id_map: dict[int, int] = {}
+            merged: list[Span] = []
+            for span in snapshot.spans:
+                self._next_id += 1
+                id_map[span.span_id] = self._next_id
+            for span in snapshot.spans:
+                parent_id = (
+                    id_map[span.parent_id]
+                    if span.parent_id in id_map
+                    else base_parent
+                )
+                copied = Span(
+                    name=span.name,
+                    span_id=id_map[span.span_id],
+                    parent_id=parent_id,
+                    depth=span.depth + base_depth,
+                    start=offset_s + span.start,
+                    seconds=span.seconds,
+                    status=span.status,
+                    attributes=dict(span.attributes),
+                )
+                merged.append(copied)
+                self._finished.append(copied)
+            for name, amount in snapshot.counters.items():
+                self._counters[name] = self._counters.get(name, 0.0) + amount
+            for name, value in snapshot.gauges.items():
+                child_time = offset_s + snapshot.gauge_times.get(name, 0.0)
+                if child_time >= self._gauge_times.get(name, float("-inf")):
+                    self._gauges[name] = value
+                    self._gauge_times[name] = child_time
+            for name, state in snapshot.histograms.items():
+                count, total, minimum, maximum, window = state
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = _Histogram(
+                        self._histogram_window
+                    )
+                if count:
+                    if histogram.count == 0:
+                        histogram.minimum = minimum
+                        histogram.maximum = maximum
+                    else:
+                        histogram.minimum = min(histogram.minimum, minimum)
+                        histogram.maximum = max(histogram.maximum, maximum)
+                    histogram.count += count
+                    histogram.total += total
+                    histogram.window.extend(window)
+            return merged
 
     def __repr__(self) -> str:
         with self._lock:
@@ -316,6 +499,9 @@ class NullRecorder(Recorder):
     off.
     """
 
+    def __init__(self, histogram_window: int = DEFAULT_HISTOGRAM_WINDOW):
+        super().__init__(histogram_window=histogram_window, trace_id="")
+
     def _retain(self, span: Span) -> None:  # noqa: D102 - no storage
         pass
 
@@ -330,6 +516,14 @@ class NullRecorder(Recorder):
 
     def observe(self, name: str, value: float) -> None:
         pass
+
+    def merge(
+        self,
+        snapshot: RecorderSnapshot,
+        parent_span: Span | None = None,
+        offset_s: float | None = None,
+    ) -> list[Span]:
+        return []
 
     def __repr__(self) -> str:
         return "NullRecorder()"
@@ -361,3 +555,39 @@ def use_recorder(recorder: Recorder) -> Iterator[Recorder]:
         yield recorder
     finally:
         _CURRENT.reset(token)
+
+
+def peak_rss_kb() -> float | None:
+    """This process's peak resident set size in KiB, or ``None`` where
+    the ``resource`` module is unavailable (non-POSIX platforms)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only guard
+        return None
+    return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+@contextmanager
+def phase_span(recorder: Recorder, name: str, **attributes: Any) -> Iterator[Span]:
+    """A pipeline-phase span that also reports CPU time and peak RSS.
+
+    Wraps :meth:`Recorder.span` and, on exit, stamps the span with
+    ``cpu_s`` (the phase's ``time.process_time`` delta -- CPU seconds
+    across all threads, unlike the span's wall-clock ``seconds``) and
+    ``peak_rss_kb``, mirrored as ``phase.<name>.cpu_seconds`` /
+    ``phase.<name>.peak_rss_kb`` gauges so the metrics endpoint can
+    expose them without walking spans.  Peak RSS is a process-lifetime
+    high-water mark, not a per-phase delta.
+    """
+    cpu_start = time.process_time()
+    with recorder.span(name, **attributes) as span:
+        try:
+            yield span
+        finally:
+            cpu_s = round(time.process_time() - cpu_start, 9)
+            span.attributes["cpu_s"] = cpu_s
+            recorder.gauge(f"phase.{name}.cpu_seconds", cpu_s)
+            rss = peak_rss_kb()
+            if rss is not None:
+                span.attributes["peak_rss_kb"] = rss
+                recorder.gauge(f"phase.{name}.peak_rss_kb", rss)

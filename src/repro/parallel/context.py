@@ -20,7 +20,12 @@ Every stage run is timed and recorded, which is how the scalability
 experiment (Figure 6) measures per-phase times.  Each stage is also
 emitted as a ``stage:<name>`` span (with per-partition child spans) on
 the context's :class:`repro.obs.Recorder`, so ``--trace`` runs see the
-parallel phases in the same trace as the pipeline phases.
+parallel phases in the same trace as the pipeline phases.  When a trace
+is being collected, every partition attempt additionally runs under a
+child recorder *inside the worker* (see :func:`_timed_partition`) whose
+snapshot is merged back beneath the partition span -- worker spans,
+kernel-dispatch counters, and histograms survive the process boundary,
+and a ``process`` trace is structurally identical to a ``serial`` one.
 
 Failure handling follows Spark's contract (see ``docs/resilience.md``):
 a partition that raises is retried per the context's
@@ -38,12 +43,13 @@ stays deterministic across the serial/thread/process backends.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence, TypeVar
 
-from repro.obs import Recorder, current_recorder
+from repro.obs import NullRecorder, Recorder, RecorderSnapshot, current_recorder, use_recorder
 from repro.resilience.faults import FaultAction, FaultPlan, current_faults
 from repro.resilience.policy import FAILURE_MODES, RetryPolicy
 
@@ -88,7 +94,8 @@ def _timed_partition(
     chunk: list,
     args: tuple,
     fault: FaultAction | None = None,
-) -> tuple[Result, float]:
+    trace_id: str | None = None,
+) -> tuple[Result, float, RecorderSnapshot | None]:
     """Run one partition and measure it inside the worker.
 
     Module-level so the ``process`` backend can pickle it; the timing
@@ -97,12 +104,32 @@ def _timed_partition(
     ``fault`` is a pre-drawn chaos action (the driver draws, the worker
     applies): a delay burns partition time inside the measurement and
     an error aborts the attempt, exactly like an organic failure.
+
+    When the driver is collecting a trace it passes its ``trace_id``;
+    the attempt then runs under a child :class:`Recorder` installed as
+    the ambient recorder, so everything the partition records -- a
+    ``worker`` span with the worker's pid, kernel-dispatch counters,
+    nested kernel spans -- is captured *inside the worker process* and
+    returned as a picklable snapshot for the driver to merge.  Every
+    backend (serial included) takes this same path, which is what makes
+    a ``process`` trace structurally identical to a ``serial`` one.  A
+    failed attempt raises before snapshotting, so only work that
+    actually contributed results is ever merged (retried attempts don't
+    double-count).
     """
     started = time.perf_counter()
-    if fault is not None:
-        fault.apply()
-    result = function(chunk, *args)
-    return result, time.perf_counter() - started
+    if trace_id is None:
+        if fault is not None:
+            fault.apply()
+        result = function(chunk, *args)
+        return result, time.perf_counter() - started, None
+    child = Recorder(trace_id=trace_id)
+    with use_recorder(child):
+        with child.span("worker", pid=os.getpid(), items=len(chunk)):
+            if fault is not None:
+                fault.apply()
+            result = function(chunk, *args)
+    return result, time.perf_counter() - started, child.snapshot()
 
 
 def simulated_makespan(
@@ -294,11 +321,14 @@ class ParallelContext:
         """
         chunks = split_into_partitions(items, partitions or self.default_partitions())
         recorder = self.recorder
+        # Child recorders cost a snapshot + merge per partition, so they
+        # only run when someone is actually collecting a trace.
+        trace_id = None if isinstance(recorder, NullRecorder) else recorder.trace_id
         plan = current_faults()
         site = f"stage:{name}"
         started = time.perf_counter()
         results: list[Result] = []
-        times: list[tuple[int, float]] = []
+        times: list[tuple[int, float, RecorderSnapshot | None]] = []
         skipped: list[int] = []
         retries = 0
         failed = False
@@ -318,8 +348,8 @@ class ParallelContext:
                         while True:
                             attempt += 1
                             try:
-                                result, seconds = _timed_partition(
-                                    function, chunk, args, draw()
+                                result, seconds, snapshot = _timed_partition(
+                                    function, chunk, args, draw(), trace_id
                                 )
                             except Exception as error:
                                 verdict = self._partition_failure(
@@ -333,12 +363,12 @@ class ParallelContext:
                                     break
                                 raise
                             results.append(result)
-                            times.append((index, seconds))
+                            times.append((index, seconds, snapshot))
                             break
                 else:
                     futures: dict[int, Future] = {
                         index: self._executor.submit(
-                            _timed_partition, function, chunk, args, draw()
+                            _timed_partition, function, chunk, args, draw(), trace_id
                         )
                         for index, chunk in enumerate(chunks)
                     }
@@ -347,7 +377,7 @@ class ParallelContext:
                         for index in range(len(chunks)):
                             while True:
                                 try:
-                                    result, seconds = futures[index].result()
+                                    result, seconds, snapshot = futures[index].result()
                                 except Exception as error:
                                     verdict = self._partition_failure(
                                         name, attempts[index], error, recorder
@@ -361,6 +391,7 @@ class ParallelContext:
                                             chunks[index],
                                             args,
                                             draw(),
+                                            trace_id,
                                         )
                                         continue
                                     if verdict == "skip":
@@ -368,7 +399,7 @@ class ParallelContext:
                                         break
                                     raise
                                 results.append(result)
-                                times.append((index, seconds))
+                                times.append((index, seconds, snapshot))
                                 break
                     except BaseException:
                         cancelled = sum(
@@ -379,10 +410,12 @@ class ParallelContext:
             failed = True
             raise
         finally:
-            for index, seconds in times:
-                recorder.record_span(
+            for index, seconds, snapshot in times:
+                partition_span = recorder.record_span(
                     f"{name}:partition-{index}", seconds, parent=stage_span
                 )
+                if snapshot is not None:
+                    recorder.merge(snapshot, parent_span=partition_span)
             if skipped:
                 recorder.count("stage.skipped", len(skipped))
             self.stage_log.append(
@@ -390,7 +423,7 @@ class ParallelContext:
                     name=name,
                     partitions=len(chunks),
                     seconds=time.perf_counter() - started,
-                    partition_seconds=tuple(seconds for _, seconds in times),
+                    partition_seconds=tuple(seconds for _, seconds, _ in times),
                     failed=failed,
                     cancelled=cancelled,
                     retries=retries,

@@ -29,7 +29,7 @@ from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.statistics import KBStatistics
 from repro.kernels.dispatch import resolve_backend_name
 from repro.kernels.partition import beta_partition_kernel, gamma_partition_kernel
-from repro.obs import NULL_RECORDER, Recorder, current_recorder
+from repro.obs import NULL_RECORDER, Recorder, current_recorder, phase_span
 from repro.parallel.context import ParallelContext
 from repro.resilience.faults import inject
 from repro.resilience.policy import RetryPolicy
@@ -236,18 +236,18 @@ class ParallelMinoanER:
                 )
             return names, tokens
 
-        with recorder.span(
-            "resolve", n1=len(kb1), n2=len(kb2), parallel_backend=context.backend
+        with phase_span(
+            recorder, "resolve", n1=len(kb1), n2=len(kb2), parallel_backend=context.backend
         ) as root:
             # -- Statistics (driver): name attributes, importance, top
             #    neighbors.
-            with recorder.span("statistics") as span_statistics:
+            with phase_span(recorder, "statistics") as span_statistics:
                 stats1, stats2 = guarded("stage:statistics", driver_statistics)
                 in_neighbors_1 = [stats1.top_in_neighbors(eid) for eid in range(len(kb1))]
                 in_neighbors_2 = [stats2.top_in_neighbors(eid) for eid in range(len(kb2))]
 
             # -- Blocking (driver indexes; purging on driver).
-            with recorder.span("blocking") as span_blocking:
+            with phase_span(recorder, "blocking") as span_blocking:
                 names, tokens = guarded("stage:token_blocking", driver_blocking)
 
             # -- Graph construction stages (Figure 4: alpha & beta during
@@ -255,7 +255,7 @@ class ParallelMinoanER:
             #    accumulation stages run either the dict kernels or the
             #    array kernels of repro.kernels.partition; both produce
             #    bit-identical partials, so the choice is a pure perf knob.
-            with recorder.span("graph") as span_graph:
+            with phase_span(recorder, "graph") as span_graph:
                 backend = resolve_backend_name(config.kernel_backend)
                 names_1, names_2 = name_evidence(names)
 
@@ -302,7 +302,7 @@ class ParallelMinoanER:
 
             # -- Matching (rules over node partitions; barriers between
             #    rules).
-            with recorder.span("matching") as span_matching:
+            with phase_span(recorder, "matching") as span_matching:
                 matching = _staged_matching(context, graph, config)
 
         timings = {

@@ -66,6 +66,7 @@ from repro.kernels import (
     select_row,
 )
 from repro.obs import NULL_RECORDER, Recorder, current_recorder
+from repro.obs.provenance import RULE_EVIDENCE, ProvenanceRecord, ProvenanceSampler
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.faults import inject
 from repro.resilience.policy import Deadline, DeadlineExpired
@@ -74,6 +75,24 @@ from repro.serving.index import ResolutionIndex
 
 RULE_PRIORITY = {"R1": 0, "R2": 1, "R3": 2}
 """Conflict-resolution priority of the matching rules (R1 strongest)."""
+
+PROVENANCE_TOP_SCORES = 3
+"""Strongest value candidates kept on a provenance record."""
+
+_Outcome = tuple[
+    "int | None", "str | None", "float | None", int, "tuple[tuple[int, float], ...]"
+]
+"""An internal lookup outcome: (kb2 id, rule, score, retained
+candidates, top (kb2 id, beta score) pairs for provenance).  This is
+what the LRU cache stores."""
+
+
+def _top_scores(value_list: Sequence[tuple[int, float]]) -> tuple[tuple[int, float], ...]:
+    """The strongest retained value candidates, provenance-sized."""
+    return tuple(
+        (int(candidate), float(score))
+        for candidate, score in value_list[:PROVENANCE_TOP_SCORES]
+    )
 
 
 @dataclass(frozen=True)
@@ -91,6 +110,13 @@ class MatchDecision:
     evidence alone (rule R1 or unmatched).  Degraded answers are
     *content*, not lookup metadata -- they participate in equality and
     never enter the cache.
+
+    ``trace_id`` names this lookup within the engine's trace
+    (``<engine trace id>-q<seq>``) and ``provenance`` carries the
+    sampled audit record when the query was selected by
+    ``config.provenance_sample_rate``.  Both describe the lookup, not
+    the answer, so like ``cached``/``latency_ms`` they are excluded
+    from equality.
     """
 
     query_uri: str
@@ -102,6 +128,8 @@ class MatchDecision:
     degraded: bool = False
     cached: bool = field(default=False, compare=False)
     latency_ms: float = field(default=0.0, compare=False)
+    trace_id: str = field(default="", compare=False)
+    provenance: ProvenanceRecord | None = field(default=None, compare=False)
 
     @property
     def matched(self) -> bool:
@@ -157,6 +185,7 @@ class MatchEngine:
             else None
         )
         self.cache = cache if cache is not None else LRUCache(self.config.serving_cache_size)
+        self._sampler = ProvenanceSampler(self.config.provenance_sample_rate)
         if recorder is not None:
             self.recorder = recorder
         else:
@@ -206,8 +235,11 @@ class MatchEngine:
                 degraded = True
             else:
                 self.cache.put(key, outcome)
-        kb2_id, rule, score, candidates = outcome
+        kb2_id, rule, score, candidates, top = outcome
         latency_ms = (time.perf_counter() - started) * 1e3
+        trace_id, provenance = self._provenance(
+            entity.uri, rule, candidates, top, degraded=degraded, cached=hit
+        )
         decision = MatchDecision(
             query_uri=entity.uri,
             kb2_id=kb2_id,
@@ -218,9 +250,40 @@ class MatchEngine:
             degraded=degraded,
             cached=hit,
             latency_ms=latency_ms,
+            trace_id=trace_id,
+            provenance=provenance,
         )
         self._record(1, latency_ms, [candidates], 1 if kb2_id is not None else 0)
         return decision
+
+    def _provenance(
+        self,
+        query_uri: str,
+        rule: str | None,
+        candidates: int,
+        top: tuple[tuple[int, float], ...],
+        degraded: bool = False,
+        cached: bool = False,
+        batched: bool = False,
+    ) -> tuple[str, ProvenanceRecord | None]:
+        """Allocate this lookup's trace id; build its audit record when
+        the deterministic sampler selects it (``serving.provenance_sampled``)."""
+        seq, sampled = self._sampler.next()
+        trace_id = f"{self.recorder.trace_id or 'serve'}-q{seq}"
+        if not sampled:
+            return trace_id, None
+        self.recorder.count("serving.provenance_sampled")
+        return trace_id, ProvenanceRecord(
+            trace_id=trace_id,
+            query_uri=query_uri,
+            rule=rule,
+            evidence=RULE_EVIDENCE.get(rule) if rule is not None else None,
+            candidates=candidates,
+            top_scores=top,
+            degraded=degraded,
+            cached=cached,
+            batched=batched,
+        )
 
     def _query_deadline(self) -> Deadline | None:
         """A fresh per-lookup deadline, or None when none is configured."""
@@ -242,9 +305,7 @@ class MatchEngine:
                 return ids2[0]
         return None
 
-    def _name_only_outcome(
-        self, entity: EntityDescription
-    ) -> tuple[int | None, str | None, float | None, int]:
+    def _name_only_outcome(self, entity: EntityDescription) -> _Outcome:
         """The degraded answer: rule R1 over name evidence, or nothing.
 
         Deliberately the cheapest sound answer the index supports -- one
@@ -252,7 +313,7 @@ class MatchEngine:
         sliver of budget remains after a deadline expires.
         """
         if self.index.n2 == 0 or not self.config.use_name_rule:
-            return None, None, None, 0
+            return None, None, None, 0, ()
         qkb = KnowledgeBase([entity], name="query", tokenizer=self.index.tokenizer)
         qstats = KBStatistics(
             qkb,
@@ -261,24 +322,25 @@ class MatchEngine:
         )
         alpha = self._alpha_match(qstats)
         if alpha is None:
-            return None, None, None, 0
-        return int(alpha), "R1", float("inf"), 0
+            return None, None, None, 0, ()
+        return int(alpha), "R1", float("inf"), 0, ()
 
     def _resolve_single(
         self, entity: EntityDescription, deadline: Deadline | None = None
-    ) -> tuple[int | None, str | None, float | None, int]:
+    ) -> _Outcome:
         """Query-local Algorithm 1 + rules R1-R4 for a batch of one.
 
-        Returns ``(kb2 id, rule, score, retained candidates)`` --
-        exactly the outcome ``match_batch([entity])`` would produce,
-        computed in O(candidate set) instead of O(|KB2|).  Raises
-        :class:`DeadlineExpired` at the inter-step checkpoints when the
-        optional ``deadline`` runs out.
+        Returns ``(kb2 id, rule, score, retained candidates, top
+        scores)`` -- the decision ``match_batch([entity])`` would
+        produce plus the query's strongest value candidates for
+        provenance -- computed in O(candidate set) instead of O(|KB2|).
+        Raises :class:`DeadlineExpired` at the inter-step checkpoints
+        when the optional ``deadline`` runs out.
         """
         index = self.index
         config = self.config
         if index.n2 == 0:
-            return None, None, None, 0
+            return None, None, None, 0, ()
 
         qkb = KnowledgeBase([entity], name="query", tokenizer=index.tokenizer)
         qstats = KBStatistics(
@@ -366,14 +428,15 @@ class MatchEngine:
                 out_q.add(alpha)
             collected = [item for item in collected if item[0] in out_q]
 
+        top = _top_scores(value_list)
         if not collected:
-            return None, None, None, len(value_list)
+            return None, None, None, len(value_list), top
         # Unique mapping over pairs sharing one query entity keeps
         # exactly the strongest proposal (rule priority, score, id).
         candidate, score, rule = min(
             collected, key=lambda item: (RULE_PRIORITY[item[2]], -item[1], item[0])
         )
-        return int(candidate), rule, float(score), len(value_list)
+        return int(candidate), rule, float(score), len(value_list), top
 
     # ------------------------------------------------------------------
     # Batch path
@@ -437,34 +500,30 @@ class MatchEngine:
         candidate_counts: list[int] = []
         matched = 0
         for position, entity in enumerate(batch):
-            candidates = len(graph.value_candidates(1, position))
+            value_list = graph.value_candidates(1, position)
+            candidates = len(value_list)
             candidate_counts.append(candidates)
             if position in best_of:
                 _, kb2_id, rule, score = best_of[position]
                 matched += 1
-                decisions.append(
-                    MatchDecision(
-                        query_uri=entity.uri,
-                        kb2_id=kb2_id,
-                        kb2_uri=index.uris2[kb2_id],
-                        rule=rule,
-                        score=score,
-                        candidates=candidates,
-                        latency_ms=per_query_ms,
-                    )
-                )
             else:
-                decisions.append(
-                    MatchDecision(
-                        query_uri=entity.uri,
-                        kb2_id=None,
-                        kb2_uri=None,
-                        rule=None,
-                        score=None,
-                        candidates=candidates,
-                        latency_ms=per_query_ms,
-                    )
+                kb2_id = rule = score = None
+            trace_id, provenance = self._provenance(
+                entity.uri, rule, candidates, _top_scores(value_list), batched=True
+            )
+            decisions.append(
+                MatchDecision(
+                    query_uri=entity.uri,
+                    kb2_id=kb2_id,
+                    kb2_uri=index.uris2[kb2_id] if kb2_id is not None else None,
+                    rule=rule,
+                    score=score,
+                    candidates=candidates,
+                    latency_ms=per_query_ms,
+                    trace_id=trace_id,
+                    provenance=provenance,
                 )
+            )
         self._record(len(batch), latency_ms, candidate_counts, matched, batch=True)
         return decisions
 
@@ -478,9 +537,12 @@ class MatchEngine:
         decisions: list[MatchDecision] = []
         matched = 0
         for entity in batch:
-            kb2_id, rule, score, candidates = self._name_only_outcome(entity)
+            kb2_id, rule, score, candidates, top = self._name_only_outcome(entity)
             if kb2_id is not None:
                 matched += 1
+            trace_id, provenance = self._provenance(
+                entity.uri, rule, candidates, top, degraded=True, batched=True
+            )
             decisions.append(
                 MatchDecision(
                     query_uri=entity.uri,
@@ -491,6 +553,8 @@ class MatchEngine:
                     candidates=candidates,
                     degraded=True,
                     latency_ms=per_query_ms,
+                    trace_id=trace_id,
+                    provenance=provenance,
                 )
             )
         self._record(len(batch), latency_ms, [0] * len(batch), matched, batch=True)

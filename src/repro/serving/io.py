@@ -25,7 +25,11 @@ serialises as null (JSON has no Infinity).  Any *other* non-finite
 score is an engine invariant violation and raises instead of being
 masked as null.  ``degraded`` is true when the answer is a
 deadline-degraded name-evidence-only decision (see
-``docs/resilience.md``).
+``docs/resilience.md``).  Every response carries a ``trace_id`` naming
+the lookup within the engine's trace; when provenance sampling is on
+(``MinoanERConfig.provenance_sample_rate`` / ``--provenance``) a
+sampled response additionally carries a ``provenance`` object with the
+decision's audit record (see ``docs/serving.md``).
 
 Error records: the lenient reader (:func:`iter_requests`, used by the
 ``serve`` subcommand) never aborts the stream on one bad line -- it
@@ -171,7 +175,7 @@ def decision_to_json(decision: MatchDecision) -> dict[str, Any]:
                 f"query {decision.query_uri!r} cannot be serialised; only "
                 f"rule R1 produces an infinite (+inf) score by design"
             )
-    return {
+    payload = {
         "query": decision.query_uri,
         "match": decision.kb2_uri,
         "match_id": int(decision.kb2_id) if decision.kb2_id is not None else None,
@@ -181,7 +185,11 @@ def decision_to_json(decision: MatchDecision) -> dict[str, Any]:
         "degraded": decision.degraded,
         "cached": decision.cached,
         "latency_ms": round(decision.latency_ms, 3),
+        "trace_id": decision.trace_id or None,
     }
+    if decision.provenance is not None:
+        payload["provenance"] = decision.provenance.to_json()
+    return payload
 
 
 def iter_requests(

@@ -1,0 +1,246 @@
+"""Recorder snapshot/merge semantics: the cross-process trace contract."""
+
+import pickle
+import threading
+import time
+
+from repro.obs import NullRecorder, Recorder, use_recorder
+
+
+def child_recorder(trace_id="trace-t"):
+    child = Recorder(trace_id=trace_id)
+    with child.span("worker", pid=1234):
+        with child.span("kernel"):
+            pass
+    return child
+
+
+class TestSpanMerging:
+    def test_spans_renumbered_into_parent_id_space(self):
+        parent = Recorder()
+        with parent.span("stage") as stage:
+            pass
+        merged = parent.merge(child_recorder().snapshot(), parent_span=stage)
+        ids = [span.span_id for span in parent.spans()]
+        assert len(set(ids)) == len(ids)
+        assert {span.name for span in merged} == {"worker", "kernel"}
+
+    def test_internal_parentage_preserved_and_roots_grafted(self):
+        parent = Recorder()
+        with parent.span("stage") as stage:
+            pass
+        parent.merge(child_recorder().snapshot(), parent_span=stage)
+        by_name = {span.name: span for span in parent.spans()}
+        assert by_name["worker"].parent_id == stage.span_id
+        assert by_name["kernel"].parent_id == by_name["worker"].span_id
+        assert by_name["worker"].depth == stage.depth + 1
+        assert by_name["kernel"].depth == stage.depth + 2
+
+    def test_merge_without_parent_keeps_roots_top_level(self):
+        parent = Recorder()
+        parent.merge(child_recorder().snapshot())
+        by_name = {span.name: span for span in parent.spans()}
+        assert by_name["worker"].parent_id is None
+        assert by_name["worker"].depth == 0
+        assert by_name["kernel"].depth == 1
+
+    def test_starts_rebased_onto_parent_span_start(self):
+        parent = Recorder()
+        with parent.span("stage") as stage:
+            pass
+        snapshot = child_recorder().snapshot()
+        parent.merge(snapshot, parent_span=stage)
+        child_worker = next(s for s in snapshot.spans if s.name == "worker")
+        merged_worker = next(s for s in parent.spans() if s.name == "worker")
+        assert merged_worker.start == stage.start + child_worker.start
+        assert merged_worker.seconds == child_worker.seconds
+
+    def test_explicit_offset_wins(self):
+        parent = Recorder()
+        snapshot = child_recorder().snapshot()
+        parent.merge(snapshot, offset_s=100.0)
+        merged_worker = next(s for s in parent.spans() if s.name == "worker")
+        child_worker = next(s for s in snapshot.spans if s.name == "worker")
+        assert merged_worker.start == 100.0 + child_worker.start
+
+    def test_attributes_and_status_survive(self):
+        parent = Recorder()
+        child = Recorder(trace_id="t")
+        try:
+            with child.span("boom", label="x"):
+                raise RuntimeError("fault")
+        except RuntimeError:
+            pass
+        parent.merge(child.snapshot())
+        (span,) = parent.spans()
+        assert span.status == "error"
+        assert span.attributes == {"label": "x"}
+
+    def test_merged_spans_are_copies(self):
+        parent = Recorder()
+        child = child_recorder()
+        snapshot = child.snapshot()
+        parent.merge(snapshot)
+        parent.spans()[0].attributes["mutated"] = True
+        assert "mutated" not in snapshot.spans[0].attributes
+        assert "mutated" not in child.spans()[0].attributes
+
+
+class TestMetricMerging:
+    def test_counters_sum(self):
+        parent = Recorder()
+        parent.count("kernels.dispatch.python", 2)
+        child = Recorder(trace_id="t")
+        child.count("kernels.dispatch.python", 3)
+        child.count("only.child", 1)
+        parent.merge(child.snapshot())
+        assert parent.counters() == {
+            "kernels.dispatch.python": 5.0,
+            "only.child": 1.0,
+        }
+
+    def test_histogram_merge_keeps_exact_count_total_min_max(self):
+        parent = Recorder()
+        for value in (5.0, 7.0):
+            parent.observe("h", value)
+        child = Recorder(trace_id="t")
+        for value in (1.0, 9.0, 3.0):
+            child.observe("h", value)
+        parent.merge(child.snapshot())
+        snap = parent.histogram("h")
+        assert snap.count == 5
+        assert snap.total == 25.0
+        assert snap.minimum == 1.0
+        assert snap.maximum == 9.0
+
+    def test_histogram_window_concatenates_but_stays_bounded(self):
+        parent = Recorder(histogram_window=4)
+        for value in range(4):
+            parent.observe("h", float(value))
+        child = Recorder(trace_id="t")
+        for value in range(100, 103):
+            child.observe("h", float(value))
+        parent.merge(child.snapshot())
+        snap = parent.histogram("h")
+        assert snap.count == 7  # exact totals unaffected by the window
+        # The window holds the 4 most recent: 3, 100, 101, 102.
+        assert snap.p50 >= 3.0
+
+    def test_histogram_merge_into_unseen_name(self):
+        parent = Recorder()
+        child = Recorder(trace_id="t")
+        child.observe("h", 2.0)
+        parent.merge(child.snapshot())
+        snap = parent.histogram("h")
+        assert (snap.count, snap.minimum, snap.maximum) == (1, 2.0, 2.0)
+
+    def test_gauge_last_write_wins_by_child_timestamp(self):
+        # Child wrote after the parent span started => child wins.
+        parent = Recorder()
+        parent.gauge("g", 1.0)
+        with parent.span("stage") as stage:
+            child = Recorder(trace_id="t")
+            child.gauge("g", 2.0)
+        parent.merge(child.snapshot(), parent_span=stage)
+        assert parent.gauges()["g"] == 2.0
+
+    def test_gauge_older_child_write_loses(self):
+        # Child gauge rebased to ~epoch (offset 0) while the parent
+        # wrote later => the parent's value stands.  The sleep keeps
+        # the parent's write time strictly past the child's rebased
+        # one on coarse clocks.
+        child = Recorder(trace_id="t")
+        child.gauge("g", 2.0)
+        snapshot = child.snapshot()
+        parent = Recorder()
+        time.sleep(snapshot.duration_s + 0.01)
+        parent.gauge("g", 1.0)
+        parent.merge(snapshot, offset_s=0.0)
+        assert parent.gauges()["g"] == 1.0
+
+
+class TestSnapshotTransport:
+    def test_snapshot_pickles(self):
+        child = child_recorder()
+        child.count("c", 2)
+        child.gauge("g", 1.0)
+        child.observe("h", 0.5)
+        snapshot = pickle.loads(pickle.dumps(child.snapshot()))
+        assert snapshot.trace_id == "trace-t"
+        assert [span.name for span in snapshot.spans] == ["kernel", "worker"]
+        assert snapshot.counters == {"c": 2.0}
+        assert snapshot.histograms["h"][0] == 1
+
+    def test_snapshot_carries_duration(self):
+        child = Recorder(trace_id="t")
+        assert child.snapshot().duration_s >= 0.0
+
+    def test_trace_ids_deterministic_format(self):
+        recorder = Recorder()
+        assert recorder.trace_id.startswith("trace-")
+        assert Recorder(trace_id="custom").trace_id == "custom"
+
+    def test_null_recorder_merge_is_a_no_op(self):
+        null = NullRecorder()
+        assert null.trace_id == ""
+        assert null.merge(child_recorder().snapshot()) == []
+        assert null.spans() == []
+        assert null.counters() == {}
+
+
+class TestMergeThreadSafety:
+    def test_concurrent_merges_and_spans(self):
+        parent = Recorder()
+        snapshots = []
+        for i in range(8):
+            child = Recorder(trace_id=f"t{i}")
+            child.count("c")
+            child.observe("h", float(i))
+            snapshots.append(child.snapshot())
+
+        def merger(snapshot):
+            for _ in range(25):
+                parent.merge(snapshot)
+
+        def spanner():
+            for _ in range(100):
+                with parent.span("live"):
+                    parent.count("c")
+
+        threads = [
+            threading.Thread(target=merger, args=(s,)) for s in snapshots
+        ] + [threading.Thread(target=spanner) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert parent.counter_value("c") == 8 * 25 + 4 * 100
+        assert parent.histogram("h").count == 8 * 25
+        ids = [span.span_id for span in parent.spans()]
+        assert len(ids) == 4 * 100  # live spans
+        assert len(set(ids)) == len(ids)
+
+    def test_concurrent_merges_with_spans_in_snapshots(self):
+        parent = Recorder()
+        snapshot = child_recorder().snapshot()
+        threads = [
+            threading.Thread(target=lambda: [parent.merge(snapshot) for _ in range(50)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ids = [span.span_id for span in parent.spans()]
+        assert len(ids) == 8 * 50 * 2
+        assert len(set(ids)) == len(ids)
+
+
+class TestAmbientChildPattern:
+    def test_use_recorder_routes_worker_metrics_into_child(self):
+        driver = Recorder()
+        child = Recorder(trace_id=driver.trace_id)
+        with use_recorder(child):
+            child.count("kernels.dispatch.python")
+        driver.merge(child.snapshot())
+        assert driver.counter_value("kernels.dispatch.python") == 1.0

@@ -242,18 +242,67 @@ class TestExporters:
             pass
         assert 'attr.label="two words"' in to_logfmt(recorder)
 
+    @pytest.mark.parametrize(
+        "value",
+        [
+            'say "hello"',
+            "key=value",
+            "line one\nline two",
+            "tab\there",
+            "back\\slash",
+            "cr\rhere",
+            "",
+        ],
+    )
+    def test_logfmt_escaping_round_trips(self, value):
+        # Values containing quotes, =, newlines, tabs, or backslashes
+        # must come back intact when the quoted segment is parsed as a
+        # JSON string literal (the documented way to read logfmt traces).
+        recorder = Recorder()
+        with recorder.span("s", label=value):
+            pass
+        line = next(
+            l for l in to_logfmt(recorder).splitlines() if "attr.label=" in l
+        )
+        rendered = line.split("attr.label=", 1)[1].split(" attr.", 1)[0]
+        # Quoted values end at the closing quote of a valid JSON string;
+        # the value must have been quoted (raw text would be ambiguous).
+        assert rendered.startswith('"')
+        decoder = json.JSONDecoder()
+        decoded, _ = decoder.raw_decode(rendered)
+        assert decoded == value
+
+    def test_logfmt_unsafe_span_names_round_trip(self):
+        recorder = Recorder()
+        with recorder.span("stage=graph\npartition"):
+            pass
+        line = to_logfmt(recorder).splitlines()[1]
+        assert line.startswith('span name="stage=graph\\npartition"')
+
     def test_write_trace_json_and_logfmt(self, tmp_path):
         recorder = self._populated()
         json_path = tmp_path / "trace.json"
         logfmt_path = tmp_path / "trace.logfmt"
         write_trace(recorder, json_path)
         write_trace(recorder, logfmt_path, format="logfmt")
-        assert json.loads(json_path.read_text())["counters"]
-        assert logfmt_path.read_text().startswith("span ")
+        payload = json.loads(json_path.read_text())
+        assert payload["counters"]
+        assert payload["trace_id"] == recorder.trace_id
+        logfmt = logfmt_path.read_text()
+        assert logfmt.startswith("trace id=")
+        assert logfmt.splitlines()[1].startswith("span ")
 
     def test_write_trace_rejects_unknown_format(self, tmp_path):
         with pytest.raises(ValueError, match="trace format"):
             write_trace(Recorder(), tmp_path / "x", format="xml")
+
+    def test_write_trace_dash_goes_to_stderr(self, capsys):
+        recorder = self._populated()
+        write_trace(recorder, "-")
+        err = capsys.readouterr().err
+        assert json.loads(err)["counters"]["kernels.dispatch.python"] == 3
+        write_trace(recorder, "-", format="logfmt")
+        assert capsys.readouterr().err.startswith("trace id=")
 
     def test_empty_recorder_exports_cleanly(self, tmp_path):
         recorder = Recorder()
@@ -266,8 +315,10 @@ class TestExporters:
         assert payload["resilience"]["retry.attempts"] == 0.0
         assert payload["resilience"]["faults.injected"] == {}
         logfmt = to_logfmt(recorder)
-        assert logfmt.startswith("resilience ")
-        assert logfmt.count("\n") == 1
+        # Quiet trace: just the trace-id line and the zeroed summary.
+        assert logfmt.startswith("trace id=")
+        assert logfmt.splitlines()[1].startswith("resilience ")
+        assert logfmt.count("\n") == 2
 
 
 class TestResilienceSummary:

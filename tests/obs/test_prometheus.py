@@ -1,0 +1,107 @@
+"""Prometheus text exposition: rendering and the scrape endpoint."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsServer, Recorder, render_metrics
+from repro.obs.prometheus import CONTENT_TYPE, metric_name
+
+
+class TestMetricName:
+    def test_dots_collapse_to_underscores(self):
+        assert metric_name("serving.latency_ms") == "serving_latency_ms"
+        assert metric_name("kernels.dispatch.python") == "kernels_dispatch_python"
+
+    def test_invalid_characters_sanitized(self):
+        assert metric_name("a-b c/d") == "a_b_c_d"
+        assert metric_name("phase.stage:graph.cpu") == "phase_stage:graph_cpu"
+
+    def test_leading_digit_prefixed(self):
+        assert metric_name("2fast") == "_2fast"
+
+
+class TestRenderMetrics:
+    def _recorder(self):
+        recorder = Recorder()
+        recorder.count("serving.queries", 7)
+        recorder.gauge("workers", 4)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            recorder.observe("serving.latency_ms", value)
+        return recorder
+
+    def test_counters_get_total_suffix(self):
+        text = render_metrics(self._recorder())
+        assert "# TYPE serving_queries_total counter" in text
+        assert "serving_queries_total 7" in text
+
+    def test_gauges_rendered(self):
+        text = render_metrics(self._recorder())
+        assert "# TYPE workers gauge" in text
+        assert "workers 4" in text
+
+    def test_histograms_rendered_as_summaries_with_quantiles(self):
+        text = render_metrics(self._recorder())
+        assert "# TYPE serving_latency_ms summary" in text
+        assert 'serving_latency_ms{quantile="0.5"} 3' in text
+        assert 'serving_latency_ms{quantile="0.95"} 4' in text
+        assert 'serving_latency_ms{quantile="0.99"} 4' in text
+        assert "serving_latency_ms_sum 10" in text
+        assert "serving_latency_ms_count 4" in text
+
+    def test_empty_recorder_renders_empty(self):
+        assert render_metrics(Recorder()) == ""
+
+    def test_every_line_is_comment_or_sample(self):
+        for line in render_metrics(self._recorder()).strip().splitlines():
+            assert line.startswith("# TYPE ") or " " in line
+
+    def test_non_finite_values_use_prometheus_spelling(self):
+        recorder = Recorder()
+        recorder.gauge("g", float("inf"))
+        assert "g +Inf" in render_metrics(recorder)
+
+
+class TestMetricsServer:
+    def test_scrape_roundtrip(self):
+        recorder = Recorder()
+        recorder.count("serving.queries", 3)
+        recorder.observe("serving.latency_ms", 0.5)
+        with MetricsServer(recorder) as server:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/metrics", timeout=5
+            ) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+                body = response.read().decode("utf-8")
+        assert "serving_queries_total 3" in body
+        assert 'serving_latency_ms{quantile="0.5"} 0.5' in body
+
+    def test_scrape_sees_live_updates(self):
+        recorder = Recorder()
+        with MetricsServer(recorder) as server:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            recorder.count("serving.queries")
+            first = urllib.request.urlopen(url, timeout=5).read().decode()
+            recorder.count("serving.queries")
+            second = urllib.request.urlopen(url, timeout=5).read().decode()
+        assert "serving_queries_total 1" in first
+        assert "serving_queries_total 2" in second
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(Recorder()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/nope", timeout=5
+                )
+            assert excinfo.value.code == 404
+
+    def test_close_is_idempotent_and_releases_port(self):
+        server = MetricsServer(Recorder())
+        server.close()
+        server.close()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/metrics", timeout=1
+            )

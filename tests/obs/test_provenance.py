@@ -1,0 +1,123 @@
+"""Provenance records and the deterministic systematic sampler."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs import ProvenanceRecord, ProvenanceSampler
+from repro.obs.provenance import RULE_EVIDENCE
+
+
+class TestSampler:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="sample rate"):
+            ProvenanceSampler(-0.1)
+        with pytest.raises(ValueError, match="sample rate"):
+            ProvenanceSampler(1.5)
+
+    def test_rate_zero_samples_nothing(self):
+        sampler = ProvenanceSampler(0.0)
+        assert [sampler.next()[1] for _ in range(100)] == [False] * 100
+
+    def test_rate_one_samples_everything(self):
+        sampler = ProvenanceSampler(1.0)
+        assert [sampler.next()[1] for _ in range(100)] == [True] * 100
+
+    def test_sequence_numbers_count_from_one(self):
+        sampler = ProvenanceSampler(0.5)
+        assert [sampler.next()[0] for _ in range(3)] == [1, 2, 3]
+
+    @pytest.mark.parametrize("rate", [0.01, 0.1, 0.25, 0.5])
+    def test_systematic_rate_is_exact(self, rate):
+        sampler = ProvenanceSampler(rate)
+        n = 1000
+        hits = sum(1 for _ in range(n) if sampler.next()[1])
+        assert hits == math.floor(n * rate)
+
+    def test_deterministic_across_instances(self):
+        a = ProvenanceSampler(0.137)
+        b = ProvenanceSampler(0.137)
+        assert [a.next() for _ in range(500)] == [b.next() for _ in range(500)]
+
+    def test_sampled_queries_spread_through_the_stream(self):
+        sampler = ProvenanceSampler(0.1)
+        picks = [seq for seq, sampled in (sampler.next() for _ in range(100)) if sampled]
+        assert len(picks) == 10
+        gaps = [b - a for a, b in zip(picks, picks[1:])]
+        assert all(gap == 10 for gap in gaps)
+
+    def test_thread_safety_allocates_unique_sequences(self):
+        sampler = ProvenanceSampler(0.5)
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [sampler.next() for _ in range(200)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seqs = [seq for seq, _ in results]
+        assert sorted(seqs) == list(range(1, 8 * 200 + 1))
+        assert sum(1 for _, sampled in results if sampled) == 800
+
+
+class TestProvenanceRecord:
+    def _record(self, **overrides):
+        fields = dict(
+            trace_id="trace-000001-q7",
+            query_uri="q7",
+            rule="R2",
+            evidence="value",
+            candidates=12,
+            top_scores=((3, 4.5), (9, 1.25)),
+        )
+        fields.update(overrides)
+        return ProvenanceRecord(**fields)
+
+    def test_to_json_roundtrips_through_json(self):
+        payload = json.loads(json.dumps(self._record().to_json()))
+        assert payload["trace_id"] == "trace-000001-q7"
+        assert payload["rule"] == "R2"
+        assert payload["evidence"] == "value"
+        assert payload["candidates"] == 12
+        assert payload["top_scores"] == [[3, 4.5], [9, 1.25]]
+        assert payload["degraded"] is False
+        assert payload["cached"] is False
+        assert payload["batched"] is False
+
+    def test_non_finite_top_score_serialises_as_null(self):
+        record = self._record(rule="R1", top_scores=((3, float("inf")),))
+        assert record.to_json()["top_scores"] == [[3, None]]
+
+    def test_rule_evidence_covers_all_rules(self):
+        assert RULE_EVIDENCE == {
+            "R1": "name",
+            "R2": "value",
+            "R3": "value+neighbor",
+            "R4": "reciprocity",
+        }
+
+    def test_from_explanation_bridges_offline_audits(self, restaurant_kbs):
+        from repro.core.explain import explain_pair
+        from repro.core.pipeline import MinoanER
+
+        kb1, kb2 = restaurant_kbs
+        result = MinoanER().resolve(kb1, kb2)
+        (pair,) = [p for p in result.matches if p[0] == 0]
+        explanation = explain_pair(result, pair[0], pair[1])
+        record = ProvenanceRecord.from_explanation(explanation, trace_id="t-1")
+        assert record.trace_id == "t-1"
+        assert record.query_uri == explanation.uri1
+        assert record.rule == explanation.rule
+        assert record.evidence == RULE_EVIDENCE[explanation.rule]
+
+    def test_from_explanation_rejects_other_types(self):
+        with pytest.raises(TypeError, match="MatchExplanation"):
+            ProvenanceRecord.from_explanation(object())

@@ -1,0 +1,130 @@
+"""Query provenance on the serving path and its wire representation."""
+
+import json
+
+import pytest
+
+from repro.core.config import MinoanERConfig
+from repro.obs.provenance import RULE_EVIDENCE
+from repro.serving import MatchEngine, ResolutionIndex
+from repro.serving.io import decision_to_json
+
+
+@pytest.fixture(scope="module")
+def sampled_engine(mini_pair):
+    index = ResolutionIndex.build(
+        mini_pair.kb2, MinoanERConfig(provenance_sample_rate=1.0)
+    )
+    return MatchEngine(index)
+
+
+class TestTraceIds:
+    def test_every_decision_carries_a_trace_id(self, mini_pair):
+        engine = MatchEngine(ResolutionIndex.build(mini_pair.kb2))
+        decisions = [engine.match(entity) for entity in list(mini_pair.kb1)[:5]]
+        ids = [decision.trace_id for decision in decisions]
+        assert all(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_trace_ids_embed_query_sequence(self, mini_pair):
+        engine = MatchEngine(ResolutionIndex.build(mini_pair.kb2))
+        first = engine.match(next(iter(mini_pair.kb1)))
+        second = engine.match(next(iter(mini_pair.kb1)))
+        assert first.trace_id.endswith("-q1")
+        assert second.trace_id.endswith("-q2")
+        assert first.trace_id.startswith(engine.recorder.trace_id)
+
+    def test_batch_decisions_get_distinct_trace_ids(self, mini_pair):
+        engine = MatchEngine(ResolutionIndex.build(mini_pair.kb2))
+        decisions = engine.match_batch(list(mini_pair.kb1)[:4])
+        ids = [decision.trace_id for decision in decisions]
+        assert all(ids) and len(set(ids)) == len(ids)
+
+
+class TestSampling:
+    def test_rate_zero_attaches_no_provenance(self, mini_pair):
+        engine = MatchEngine(ResolutionIndex.build(mini_pair.kb2))
+        for entity in list(mini_pair.kb1)[:5]:
+            assert engine.match(entity).provenance is None
+
+    def test_rate_one_attaches_provenance_everywhere(self, mini_pair, sampled_engine):
+        for entity in list(mini_pair.kb1)[:5]:
+            record = sampled_engine.match(entity).provenance
+            assert record is not None
+            assert record.query_uri == entity.uri
+
+    def test_fractional_rate_samples_systematically(self, mini_pair):
+        index = ResolutionIndex.build(
+            mini_pair.kb2, MinoanERConfig(provenance_sample_rate=0.5)
+        )
+        engine = MatchEngine(index)
+        entities = list(mini_pair.kb1)[:10]
+        flags = [engine.match(e).provenance is not None for e in entities]
+        assert sum(flags) == 5
+        assert flags == [False, True] * 5
+
+    def test_sampled_counter_tracks_attachments(self, mini_pair):
+        index = ResolutionIndex.build(
+            mini_pair.kb2, MinoanERConfig(provenance_sample_rate=1.0)
+        )
+        engine = MatchEngine(index)
+        for entity in list(mini_pair.kb1)[:3]:
+            engine.match(entity)
+        assert engine.recorder.counter_value("serving.provenance_sampled") == 3.0
+
+    def test_record_agrees_with_decision(self, mini_pair, sampled_engine):
+        for entity in list(mini_pair.kb1)[:10]:
+            decision = sampled_engine.match(entity)
+            record = decision.provenance
+            assert record.trace_id == decision.trace_id
+            assert record.rule == decision.rule
+            assert record.candidates == decision.candidates
+            if decision.rule is not None:
+                assert record.evidence == RULE_EVIDENCE[decision.rule]
+            else:
+                assert record.evidence is None
+            assert record.cached == decision.cached
+            assert record.degraded == decision.degraded
+
+    def test_batch_records_marked_batched(self, mini_pair, sampled_engine):
+        for decision in sampled_engine.match_batch(list(mini_pair.kb1)[:4]):
+            assert decision.provenance is not None
+            assert decision.provenance.batched is True
+
+    def test_single_equals_batch_with_provenance_on(self, mini_pair, sampled_engine):
+        for entity in list(mini_pair.kb1)[:10]:
+            single = sampled_engine.match(entity)
+            (batched,) = sampled_engine.match_batch([entity])
+            # trace_id/provenance are compare=False: the match outcome
+            # itself must stay identical.
+            assert single == batched
+
+
+class TestWireFormat:
+    def test_trace_id_on_the_wire(self, mini_pair):
+        engine = MatchEngine(ResolutionIndex.build(mini_pair.kb2))
+        payload = decision_to_json(engine.match(next(iter(mini_pair.kb1))))
+        assert payload["trace_id"].endswith("-q1")
+
+    def test_provenance_omitted_when_not_sampled(self, mini_pair):
+        engine = MatchEngine(ResolutionIndex.build(mini_pair.kb2))
+        payload = decision_to_json(engine.match(next(iter(mini_pair.kb1))))
+        assert "provenance" not in payload
+
+    def test_provenance_serialised_when_sampled(self, mini_pair, sampled_engine):
+        matched = next(
+            d
+            for d in (sampled_engine.match(e) for e in mini_pair.kb1)
+            if d.rule is not None
+        )
+        payload = json.loads(json.dumps(decision_to_json(matched)))
+        record = payload["provenance"]
+        assert record["trace_id"] == payload["trace_id"]
+        assert record["rule"] == payload["rule"]
+        assert record["evidence"] == RULE_EVIDENCE[payload["rule"]]
+        assert record["candidates"] == payload["candidates"]
+        assert isinstance(record["top_scores"], list)
+        for pair in record["top_scores"]:
+            kb2_id, score = pair
+            assert isinstance(kb2_id, int)
+            assert score is None or isinstance(score, float)
