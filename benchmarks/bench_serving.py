@@ -2,7 +2,9 @@
 
 Measures, on one benchmark profile:
 
-* index build time and save/load round-trip time (plus file size);
+* index build time and save/load round-trip time (plus file size) --
+  eager decode and, when numpy is importable, the zero-copy
+  ``load(mmap=True)`` path;
 * single-query latency -- cold (cache cleared between queries) and warm
   (repeated query mix) -- reported as p50/p95/mean milliseconds and
   queries/second;
@@ -10,20 +12,38 @@ Measures, on one benchmark profile:
 * the batch/serve equivalence verdict: serving all of KB1 in one batch
   must reproduce ``MinoanER.resolve`` exactly.
 
+``--index-mmap`` serves the latency/throughput sections from the
+memory-mapped index instead of the eager decode.
+
+``--sweep`` runs the index-size sweep instead: scaled ``yago_imdb``
+pairs at KB2 sizes of (by default) 4k, 32k and 100k entities, each
+measuring eager vs mmap load time (best of 3), on-disk size, driver
+RSS, the resident-set growth of two fresh reader processes
+(fork + exec) that each open the same index file and serve 25 queries,
+warm single-query p50, and an eager-vs-mmap decision-equality verdict.  The
+point of the sweep: mmap load time stays O(1) in index size (page
+mapping, no decode) while eager load grows linearly, and mmap readers
+touch read-only file-backed pages the kernel shares across processes
+instead of each materialising a private decoded copy.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --index-mmap
+    PYTHONPATH=src python benchmarks/bench_serving.py --sweep --output BENCH_PR6.json
     PYTHONPATH=src python benchmarks/bench_serving.py --quick  # CI smoke
 
 ``--quick`` scales the profile down and caps the query count so the
-benchmark finishes in seconds on CI runners.  The process exits nonzero
-if the equivalence check fails, so CI can gate on it.
+benchmark finishes in seconds on CI runners (with ``--sweep`` it
+shrinks the size grid).  The process exits nonzero if an equivalence
+check fails, so CI can gate on it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -34,7 +54,12 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.pipeline import MinoanER  # noqa: E402
 from repro.datasets.profiles import load_profile, profile_names, scaled_profile  # noqa: E402
+from repro.kernels import numpy_available  # noqa: E402
 from repro.serving import MatchEngine, ResolutionIndex  # noqa: E402
+
+#: KB2 entity count of the unscaled ``yago_imdb`` profile; sweep sizes
+#: are expressed as absolute n2 targets and converted to scales.
+YAGO_IMDB_BASE_N2 = 7000
 
 
 def _percentile(ordered: list[float], fraction: float) -> float:
@@ -56,7 +81,9 @@ def _latency_summary(samples_ms: list[float]) -> dict:
     }
 
 
-def bench_build_and_persistence(pair, tmp_dir: Path) -> tuple[ResolutionIndex, dict]:
+def bench_build_and_persistence(
+    pair, tmp_dir: Path, index_mmap: bool = False
+) -> tuple[ResolutionIndex, dict]:
     started = time.perf_counter()
     index = ResolutionIndex.build(pair.kb2)
     build_s = time.perf_counter() - started
@@ -69,14 +96,27 @@ def bench_build_and_persistence(pair, tmp_dir: Path) -> tuple[ResolutionIndex, d
     loaded = ResolutionIndex.load(path)
     load_s = time.perf_counter() - started
 
-    return loaded, {
+    stats = {
         "build_ms": build_s * 1e3,
         "save_ms": save_s * 1e3,
         "load_ms": load_s * 1e3,
+        "mmap_load_ms": None,
+        "served_mmap": False,
         "file_bytes": path.stat().st_size,
         "entities": index.n2,
         "tokens": len(index.postings),
     }
+    serving = loaded
+    if numpy_available():
+        started = time.perf_counter()
+        mapped = ResolutionIndex.load(path, mmap=True)
+        stats["mmap_load_ms"] = (time.perf_counter() - started) * 1e3
+        if index_mmap:
+            serving = mapped
+            stats["served_mmap"] = True
+    elif index_mmap:
+        print("warning: --index-mmap requires numpy; serving eager", file=sys.stderr)
+    return serving, stats
 
 
 def bench_single_queries(index: ResolutionIndex, queries: list) -> dict:
@@ -138,9 +178,15 @@ def verify_equivalence(index: ResolutionIndex, pair) -> dict:
     }
 
 
-def run(profile: str, scale: float | None, max_queries: int, tmp_dir: Path) -> dict:
+def run(
+    profile: str,
+    scale: float | None,
+    max_queries: int,
+    tmp_dir: Path,
+    index_mmap: bool = False,
+) -> dict:
     pair = scaled_profile(profile, scale) if scale else load_profile(profile)
-    index, persistence = bench_build_and_persistence(pair, tmp_dir)
+    index, persistence = bench_build_and_persistence(pair, tmp_dir, index_mmap)
     queries = list(pair.kb1)[:max_queries]
     return {
         "profile": profile,
@@ -151,6 +197,185 @@ def run(profile: str, scale: float | None, max_queries: int, tmp_dir: Path) -> d
         "single": bench_single_queries(index, queries),
         "batch": bench_batch(index, pair),
         "equivalence": verify_equivalence(index, pair),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Index-size sweep: O(1) mmap loads and shared read-only pages.
+# ---------------------------------------------------------------------------
+
+
+def _vm_rss_kb() -> int:
+    """Current resident set size in KiB (Linux; ru_maxrss fallback)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+#: Runs inside a fresh interpreter (fork + exec).  A bare ``os.fork``
+#: child inherits the driver's resident heap copy-on-write and hides
+#: the decode cost inside reused allocator arenas, and the *parent*-side
+#: ``wait4`` ru_maxrss includes the pre-exec window where the child
+#: still shares the driver's address space -- so the child measures its
+#: own ``/proc/self/status`` after imports instead.  ``rss_delta_kb``
+#: is resident growth from just-before-load to after-serving: the eager
+#: reader pays the full privately-decoded index per process; the mmap
+#: reader pays only the file-backed pages it touches, which the kernel
+#: shares with every other process mapping the same index file.
+_READER_SCRIPT = """
+import json, sys, time
+sys.path.insert(0, sys.argv[1])
+
+
+def rss_kb(field):
+    with open("/proc/self/status", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith(field + ":"):
+                return int(line.split()[1])
+    return 0
+
+
+try:
+    import numpy  # noqa: F401  -- pay the import before the baseline
+except ImportError:
+    pass
+from repro.serving import MatchEngine, ResolutionIndex
+from repro.serving.io import read_requests
+
+path, use_mmap, queries_path = sys.argv[2], sys.argv[3] == "1", sys.argv[4]
+with open(queries_path, encoding="utf-8") as handle:
+    queries = list(read_requests(handle))
+baseline_kb = rss_kb("VmRSS")
+started = time.perf_counter()
+index = ResolutionIndex.load(path, mmap=use_mmap)
+load_ms = (time.perf_counter() - started) * 1e3
+engine = MatchEngine(index)
+matched = sum(1 for entity in queries if engine.match(entity).matched)
+print(json.dumps({
+    "load_ms": load_ms,
+    "rss_delta_kb": max(0, rss_kb("VmRSS") - baseline_kb),
+    "peak_rss_kb": rss_kb("VmHWM"),
+    "matched": matched,
+}))
+"""
+
+
+def _reader_stats(path: Path, mmap: bool, queries_path: Path) -> dict:
+    """Serve the query file from a fresh reader process; report its RSS."""
+    import subprocess
+
+    command = [
+        sys.executable, "-c", _READER_SCRIPT,
+        str(REPO_ROOT / "src"), str(path), "1" if mmap else "0",
+        str(queries_path),
+    ]
+    completed = subprocess.run(
+        command, capture_output=True, text=True, check=False
+    )
+    if completed.returncode != 0 or not completed.stdout.strip():
+        raise RuntimeError(
+            f"index reader failed (status {completed.returncode}): "
+            f"{completed.stderr.strip()[-500:]}"
+        )
+    return json.loads(completed.stdout)
+
+
+def _load_mode_stats(
+    path: Path, mmap: bool, queries: list, queries_path: Path, readers: int
+) -> tuple[dict, MatchEngine]:
+    load_samples = []
+    loaded = None
+    for _ in range(3):
+        started = time.perf_counter()
+        loaded = ResolutionIndex.load(path, mmap=mmap)
+        load_samples.append((time.perf_counter() - started) * 1e3)
+
+    engine = MatchEngine(loaded)
+    for entity in queries:
+        engine.match(entity)
+    warm = []
+    for entity in queries:
+        started = time.perf_counter()
+        engine.match(entity)
+        warm.append((time.perf_counter() - started) * 1e3)
+
+    stats = {
+        "load_ms_best": min(load_samples),
+        "load_ms_samples": load_samples,
+        "warm_p50_ms": _percentile(sorted(warm), 0.50),
+        "driver_rss_kb": _vm_rss_kb(),
+        "readers": [
+            _reader_stats(path, mmap, queries_path) for _ in range(readers)
+        ],
+    }
+    return stats, engine
+
+
+def bench_index_sweep(
+    sizes: list[int], max_queries: int, tmp_dir: Path, readers: int = 2
+) -> dict:
+    points = []
+    for target in sizes:
+        pair = scaled_profile("yago_imdb", target / YAGO_IMDB_BASE_N2)
+        built = ResolutionIndex.build(pair.kb2)
+        path = tmp_dir / f"yago_imdb_{target}.idx"
+        built.save(path)
+        queries = list(pair.kb1)[:max_queries]
+
+        from repro.serving.io import entity_to_json
+
+        queries_path = tmp_dir / f"yago_imdb_{target}_queries.jsonl"
+        with open(queries_path, "w", encoding="utf-8") as handle:
+            for entity in queries[:25]:
+                handle.write(json.dumps(entity_to_json(entity)) + "\n")
+
+        point = {
+            "target_n2": target,
+            "n2": built.n2,
+            "tokens": len(built.postings),
+            "file_bytes": path.stat().st_size,
+        }
+        eager_stats, eager_engine = _load_mode_stats(
+            path, False, queries, queries_path, readers
+        )
+        point["eager"] = eager_stats
+        if numpy_available():
+            mmap_stats, mapped_engine = _load_mode_stats(
+                path, True, queries, queries_path, readers
+            )
+            point["mmap"] = mmap_stats
+            point["decisions_identical"] = (
+                eager_engine.match_batch(queries)
+                == mapped_engine.match_batch(queries)
+            )
+        points.append(point)
+
+    mmap_bests = [p["mmap"]["load_ms_best"] for p in points if "mmap" in p]
+    spread = (
+        max(mmap_bests) / min(mmap_bests)
+        if mmap_bests and min(mmap_bests) > 0
+        else None
+    )
+    return {
+        "profile": "yago_imdb",
+        "sizes": sizes,
+        "queries_per_point": max_queries,
+        "readers_per_mode": readers,
+        "points": points,
+        "mmap_load_spread": spread,
+        # Acceptance gate: mmap load time must not scale with index
+        # size.  (< 2x across a 25x size range vs linear eager decode.)
+        "mmap_load_flat": spread is not None and spread < 2.0,
+        "decisions_identical": all(
+            p.get("decisions_identical", True) for p in points
+        ),
     }
 
 
@@ -167,7 +392,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--quick", action="store_true",
-        help="CI smoke: scaled profile, 100 queries",
+        help="CI smoke: scaled profile, 100 queries (smaller sweep grid)",
+    )
+    parser.add_argument(
+        "--index-mmap", action="store_true",
+        help="serve the latency/throughput sections from load(mmap=True)",
+    )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="run the yago_imdb index-size sweep instead of the profile bench",
+    )
+    parser.add_argument(
+        "--sweep-sizes", default="4000,32000,100000",
+        help="comma-separated KB2 entity targets (default %(default)s)",
     )
     args = parser.parse_args(argv)
 
@@ -176,8 +413,53 @@ def main(argv: list[str] | None = None) -> int:
 
     import tempfile
 
+    if args.sweep:
+        sizes = [int(s) for s in args.sweep_sizes.split(",") if s.strip()]
+        if args.quick:
+            sizes = [min(size, 8000) for size in sizes]
+            sizes = sorted(set(sizes))
+        with tempfile.TemporaryDirectory() as tmp:
+            sweep = bench_index_sweep(sizes, min(max_queries, 200), Path(tmp))
+        record = {
+            "benchmark": "serving-index-sweep",
+            "python": platform.python_version(),
+            "quick": args.quick,
+            "sweep": sweep,
+        }
+        if args.output:
+            args.output.write_text(
+                json.dumps(record, indent=2) + "\n", encoding="utf-8"
+            )
+        for point in sweep["points"]:
+            eager = point["eager"]
+            line = (
+                f"n2={point['n2']}: {point['file_bytes'] / 1024:.0f}KiB, "
+                f"eager load {eager['load_ms_best']:.1f}ms "
+                f"(reader rss +{eager['readers'][0]['rss_delta_kb']}KiB)"
+            )
+            if "mmap" in point:
+                mm = point["mmap"]
+                line += (
+                    f", mmap load {mm['load_ms_best']:.2f}ms "
+                    f"(reader rss +{mm['readers'][0]['rss_delta_kb']}KiB), "
+                    f"warm p50 {mm['warm_p50_ms']:.3f}ms"
+                )
+            print(line)
+        if sweep["mmap_load_spread"] is not None:
+            print(
+                f"mmap load spread across sizes: "
+                f"{sweep['mmap_load_spread']:.2f}x "
+                f"({'flat' if sweep['mmap_load_flat'] else 'NOT FLAT'})"
+            )
+        if not sweep["decisions_identical"]:
+            print("SWEEP EQUIVALENCE FAILED: mmap decisions != eager decisions")
+            return 1
+        if args.output:
+            print(f"wrote {args.output}")
+        return 0
+
     with tempfile.TemporaryDirectory() as tmp:
-        result = run(args.profile, scale, max_queries, Path(tmp))
+        result = run(args.profile, scale, max_queries, Path(tmp), args.index_mmap)
 
     record = {
         "benchmark": "serving",
@@ -190,10 +472,15 @@ def main(argv: list[str] | None = None) -> int:
 
     single = result["single"]
     batch = result["batch"]
+    index_stats = result["index"]
+    loads = f"load {index_stats['load_ms']:.1f}ms eager"
+    if index_stats["mmap_load_ms"] is not None:
+        loads += f" / {index_stats['mmap_load_ms']:.2f}ms mmap"
     print(
         f"{result['profile']} (n1={result['n1']}, n2={result['n2']}): "
-        f"index build {result['index']['build_ms']:.1f}ms, "
-        f"{result['index']['file_bytes'] / 1024:.0f}KiB on disk"
+        f"index build {index_stats['build_ms']:.1f}ms, "
+        f"{index_stats['file_bytes'] / 1024:.0f}KiB on disk, {loads}"
+        + (" [serving mmap]" if index_stats["served_mmap"] else "")
     )
     print(
         f"  single cold: p50 {single['cold']['p50_ms']:.3f}ms, "

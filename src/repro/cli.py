@@ -7,15 +7,18 @@ Usage::
     python -m repro generate restaurant --out-dir data/ --scale 0.5
     python -m repro experiment table3 --profiles restaurant bbc_dbpedia
     python -m repro index kb2.nt -o kb2.idx
-    python -m repro serve kb2.idx < queries.jsonl > answers.jsonl
+    python -m repro index --migrate legacy.idx
+    python -m repro serve kb2.idx --mmap < queries.jsonl > answers.jsonl
 
 ``resolve``, ``dedupe`` and ``index`` accept N-Triples (``.nt``) or
 ``subject<TAB>predicate<TAB>object`` TSV files.  ``generate``
 materialises a synthetic benchmark profile to disk; ``experiment``
 regenerates one of the paper's tables or figures and prints it.
-``index`` freezes a target KB into a query-time resolution index, and
-``serve`` answers JSONL queries against it (see ``docs/serving.md`` for
-the wire format).
+``index`` freezes a target KB into a query-time resolution index
+(``--migrate`` rewrites an existing file -- e.g. a legacy pickle index
+-- in the current columnar format), and ``serve`` answers JSONL queries
+against it (``--mmap`` serves off zero-copy memory-mapped sections; see
+``docs/serving.md`` for the wire and on-disk formats).
 
 ``resolve``, ``index`` and ``serve`` accept ``--trace FILE``
 (``--trace-format json|logfmt``): one :class:`repro.obs.Recorder` is
@@ -287,8 +290,30 @@ def command_experiment(args: argparse.Namespace) -> int:
 
 
 def command_index(args: argparse.Namespace) -> int:
-    from repro.serving import ResolutionIndex
+    import warnings
 
+    from repro.serving import ResolutionIndex
+    from repro.serving.index import FORMAT_VERSION
+
+    if args.migrate:
+        source = args.kb
+        destination = args.output or source
+        with warnings.catch_warnings():
+            # Migration is the documented answer to the legacy-format
+            # deprecation; warning about it here would be circular.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            index = ResolutionIndex.load(source)
+        loaded_version = index.load_info["format_version"]
+        index.save(destination)
+        print(
+            f"# migrated {source} (format v{loaded_version}) -> "
+            f"{destination} (format v{FORMAT_VERSION})",
+            file=sys.stderr,
+        )
+        return 0
+    if not args.output:
+        print("error: -o/--output is required unless --migrate", file=sys.stderr)
+        return 2
     kb2 = _load_kb(args.kb, "KB2")
     index = ResolutionIndex.build(kb2, _config_from(args))
     index.save(args.output)
@@ -307,17 +332,32 @@ def command_serve(args: argparse.Namespace) -> int:
     from repro.serving import MatchEngine, RequestError, ResolutionIndex
     from repro.serving.io import iter_requests, write_decisions
 
-    index = ResolutionIndex.load(args.index)
+    mmap = args.mmap if args.mmap is not None else MinoanERConfig().index_mmap
+    index = ResolutionIndex.load(args.index, mmap=mmap)
+    load_info = index.load_info or {}
+    print(
+        f"# index {args.index}: format v{load_info.get('format_version')}, "
+        f"{load_info.get('file_bytes')} bytes, "
+        f"{'memory-mapped' if load_info.get('mmap') else 'eager'} load",
+        file=sys.stderr,
+    )
     overrides: dict = dict(
         serving_cache_size=args.cache_size,
         serving_candidate_cap=args.candidate_cap,
         serving_batch_size=args.batch_size,
         serving_deadline_ms=args.deadline_ms,
+        index_mmap=bool(load_info.get("mmap", False)),
     )
     if args.provenance is not None:
         overrides["provenance_sample_rate"] = args.provenance
     config = index.config.with_options(**overrides)
     engine = MatchEngine(index, config)
+    # index.load may have run before the engine's recorder existed (it
+    # records on the ambient recorder); re-surface how the index entered
+    # memory as index.* gauges on the recorder the /metrics endpoint and
+    # --stats actually read.
+    for key, value in load_info.items():
+        engine.recorder.gauge(f"index.{key}", int(value))
     metrics_server = None
     if args.metrics_port is not None:
         from repro.obs.prometheus import MetricsServer
@@ -437,8 +477,19 @@ def build_parser() -> argparse.ArgumentParser:
     index = subparsers.add_parser(
         "index", help="freeze a target KB into a query-time resolution index"
     )
-    index.add_argument("kb", help="target KB file (N-Triples or TSV)")
-    index.add_argument("-o", "--output", required=True, help="index file to write")
+    index.add_argument(
+        "kb", help="target KB file (N-Triples or TSV); with --migrate, an "
+        "existing index file",
+    )
+    index.add_argument(
+        "-o", "--output", help="index file to write (required unless "
+        "--migrate, which defaults to rewriting in place)",
+    )
+    index.add_argument(
+        "--migrate", action="store_true",
+        help="rewrite an existing index (e.g. a legacy pickle file) in "
+        "the current columnar format instead of building from a KB",
+    )
     _add_config_arguments(index)
     _add_trace_arguments(index)
     _add_chaos_arguments(index)
@@ -451,6 +502,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("index", help="index file written by 'repro index'")
     serve.add_argument(
         "-i", "--input", help="JSONL request file (default: stdin)"
+    )
+    serve.add_argument(
+        "--mmap", action=argparse.BooleanOptionalAction, default=None,
+        help="memory-map the index's columnar sections instead of "
+        "materialising them: O(1) load, pages shared across processes, "
+        "bit-identical decisions (requires numpy and a format-v2 index; "
+        "default: the config's index_mmap knob, normally off)",
     )
     serve.add_argument(
         "--batch-size", type=int, default=serving_defaults.serving_batch_size,

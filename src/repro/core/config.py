@@ -9,8 +9,8 @@ or expose an ablation used in its evaluation (rule toggles, purging).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
 
 
 @dataclass(frozen=True)
@@ -80,6 +80,13 @@ class MinoanERConfig:
         1 answers queries independently (cacheable); larger batches are
         resolved together, which lets related queries contribute
         query-side context (Entity Frequencies, neighbor evidence).
+    index_mmap:
+        Load :class:`repro.serving.ResolutionIndex` files by
+        memory-mapping their columnar sections instead of materialising
+        them (``docs/serving.md``).  Zero-copy loads are O(1) in index
+        size and share read-only pages across worker processes; decisions
+        are bit-identical either way.  Requires numpy and a version-2
+        index file (the ``serve --mmap`` flag overrides this knob).
     failure_mode / retry_max_attempts / retry_base_delay_s:
         Stage-failure behaviour of the pipelines (see
         ``docs/resilience.md``): ``fail_fast`` aborts on the first
@@ -141,6 +148,7 @@ class MinoanERConfig:
     serving_cache_size: int = 1024
     serving_candidate_cap: int | None = None
     serving_batch_size: int = 1
+    index_mmap: bool = False
     provenance_sample_rate: float = 0.0
     observability: bool = True
     failure_mode: str = "fail_fast"
@@ -234,3 +242,33 @@ class MinoanERConfig:
 
 PAPER_DEFAULT = MinoanERConfig()
 """The paper's suggested global configuration (k, K, N, theta) = (2, 15, 3, 0.6)."""
+
+
+def config_to_dict(config: MinoanERConfig) -> dict[str, Any]:
+    """JSON-serialisable dict of all config fields.
+
+    Inverse of :func:`config_from_dict`; used by the columnar index
+    header (``repro.serving.format``) so a loaded index reconstructs an
+    equal :class:`MinoanERConfig` without pickling it.
+    """
+    out: dict[str, Any] = {}
+    for spec in fields(config):
+        value = getattr(config, spec.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[spec.name] = value
+    return out
+
+
+def config_from_dict(data: Mapping[str, Any]) -> MinoanERConfig:
+    """Rebuild a :class:`MinoanERConfig` from :func:`config_to_dict` output.
+
+    Unknown keys are ignored (an index written by a build with extra
+    knobs still loads), missing keys take defaults, and JSON's
+    list/tuple erasure is undone so the round-trip compares equal.
+    """
+    known = {spec.name for spec in fields(MinoanERConfig)}
+    kwargs = {key: value for key, value in data.items() if key in known}
+    if isinstance(kwargs.get("stopwords"), list):
+        kwargs["stopwords"] = tuple(kwargs["stopwords"])
+    return MinoanERConfig(**kwargs)

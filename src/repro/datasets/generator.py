@@ -417,9 +417,17 @@ class _KBRenderer:
         """Build the KB; returns it plus ``world id -> entity id``."""
         world, spec, rng = self.world, self.world.spec, self.rng
         members = [w for w in range(world.n_total) if world.membership(w, self.side)]
+        # Hoisted out of the per-entity loop: the membership set and a
+        # source-grouped edge index (preserving world.edges order per
+        # source, so the rng draw sequence is untouched).  Both were
+        # O(n) per entity, turning render() quadratic at scale.
+        members_set = set(members)
+        self._edges_by_source: dict[int, list[tuple[int, int]]] = {}
+        for source, target, relation in world.edges:
+            self._edges_by_source.setdefault(source, []).append((target, relation))
         descriptions = []
         for world_id in members:
-            descriptions.append(self._render_entity(world_id, set(members)))
+            descriptions.append(self._render_entity(world_id, members_set))
         kb = KnowledgeBase(descriptions, name=f"{spec.name}-E{self.side}")
         mapping = {world_id: index for index, world_id in enumerate(members)}
         return kb, mapping
@@ -484,8 +492,8 @@ class _KBRenderer:
             pairs = [(attribute, value.title()) for attribute, value in pairs]
 
         # Relations.
-        for source, target, relation in world.edges:
-            if source != world_id or target not in members:
+        for target, relation in self._edges_by_source.get(world_id, ()):
+            if target not in members:
                 continue
             if rng.random() < self.fidelity:
                 pairs.append((self.relation_names[relation], self.uri(target)))

@@ -22,9 +22,11 @@ stage-parallel pipeline's partitioned dataflow.
 """
 
 from repro.kernels.dispatch import (
+    KERNEL_API,
     KERNEL_BACKENDS,
     available_backends,
     get_backend,
+    missing_api,
     numpy_available,
     resolve_backend_name,
 )
@@ -37,6 +39,7 @@ from repro.kernels.interning import (
 from repro.kernels.python_backend import accumulate_row, select_row
 
 __all__ = [
+    "KERNEL_API",
     "KERNEL_BACKENDS",
     "CSRAdjacency",
     "InternedBlocks",
@@ -44,6 +47,7 @@ __all__ = [
     "available_backends",
     "block_weight",
     "get_backend",
+    "missing_api",
     "numpy_available",
     "resolve_backend_name",
     "retained_edge_arrays",

@@ -21,6 +21,30 @@ from types import ModuleType
 KERNEL_BACKENDS = ("auto", "dict", "python", "numpy")
 """Accepted values of ``MinoanERConfig.kernel_backend``."""
 
+KERNEL_API = (
+    "accumulate_beta",
+    "accumulate_gamma",
+    "accumulate_row",
+    "beta_sparse",
+    "gamma_topk",
+    "is_available",
+    "select_row",
+    "value_topk",
+)
+"""Entry points every array backend module exposes.
+
+The batch kernels (``value_topk``/``gamma_topk`` and their
+oracle-comparable dict views) plus the single-row serving pair
+(``accumulate_row``/``select_row``).  The serving engine's breaker
+fallback swaps backends mid-call, so the python and numpy modules must
+stay signature-compatible across this whole surface; the conformance
+test walks this tuple."""
+
+
+def missing_api(module: ModuleType) -> tuple[str, ...]:
+    """:data:`KERNEL_API` names ``module`` lacks (empty = conformant)."""
+    return tuple(name for name in KERNEL_API if not callable(getattr(module, name, None)))
+
 _NUMPY_AVAILABLE: bool | None = None
 
 

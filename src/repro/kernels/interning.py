@@ -40,6 +40,13 @@ class CSRAdjacency:
     Built once from per-node neighbor tuples; :meth:`to_lists` returns a
     cached list-of-lists view for pure-Python inner loops.
 
+    ``offsets``/``ids`` are any sliceable int sequences with
+    ``.tolist()`` -- ``array('i')`` when built in-process, zero-copy
+    int32 views over a memmapped index file when the adjacency comes
+    from ``ResolutionIndex.load(mmap=True)``.  Both backends consume
+    either representation unchanged (the numpy kernels via
+    ``_as_int64``, the python kernels via :meth:`to_lists`).
+
     >>> adj = CSRAdjacency.from_lists([(1, 2), (), (0,)])
     >>> adj.neighbors(0)
     array('i', [1, 2])
@@ -47,7 +54,7 @@ class CSRAdjacency:
     3
     """
 
-    def __init__(self, offsets: array, ids: array):
+    def __init__(self, offsets, ids):
         self.offsets = offsets
         self.ids = ids
         self._lists: list[list[int]] | None = None

@@ -31,14 +31,24 @@ def is_available() -> bool:
 
 
 def _as_int64(buffer) -> "np.ndarray":
+    if isinstance(buffer, np.ndarray):
+        # Already an array (e.g. an int32 view over a memmapped index
+        # section): convert without a buffer-protocol round trip.
+        return buffer.astype(np.int64, copy=False)
     if len(buffer) == 0:
         return np.empty(0, dtype=np.int64)
+    if isinstance(buffer, list):
+        return np.asarray(buffer, dtype=np.int64)
     return np.frombuffer(buffer, dtype=np.intc).astype(np.int64)
 
 
 def _as_float64(buffer) -> "np.ndarray":
+    if isinstance(buffer, np.ndarray):
+        return buffer.astype(np.float64, copy=False)
     if len(buffer) == 0:
         return np.empty(0, dtype=np.float64)
+    if isinstance(buffer, list):
+        return np.asarray(buffer, dtype=np.float64)
     return np.frombuffer(buffer, dtype=np.float64)
 
 
@@ -73,6 +83,88 @@ def _accumulate_pairs(
     return unique_rows, unique_cols, sums
 
 
+def accumulate_row(
+    weighted_postings,
+) -> tuple[list[int], list[float]]:
+    """Accumulate one entity's ``beta`` row from weighted posting lists.
+
+    Vectorised counterpart of the python backend's ``accumulate_row``:
+    the per-block candidate arrays are concatenated (memmapped int32
+    posting slices are consumed as-is -- no per-token python lists),
+    block weights are expanded alongside, and duplicate candidates are
+    collapsed with ``unique`` + ``bincount``.  ``bincount`` sums each
+    bin sequentially in input order, so every candidate's float total is
+    built in exactly the block visit order of the dict accumulation --
+    bit-identical sums.  Candidates return in ascending id order (the
+    python backend returns first-touch order); all consumers rank under
+    the total order ``(-score, id)``, which is insensitive to row order.
+    """
+    chunks = []
+    weights: list[float] = []
+    counts: list[int] = []
+    for weight, candidates in weighted_postings:
+        ids = _as_int64(candidates)
+        if ids.shape[0] == 0:
+            continue
+        chunks.append(ids)
+        weights.append(weight)
+        counts.append(ids.shape[0])
+    if not chunks:
+        return [], []
+    cols = np.concatenate(chunks)
+    expanded = np.repeat(
+        np.asarray(weights, dtype=np.float64), np.asarray(counts, dtype=np.int64)
+    )
+    unique_cols, inverse = np.unique(cols, return_inverse=True)
+    sums = np.bincount(inverse, weights=expanded)
+    return unique_cols.tolist(), sums.tolist()
+
+
+def select_row(
+    ids,
+    sums,
+    k: int,
+    cut: AdaptiveCut = None,
+) -> CandidateList:
+    """Top-K of one sparse row, ranked by ``(-score, id)``.
+
+    Fused selection: one ``np.partition`` finds the k-th largest score,
+    strictly-greater entries survive outright (provably at most k-1 of
+    them), and the remaining slots are filled from the threshold ties by
+    smallest candidate id -- realising the exact bounded-heap total
+    order of the python backend without sorting the whole row.  Only the
+    <= k survivors are then ordered (``lexsort`` on ``(-score, id)``).
+    Scores are carried through untouched, so the returned floats are
+    bit-identical to the accumulation's.
+    """
+    if k <= 0:
+        return ()
+    ids_arr = _as_int64(ids)
+    scores = _as_float64(sums)
+    n = ids_arr.shape[0]
+    if n == 0:
+        return ()
+    if n > k:
+        threshold = np.partition(scores, n - k)[n - k]
+        above = scores > threshold
+        need = k - int(above.sum())
+        ties = scores == threshold
+        tie_ids = ids_arr[ties]
+        if need < tie_ids.shape[0]:
+            # Ties rank by ascending id: keep the `need` smallest ids.
+            cutoff = np.partition(tie_ids, need - 1)[need - 1]
+            keep = above | (ties & (ids_arr <= cutoff))
+        else:
+            keep = above | ties
+        ids_arr = ids_arr[keep]
+        scores = scores[keep]
+    order = np.lexsort((ids_arr, -scores))
+    ranked = tuple(zip(ids_arr[order].tolist(), scores[order].tolist()))
+    if cut is not None:
+        ranked = adaptive_cut(ranked, cut[0], cut[1])
+    return ranked
+
+
 def _topk_grouped(
     groups: "np.ndarray",
     candidates: "np.ndarray",
@@ -91,6 +183,10 @@ def _topk_grouped(
     """
     if len(groups) == 0 or k <= 0:
         return [()] * n
+    if n == 1:
+        # Batch of one: the grouped problem degenerates to a single row,
+        # shared with the serving hot path's fused selection.
+        return [select_row(candidates, scores, k, cut)]
     order = np.lexsort((-scores, groups))
     counts = np.bincount(groups, minlength=n)
     offsets = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)))

@@ -13,8 +13,10 @@ Two entry points with one contract:
   of one, on a dedicated hot path: candidates come only from the
   query's shared tokens and names (never a scan of the indexed KB), the
   ``beta`` row is accumulated with the single-row kernel entry points
-  (:func:`repro.kernels.accumulate_row` / ``select_row``) using the
-  index's hoisted singleton block weights, and rules R1-R4 run in a
+  (``accumulate_row`` / ``select_row``, dispatched to the configured
+  backend and breaker-guarded like the batch kernels; the numpy pair
+  consumes memmapped posting slices zero-copy) using the index's
+  hoisted singleton block weights, and rules R1-R4 run in a
   query-local form whose per-candidate reciprocity checks touch nothing
   outside the candidate set.  ``match(e)`` equals
   ``match_batch([e])[0]`` by construction (tested).
@@ -299,8 +301,12 @@ class MatchEngine:
             for name in (normalize_name(raw) for raw in qstats.names(0))
             if name
         }
-        for name in sorted(qnames & self.index.names.keys()):
-            ids2 = self.index.names[name]
+        # Membership loop, not a set intersection: the index's name map
+        # may be a memmapped view whose keys-view would decode the whole
+        # table; probing the few query names costs O(log n) each.
+        names2 = self.index.names
+        for name in sorted(name for name in qnames if name in names2):
+            ids2 = names2[name]
             if len(ids2) == 1:
                 return ids2[0]
         return None
@@ -372,16 +378,20 @@ class MatchEngine:
                 )
             shared = [token for token in shared if len(postings[token]) <= threshold]
 
+        # The weighted postings are materialised (not a generator): the
+        # breaker may replay the args against the python fallback, and
+        # the numpy backend consumes memmapped id slices zero-copy.
         singleton_weights = index.singleton_weights
-        ids, sums = accumulate_row(
-            (singleton_weights[token], postings[token]) for token in shared
-        )
+        weighted = [(singleton_weights[token], postings[token]) for token in shared]
+        ids, sums = self._run_kernel("accumulate_row", weighted)
         cap = config.serving_candidate_cap
         if cap is not None and len(ids) > cap:
-            capped = select_row(ids, sums, cap)
+            capped = self._run_kernel("select_row", ids, sums, cap, None)
             ids = [candidate for candidate, _ in capped]
             sums = [score for _, score in capped]
-        value_list = select_row(ids, sums, config.candidates_k, self._cut)
+        value_list = self._run_kernel(
+            "select_row", ids, sums, config.candidates_k, self._cut
+        )
         if deadline is not None:
             deadline.check("matching rules")
         # gamma is inert for a lone query (no resolvable relations), so
@@ -594,7 +604,10 @@ class MatchEngine:
 
         blocks = BlockCollection(kind="token")
         postings = index.postings
-        for token in sorted(qkb.token_index.keys() & postings.keys()):
+        # Probe the (few) query tokens against the index rather than
+        # intersecting keys views: a memmapped postings table answers
+        # membership by binary search without decoding its tokens.
+        for token in sorted(t for t in qkb.token_index if t in postings):
             blocks.add(Block(token, qkb.token_index[token], postings[token]))
         if config.purge_blocks:
             blocks = purge_blocks(
@@ -642,7 +655,7 @@ class MatchEngine:
         forward: dict[int, int] = {}
         reverse: dict[int, int] = {}
         names2 = self.index.names
-        for name in sorted(index1.keys() & names2.keys()):
+        for name in sorted(n for n in index1 if n in names2):
             ids1, ids2 = index1[name], names2[name]
             if len(ids1) == 1 and len(ids2) == 1:
                 eid1, eid2 = ids1[0], ids2[0]

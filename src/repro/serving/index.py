@@ -25,7 +25,9 @@ without the source KB.
 
 from __future__ import annotations
 
+import os
 import pickle
+import warnings
 from array import array
 from pathlib import Path
 
@@ -36,9 +38,10 @@ from repro.kb.statistics import KBStatistics
 from repro.kb.tokenizer import Tokenizer
 from repro.kernels import CSRAdjacency, block_weight
 from repro.obs import current_recorder
+from repro.serving import format as index_format
+from repro.serving.format import FORMAT_VERSION, LEGACY_FORMAT_VERSION, MAGIC
 
-MAGIC = b"MINOANER-INDEX\x00"
-FORMAT_VERSION = 1
+__all__ = ["FORMAT_VERSION", "LEGACY_FORMAT_VERSION", "MAGIC", "ResolutionIndex"]
 
 _PERSISTED_FIELDS = (
     "kb_name",
@@ -74,8 +77,10 @@ class ResolutionIndex:
     names:
         Normalised name -> tuple of KB2 entity ids using it.
     postings:
-        Token -> ``array('i')`` of ascending KB2 entity ids (the KB2
-        side of the token block keyed by that token).
+        Token -> ascending KB2 entity ids (the KB2 side of the token
+        block keyed by that token): ``array('i')`` when built or loaded
+        eagerly, a zero-copy ``repro.serving.format.MappedPostings``
+        view over int32 file pages when loaded with ``mmap=True``.
     singleton_weights:
         Token -> ``1 / log2(EF2(t) + 1)``: the block weight of the
         token's query-time block when the query side holds one entity
@@ -109,6 +114,9 @@ class ResolutionIndex:
         self.postings = postings
         self.singleton_weights = singleton_weights
         self.in_neighbors = in_neighbors
+        #: How the index entered memory: ``{"mmap", "format_version",
+        #: "file_bytes"}`` after :meth:`load`, None for built indexes.
+        self.load_info: dict[str, int | bool] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -182,11 +190,18 @@ class ResolutionIndex:
 
     def describe(self) -> dict[str, object]:
         """Summary of the frozen structures (for logs and ``stats()``)."""
+        postings = self.postings
+        if hasattr(postings, "total_entries"):
+            # Memmapped postings know their CSR length in O(1); iterating
+            # every token would decode the whole table.
+            entries = postings.total_entries()
+        else:
+            entries = sum(len(ids) for ids in postings.values())
         return {
             "kb": self.kb_name,
             "entities": self.n2,
             "tokens": len(self.postings),
-            "posting_entries": sum(len(ids) for ids in self.postings.values()),
+            "posting_entries": entries,
             "names": len(self.names),
             "name_attributes": list(self.name_attributes),
             "in_neighbor_edges": len(self.in_neighbors.ids),
@@ -196,39 +211,81 @@ class ResolutionIndex:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Write the index to ``path`` (magic header + pickle payload).
+        """Write the index to ``path`` in the columnar format (version 2).
 
-        The payload is a pickle of the frozen fields; like any pickle it
-        must only be loaded from trusted sources.
+        The encoding is deterministic (sorted tables, canonical JSON
+        header, zero padding), so saving the same logical index -- built,
+        eager-loaded or memmapped -- produces identical bytes.  Unlike
+        the retired pickle payload, the file carries no executable
+        content; see ``docs/serving.md`` for the format and threat model.
         """
-        payload = {field: getattr(self, field) for field in _PERSISTED_FIELDS}
-        with current_recorder().span("index.save"):
-            with open(path, "wb") as handle:
-                handle.write(MAGIC)
-                handle.write(bytes([FORMAT_VERSION]))
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        fields = {field: getattr(self, field) for field in _PERSISTED_FIELDS}
+        data = index_format.encode_index(fields)
+        with current_recorder().span("index.save", file_bytes=len(data)):
+            Path(path).write_bytes(data)
 
     @classmethod
-    def load(cls, path: str | Path) -> "ResolutionIndex":
+    def load(cls, path: str | Path, mmap: bool = False) -> "ResolutionIndex":
         """Read an index written by :meth:`save`.
 
-        Raises ``ValueError`` on a foreign or future-versioned file
-        rather than unpickling it.
+        With ``mmap=False`` (the default) the columnar sections are
+        materialised into the same dict/array structures :meth:`build`
+        produces.  With ``mmap=True`` the file is ``numpy.memmap``-ed and
+        the index serves straight off zero-copy views: load time is O(1)
+        in index size and concurrent processes mapping the same file
+        share its read-only pages.  Decisions are bit-identical either
+        way.
+
+        Version-1 (pickle) files still load -- eagerly, with a
+        ``DeprecationWarning``; rewrite them once with
+        ``python -m repro index --migrate``.  Foreign or future-versioned
+        files raise ``ValueError`` without touching their payload.
         """
-        with current_recorder().span("index.load"):
+        recorder = current_recorder()
+        with recorder.span("index.load", path=str(path)) as span:
             with open(path, "rb") as handle:
-                magic = handle.read(len(MAGIC))
-                if magic != MAGIC:
-                    raise ValueError(f"{path} is not a MinoanER resolution index")
-                version = handle.read(1)
-                if not version or version[0] != FORMAT_VERSION:
-                    found = version[0] if version else None
-                    raise ValueError(
-                        f"unsupported index format version {found!r} in {path} "
-                        f"(this build reads version {FORMAT_VERSION})"
-                    )
-                payload = pickle.load(handle)
-        return cls(**payload)
+                prefix = handle.read(len(MAGIC) + 1)
+            if prefix[: len(MAGIC)] != MAGIC:
+                raise ValueError(f"{path} is not a MinoanER resolution index")
+            version = prefix[len(MAGIC)] if len(prefix) > len(MAGIC) else None
+            if version == FORMAT_VERSION:
+                if mmap:
+                    fields, file_bytes = index_format.open_mmap(path)
+                else:
+                    data = Path(path).read_bytes()
+                    fields = index_format.decode_eager(data)
+                    file_bytes = len(data)
+            elif version == LEGACY_FORMAT_VERSION:
+                warnings.warn(
+                    f"{path} uses the legacy pickle index format (version 1); "
+                    "loading executes pickle and will be removed -- rewrite it "
+                    "with 'python -m repro index --migrate'",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                with open(path, "rb") as handle:
+                    handle.seek(len(MAGIC) + 1)
+                    fields = pickle.load(handle)
+                file_bytes = os.path.getsize(path)
+                mmap = False  # pickle payloads cannot be mapped
+            else:
+                raise ValueError(
+                    f"unsupported index format version {version!r} in {path} "
+                    f"(this build reads versions "
+                    f"{LEGACY_FORMAT_VERSION} and {FORMAT_VERSION})"
+                )
+            load_info = {
+                "mmap": bool(mmap),
+                "format_version": int(version),
+                "file_bytes": int(file_bytes),
+            }
+            span.attributes.update(load_info)
+            recorder.gauge("index.mmap", int(load_info["mmap"]))
+            recorder.gauge("index.format_version", load_info["format_version"])
+            recorder.gauge("index.file_bytes", load_info["file_bytes"])
+        index = cls(**fields)
+        index.load_info = load_info
+        return index
 
     def __repr__(self) -> str:
         return (

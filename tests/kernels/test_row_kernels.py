@@ -1,0 +1,162 @@
+"""Single-row kernel entry points: python vs numpy bit-identity.
+
+``accumulate_row``/``select_row`` are the serving hot path (and, for a
+batch of one, the fast path inside ``value_topk``/``gamma_topk``).  The
+numpy pair must reproduce the python pair's float sums and ranked
+output exactly -- including ties, which rank by ascending candidate id
+under the ``(-score, id)`` total order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    KERNEL_API,
+    available_backends,
+    get_backend,
+    missing_api,
+    numpy_available,
+)
+from repro.kernels import python_backend
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not importable"
+)
+
+BACKENDS = [name for name in available_backends() if name != "dict"]
+
+
+@st.composite
+def weighted_postings(draw):
+    """Random ``(block weight, ascending candidate ids)`` pairs."""
+    n2 = draw(st.integers(min_value=1, max_value=24))
+    n_blocks = draw(st.integers(min_value=0, max_value=10))
+    blocks = []
+    for _ in range(n_blocks):
+        ids = sorted(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n2 - 1),
+                    min_size=0, max_size=n2, unique=True,
+                )
+            )
+        )
+        # Weights drawn from a tiny pool so duplicate sums (ties) are
+        # common -- the tie-break is the hard part of selection.
+        weight = draw(st.sampled_from([0.25, 0.5, 1.0, 1.5]))
+        blocks.append((weight, ids))
+    return blocks
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_api_complete(backend):
+    module = get_backend(backend)
+    assert missing_api(module) == ()
+    assert set(KERNEL_API) <= set(dir(module))
+
+
+class TestAccumulateRow:
+    @needs_numpy
+    @settings(max_examples=150, deadline=None)
+    @given(blocks=weighted_postings())
+    def test_numpy_matches_python(self, blocks):
+        import repro.kernels.numpy_backend as numpy_backend
+
+        py_ids, py_sums = python_backend.accumulate_row(blocks)
+        np_ids, np_sums = numpy_backend.accumulate_row(blocks)
+        # python returns first-touch order, numpy ascending-id order;
+        # the (candidate -> sum) mapping must agree bit for bit.
+        assert dict(zip(np_ids, np_sums)) == dict(zip(py_ids, py_sums))
+        assert np_ids == sorted(np_ids)
+        assert all(isinstance(c, int) for c in np_ids)
+
+    @needs_numpy
+    def test_consumes_array_and_list_postings(self):
+        from array import array
+
+        import numpy as np
+
+        import repro.kernels.numpy_backend as numpy_backend
+
+        blocks = [
+            (0.5, array("i", [0, 2, 5])),
+            (1.0, np.array([2, 3], dtype="<i4")),
+            (0.25, [5]),
+            (2.0, array("i")),
+        ]
+        ids, sums = numpy_backend.accumulate_row(blocks)
+        assert dict(zip(ids, sums)) == {0: 0.5, 2: 1.5, 3: 1.0, 5: 0.75}
+
+    def test_empty_input(self):
+        assert python_backend.accumulate_row([]) == ([], [])
+
+
+@needs_numpy
+class TestSelectRow:
+    @settings(max_examples=200, deadline=None)
+    @given(blocks=weighted_postings(), k=st.integers(min_value=1, max_value=8))
+    def test_numpy_matches_python(self, blocks, k):
+        import repro.kernels.numpy_backend as numpy_backend
+
+        ids, sums = python_backend.accumulate_row(blocks)
+        expected = python_backend.select_row(ids, sums, k)
+        assert numpy_backend.select_row(ids, sums, k) == expected
+        # Row order must not matter: serving feeds the numpy-accumulated
+        # (ascending) row into whichever backend the breaker picks.
+        np_ids, np_sums = numpy_backend.accumulate_row(blocks)
+        assert numpy_backend.select_row(np_ids, np_sums, k) == expected
+        assert python_backend.select_row(np_ids, np_sums, k) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(blocks=weighted_postings(), k=st.integers(min_value=1, max_value=8))
+    def test_adaptive_cut_matches_python(self, blocks, k):
+        import repro.kernels.numpy_backend as numpy_backend
+
+        ids, sums = python_backend.accumulate_row(blocks)
+        cut = (0.2, 1)
+        assert numpy_backend.select_row(ids, sums, k, cut) == (
+            python_backend.select_row(ids, sums, k, cut)
+        )
+
+    def test_tie_break_prefers_smaller_ids(self):
+        import repro.kernels.numpy_backend as numpy_backend
+
+        ids = [9, 3, 7, 1, 5]
+        sums = [1.0, 1.0, 2.0, 1.0, 1.0]
+        # k=3: 7 wins outright, then the 1.0 ties rank by ascending id.
+        expected = ((7, 2.0), (1, 1.0), (3, 1.0))
+        assert numpy_backend.select_row(ids, sums, 3) == expected
+        assert python_backend.select_row(ids, sums, 3) == expected
+
+    def test_degenerate_inputs(self):
+        import repro.kernels.numpy_backend as numpy_backend
+
+        assert numpy_backend.select_row([], [], 5) == ()
+        assert numpy_backend.select_row([1], [0.5], 0) == ()
+        assert numpy_backend.select_row([1], [0.5], 5) == ((1, 0.5),)
+
+
+@needs_numpy
+class TestTopkGroupedFastPath:
+    def test_single_group_matches_general_path(self):
+        """n == 1 delegates to select_row; results must match the
+        grouped lexsort path run with a padded second group."""
+        import numpy as np
+
+        import repro.kernels.numpy_backend as numpy_backend
+
+        candidates = np.array([4, 0, 2, 7], dtype=np.int64)
+        scores = np.array([1.0, 2.0, 1.0, 0.5], dtype=np.float64)
+        groups = np.zeros(4, dtype=np.int64)
+        fast = numpy_backend._topk_grouped(groups, candidates, scores, 1, 2, None)
+        # Same row plus a padding group, laid out in the precondition's
+        # (ascending candidate within equal scores) order.
+        general = numpy_backend._topk_grouped(
+            np.array([0, 0, 0, 0, 1], dtype=np.int64),
+            np.array([0, 2, 4, 7, 0], dtype=np.int64),
+            np.array([2.0, 1.0, 1.0, 0.5, 1.0], dtype=np.float64),
+            2, 2, None,
+        )
+        assert fast[0] == ((0, 2.0), (2, 1.0))
+        assert general[0] == fast[0]

@@ -98,3 +98,78 @@ class TestLoadedIndexEquivalence:
         reloaded = MatchEngine(loaded)
         for entity in list(mini_pair.kb1)[:25]:
             assert fresh.match(entity) == reloaded.match(entity)
+
+
+class TestMemmappedIndexEquivalence:
+    """Zero-copy loads must serve bit-identical decisions.
+
+    The mmap path swaps every index structure for a lazily-decoded view
+    and the numpy row kernels consume the mapped int32 slices directly,
+    so equality here gates the whole columnar format + fused-kernel
+    stack, per profile and per backend.
+    """
+
+    @staticmethod
+    def _pair_of(name, request):
+        if name in ("mini", "hard"):
+            return request.getfixturevalue(f"{name}_pair")
+        profile, scale = name
+        return scaled_profile(profile, scale)
+
+    @pytest.fixture(autouse=True)
+    def _require_numpy(self):
+        from repro.kernels import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy not importable (mmap loading requires it)")
+
+    @pytest.mark.parametrize(
+        "profile",
+        [
+            "mini",
+            "hard",
+            ("restaurant", 0.3),
+            ("rexa_dblp", 0.15),
+            ("bbc_dbpedia", 0.2),
+            ("yago_imdb", 0.15),
+        ],
+        ids=["mini", "hard", "restaurant", "rexa_dblp", "bbc_dbpedia", "yago_imdb"],
+    )
+    def test_mmap_serves_identically(self, profile, request, tmp_path):
+        pair = self._pair_of(profile, request)
+        built = ResolutionIndex.build(pair.kb2)
+        path = tmp_path / "kb2.idx"
+        built.save(path)
+        eager = MatchEngine(ResolutionIndex.load(path))
+        mapped = MatchEngine(ResolutionIndex.load(path, mmap=True))
+
+        queries = list(pair.kb1)
+        assert eager.match_batch(queries) == mapped.match_batch(queries)
+        for entity in queries[:25]:
+            assert eager.match(entity) == mapped.match(entity)
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_mmap_per_backend(self, mini_pair, tmp_path, backend):
+        config = MinoanERConfig(kernel_backend=backend)
+        built = ResolutionIndex.build(mini_pair.kb2, config)
+        path = tmp_path / "kb2.idx"
+        built.save(path)
+        fresh = MatchEngine(built)
+        mapped = MatchEngine(ResolutionIndex.load(path, mmap=True))
+        for entity in list(mini_pair.kb1)[:25]:
+            assert fresh.match(entity) == mapped.match(entity)
+        assert fresh.match_batch(list(mini_pair.kb1)) == mapped.match_batch(
+            list(mini_pair.kb1)
+        )
+
+    def test_mmap_resave_serves_identically(self, mini_pair, tmp_path):
+        built = ResolutionIndex.build(mini_pair.kb2)
+        first = tmp_path / "kb2.idx"
+        built.save(first)
+        second = tmp_path / "resaved.idx"
+        ResolutionIndex.load(first, mmap=True).save(second)
+        assert second.read_bytes() == first.read_bytes()
+        reloaded = MatchEngine(ResolutionIndex.load(second, mmap=True))
+        fresh = MatchEngine(built)
+        for entity in list(mini_pair.kb1)[:25]:
+            assert fresh.match(entity) == reloaded.match(entity)

@@ -1,0 +1,278 @@
+"""Robustness of the columnar index format (version 2).
+
+Corruption guards (truncation, foreign magic, future versions), edge
+shapes (empty KB2, tokens with zero postings), byte-determinism of the
+encoder, the legacy-pickle migration path, and the zero-copy view
+classes backing ``load(mmap=True)``.
+"""
+
+from array import array
+
+import pytest
+
+from repro.core.config import MinoanERConfig, config_from_dict, config_to_dict
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kernels import numpy_available
+from repro.serving import format as index_format
+from repro.serving.index import (
+    FORMAT_VERSION,
+    LEGACY_FORMAT_VERSION,
+    MAGIC,
+    ResolutionIndex,
+)
+
+_PERSISTED_FIELDS = (
+    "kb_name",
+    "n2",
+    "uris2",
+    "config",
+    "tokenizer",
+    "name_attributes",
+    "names",
+    "postings",
+    "singleton_weights",
+    "in_neighbors",
+)
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="mmap loading requires numpy"
+)
+
+
+def _fields_of(index: ResolutionIndex) -> dict:
+    return {name: getattr(index, name) for name in _PERSISTED_FIELDS}
+
+
+@pytest.fixture
+def saved_index(restaurant_kbs, tmp_path):
+    _, kb2 = restaurant_kbs
+    index = ResolutionIndex.build(kb2, MinoanERConfig(candidates_k=7))
+    path = tmp_path / "kb2.idx"
+    index.save(path)
+    return index, path
+
+
+class TestCorruptionGuards:
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "foreign.idx"
+        path.write_bytes(b"\x93NUMPY" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="not a MinoanER resolution index"):
+            ResolutionIndex.load(path)
+
+    def test_future_version(self, saved_index):
+        _, path = saved_index
+        raw = bytearray(path.read_bytes())
+        raw[len(MAGIC)] = FORMAT_VERSION + 1
+        path.write_bytes(bytes(raw))
+        for mmap in (False, True):
+            with pytest.raises(ValueError, match="unsupported index format version"):
+                ResolutionIndex.load(path, mmap=mmap)
+
+    def test_magic_only(self, tmp_path):
+        path = tmp_path / "stub.idx"
+        path.write_bytes(MAGIC)
+        with pytest.raises(ValueError, match="unsupported index format version"):
+            ResolutionIndex.load(path)
+
+    def test_truncated_header(self, saved_index, tmp_path):
+        _, path = saved_index
+        stub = tmp_path / "cut.idx"
+        stub.write_bytes(path.read_bytes()[: len(MAGIC) + 2])
+        with pytest.raises(ValueError, match="truncated index file"):
+            ResolutionIndex.load(stub)
+
+    @pytest.mark.parametrize("mmap", [False, pytest.param(True, marks=needs_numpy)])
+    def test_truncated_section(self, saved_index, tmp_path, mmap):
+        _, path = saved_index
+        stub = tmp_path / "cut.idx"
+        stub.write_bytes(path.read_bytes()[:-64])
+        with pytest.raises(ValueError, match="truncated index file"):
+            ResolutionIndex.load(stub, mmap=mmap)
+
+    def test_corrupt_header_json(self, saved_index):
+        _, path = saved_index
+        raw = bytearray(path.read_bytes())
+        # Smash the first byte of the JSON header.
+        raw[len(MAGIC) + 5] = 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="corrupt index header"):
+            ResolutionIndex.load(path)
+
+
+class TestEdgeShapes:
+    @pytest.mark.parametrize("mmap", [False, pytest.param(True, marks=needs_numpy)])
+    def test_empty_kb2_roundtrip(self, tmp_path, mmap):
+        index = ResolutionIndex.build(KnowledgeBase([], name="empty"))
+        path = tmp_path / "empty.idx"
+        index.save(path)
+        loaded = ResolutionIndex.load(path, mmap=mmap)
+        assert loaded.n2 == 0
+        assert len(loaded.postings) == 0
+        assert len(loaded.names) == 0
+        assert list(loaded.uris2) == []
+        assert len(loaded.in_neighbors) == 0
+
+    @pytest.mark.parametrize("mmap", [False, pytest.param(True, marks=needs_numpy)])
+    def test_zero_posting_token_roundtrip(self, restaurant_kbs, tmp_path, mmap):
+        _, kb2 = restaurant_kbs
+        index = ResolutionIndex.build(kb2)
+        # A token indexed with no postings cannot arise from build()
+        # (block_weight(0) is undefined), but the format must carry it:
+        # a sharded or filtered index may leave hollow tokens behind.
+        index.postings["zz-hollow-token"] = array("i")
+        index.singleton_weights["zz-hollow-token"] = 0.0
+        path = tmp_path / "hollow.idx"
+        index.save(path)
+        loaded = ResolutionIndex.load(path, mmap=mmap)
+        assert "zz-hollow-token" in loaded.postings
+        assert list(loaded.postings["zz-hollow-token"]) == []
+        assert loaded.singleton_weights["zz-hollow-token"] == 0.0
+        assert loaded.entity_frequency("zz-hollow-token") == 0
+
+
+class TestByteDeterminism:
+    def test_save_load_save_identical(self, saved_index, tmp_path):
+        _, path = saved_index
+        original = path.read_bytes()
+        resaved = tmp_path / "again.idx"
+        ResolutionIndex.load(path).save(resaved)
+        assert resaved.read_bytes() == original
+
+    @needs_numpy
+    def test_mmap_load_save_identical(self, saved_index, tmp_path):
+        _, path = saved_index
+        original = path.read_bytes()
+        resaved = tmp_path / "again.idx"
+        ResolutionIndex.load(path, mmap=True).save(resaved)
+        assert resaved.read_bytes() == original
+
+    def test_sections_are_aligned(self, saved_index):
+        _, path = saved_index
+        data = path.read_bytes()
+        header, base = index_format.parse_header(data, len(data))
+        assert base % index_format.ALIGNMENT == 0
+        for section in header["sections"]:
+            assert section["offset"] % index_format.ALIGNMENT == 0
+
+    def test_config_survives_json_roundtrip(self):
+        config = MinoanERConfig(candidates_k=9, stopwords=("the", "of"))
+        assert config_from_dict(config_to_dict(config)) == config
+        # Unknown keys from a newer build are ignored, not fatal.
+        augmented = dict(config_to_dict(config), future_knob=True)
+        assert config_from_dict(augmented) == config
+
+
+class TestLegacyMigration:
+    def test_legacy_pickle_loads_with_deprecation(self, saved_index, tmp_path):
+        index, _ = saved_index
+        legacy = tmp_path / "legacy.idx"
+        index_format.write_legacy_index(_fields_of(index), legacy)
+        assert legacy.read_bytes()[len(MAGIC)] == LEGACY_FORMAT_VERSION
+        with pytest.warns(DeprecationWarning, match="legacy pickle index format"):
+            loaded = ResolutionIndex.load(legacy)
+        assert loaded.names == index.names
+        assert loaded.singleton_weights == index.singleton_weights
+        assert loaded.load_info == {
+            "mmap": False,
+            "format_version": LEGACY_FORMAT_VERSION,
+            "file_bytes": legacy.stat().st_size,
+        }
+
+    def test_migrate_cli_rewrites_in_place(self, saved_index, tmp_path):
+        from repro.cli import main
+
+        index, path = saved_index
+        legacy = tmp_path / "legacy.idx"
+        index_format.write_legacy_index(_fields_of(index), legacy)
+        assert main(["index", "--migrate", str(legacy)]) == 0
+        # Now a v2 file, byte-identical to a fresh save of the same index.
+        assert legacy.read_bytes() == path.read_bytes()
+        loaded = ResolutionIndex.load(legacy)  # no DeprecationWarning now
+        assert loaded.load_info["format_version"] == FORMAT_VERSION
+
+    def test_index_command_requires_output_without_migrate(self, capsys):
+        from repro.cli import main
+
+        assert main(["index", "whatever.nt"]) == 2
+        assert "--output is required" in capsys.readouterr().err
+
+
+class TestLoadInfoAndGauges:
+    @pytest.mark.parametrize("mmap", [False, pytest.param(True, marks=needs_numpy)])
+    def test_load_info_and_span(self, saved_index, mmap):
+        from repro.obs import Recorder, use_recorder
+
+        _, path = saved_index
+        recorder = Recorder()
+        with use_recorder(recorder):
+            loaded = ResolutionIndex.load(path, mmap=mmap)
+        expected = {
+            "mmap": mmap,
+            "format_version": FORMAT_VERSION,
+            "file_bytes": path.stat().st_size,
+        }
+        assert loaded.load_info == expected
+        span = next(s for s in recorder.spans() if s.name == "index.load")
+        for key, value in expected.items():
+            assert span.attributes[key] == value
+
+    def test_gauges_reach_prometheus(self, saved_index):
+        from repro.obs import Recorder, use_recorder
+        from repro.obs.prometheus import render_metrics
+
+        _, path = saved_index
+        recorder = Recorder()
+        with use_recorder(recorder):
+            ResolutionIndex.load(path)
+        text = render_metrics(recorder)
+        assert f"index_file_bytes {path.stat().st_size}" in text
+        assert f"index_format_version {FORMAT_VERSION}" in text
+        assert "index_mmap 0" in text
+
+
+@needs_numpy
+class TestMappedViews:
+    @pytest.fixture
+    def mapped(self, saved_index):
+        index, path = saved_index
+        return index, ResolutionIndex.load(path, mmap=True)
+
+    def test_postings_view(self, mapped):
+        index, loaded = mapped
+        assert len(loaded.postings) == len(index.postings)
+        assert list(loaded.postings) == sorted(index.postings)
+        assert loaded.postings.total_entries() == sum(
+            len(ids) for ids in index.postings.values()
+        )
+        some = sorted(index.postings)[0]
+        assert list(loaded.postings[some]) == list(index.postings[some])
+        assert loaded.postings.get("never-a-token", ()) == ()
+        with pytest.raises(KeyError):
+            loaded.postings["never-a-token"]
+        assert "never-a-token" not in loaded.postings
+        assert 42 not in loaded.postings  # non-str probes never match
+
+    def test_weights_and_names_views(self, mapped):
+        index, loaded = mapped
+        assert dict(loaded.singleton_weights) == index.singleton_weights
+        assert dict(loaded.names) == index.names
+        some = next(iter(index.names))
+        assert loaded.names[some] == index.names[some]
+        assert isinstance(loaded.names[some], tuple)
+        with pytest.raises(KeyError):
+            loaded.names["￿ never a name"]
+
+    def test_uris_view(self, mapped):
+        index, loaded = mapped
+        assert len(loaded.uris2) == len(index.uris2)
+        assert list(loaded.uris2) == index.uris2
+        assert loaded.uris2[-1] == index.uris2[-1]
+        assert loaded.uris2[2:4] == index.uris2[2:4]
+        with pytest.raises(IndexError):
+            loaded.uris2[len(index.uris2)]
+
+    def test_adjacency_view(self, mapped):
+        index, loaded = mapped
+        assert len(loaded.in_neighbors) == len(index.in_neighbors)
+        assert list(loaded.in_neighbors.ids) == list(index.in_neighbors.ids)
+        assert loaded.in_neighbors.to_lists() == index.in_neighbors.to_lists()

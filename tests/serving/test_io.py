@@ -330,8 +330,10 @@ class TestCli:
         responses = [json.loads(line) for line in captured.out.strip().splitlines()]
         assert len(responses) == 8
         assert all("match" in r and "latency_ms" in r for r in responses)
-        assert captured.err.startswith("# {")
-        stats = json.loads(captured.err[2:])
+        stats_line = next(
+            line for line in captured.err.splitlines() if line.startswith("# {")
+        )
+        stats = json.loads(stats_line[2:])
         assert stats["queries"] == 8
 
     def test_serve_batched(self, tmp_path, capsys):
