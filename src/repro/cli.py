@@ -8,7 +8,9 @@ Usage::
     python -m repro experiment table3 --profiles restaurant bbc_dbpedia
     python -m repro index kb2.nt -o kb2.idx
     python -m repro index --migrate legacy.idx
+    python -m repro index kb2.nt -o kb2.idx --shards 3
     python -m repro serve kb2.idx --mmap < queries.jsonl > answers.jsonl
+    python -m repro serve kb2.idx --shards 3 --replicas 2 < q.jsonl
 
 ``resolve``, ``dedupe`` and ``index`` accept N-Triples (``.nt``) or
 ``subject<TAB>predicate<TAB>object`` TSV files.  ``generate``
@@ -293,6 +295,7 @@ def command_index(args: argparse.Namespace) -> int:
     import warnings
 
     from repro.serving import ResolutionIndex
+    from repro.serving.format import MAGIC
     from repro.serving.index import FORMAT_VERSION
 
     if args.migrate:
@@ -314,15 +317,35 @@ def command_index(args: argparse.Namespace) -> int:
     if not args.output:
         print("error: -o/--output is required unless --migrate", file=sys.stderr)
         return 2
-    kb2 = _load_kb(args.kb, "KB2")
-    index = ResolutionIndex.build(kb2, _config_from(args))
-    index.save(args.output)
+    # The input may be a KB to freeze, or an already-built index file to
+    # (re-)shard: sniff the container magic rather than guessing from
+    # the extension.
+    with open(args.kb, "rb") as handle:
+        is_index = handle.read(len(MAGIC)) == MAGIC
+    if is_index:
+        index = ResolutionIndex.load(args.kb)
+        if args.kb != args.output:
+            index.save(args.output)
+    else:
+        kb2 = _load_kb(args.kb, "KB2")
+        index = ResolutionIndex.build(kb2, _config_from(args))
+        index.save(args.output)
     summary = index.describe()
     print(
         f"# indexed {summary['entities']} entities "
         f"({summary['tokens']} tokens, {summary['names']} names) -> {args.output}",
         file=sys.stderr,
     )
+    if args.shards:
+        from repro.sharding import ShardPlanner
+
+        paths = ShardPlanner(args.shards).write(index, args.output)
+        sizes = sum(path.stat().st_size for path in paths)
+        print(
+            f"# sharded into {len(paths)} files "
+            f"({paths[0].name} .. {paths[-1].name}, {sizes} bytes total)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -335,23 +358,52 @@ def command_serve(args: argparse.Namespace) -> int:
     mmap = args.mmap if args.mmap is not None else MinoanERConfig().index_mmap
     index = ResolutionIndex.load(args.index, mmap=mmap)
     load_info = index.load_info or {}
-    print(
-        f"# index {args.index}: format v{load_info.get('format_version')}, "
-        f"{load_info.get('file_bytes')} bytes, "
-        f"{'memory-mapped' if load_info.get('mmap') else 'eager'} load",
-        file=sys.stderr,
-    )
     overrides: dict = dict(
         serving_cache_size=args.cache_size,
         serving_candidate_cap=args.candidate_cap,
         serving_batch_size=args.batch_size,
         serving_deadline_ms=args.deadline_ms,
+        serving_shards=args.shards,
+        serving_replicas=args.replicas,
+        serving_hedge_ms=args.hedge_ms,
+        failure_mode=args.failure_mode,
         index_mmap=bool(load_info.get("mmap", False)),
     )
     if args.provenance is not None:
         overrides["provenance_sample_rate"] = args.provenance
     config = index.config.with_options(**overrides)
-    engine = MatchEngine(index, config)
+
+    def emit_error(
+        message: str,
+        *,
+        line: int | None = None,
+        query: str | None = None,
+        shard: int | None = None,
+    ) -> None:
+        record: dict = {"error": message}
+        if line is not None:
+            record["line"] = line
+        if query is not None:
+            record["query"] = query
+        if shard is not None:
+            record["shard"] = shard
+        sys.stdout.write(json.dumps(record) + "\n")
+        sys.stdout.flush()
+
+    if config.serving_shards:
+        from repro.sharding import ShardRouter
+
+        engine: MatchEngine = ShardRouter.spawn(
+            args.index,
+            config.serving_shards,
+            replicas=config.serving_replicas,
+            mmap=mmap,
+            config=config,
+            on_shard_error=lambda shard, error: emit_error(str(error), shard=shard),
+            index=index,
+        )
+    else:
+        engine = MatchEngine(index, config)
     # index.load may have run before the engine's recorder existed (it
     # records on the ambient recorder); re-surface how the index entered
     # memory as index.* gauges on the recorder the /metrics endpoint and
@@ -366,19 +418,26 @@ def command_serve(args: argparse.Namespace) -> int:
         # --trace installed one, private otherwise), so the endpoint has
         # live serving.* metrics either way.
         metrics_server = MetricsServer(engine.recorder, port=args.metrics_port)
+    # The provenance line prints after the metrics server binds, so
+    # --metrics-port 0 reports the actually-bound ephemeral port.
+    provenance = (
+        f"format v{load_info.get('format_version')}, "
+        f"{load_info.get('file_bytes')} bytes, "
+        f"{'memory-mapped' if load_info.get('mmap') else 'eager'} load"
+    )
+    if config.serving_shards:
+        provenance += (
+            f", {config.serving_shards} shards x "
+            f"{config.serving_replicas} replicas"
+        )
+    if metrics_server is not None:
+        provenance += f", metrics port {metrics_server.port}"
+    print(f"# index {args.index}: {provenance}", file=sys.stderr)
+    if metrics_server is not None:
         print(
             f"# metrics at http://{metrics_server.host}:{metrics_server.port}/metrics",
             file=sys.stderr,
         )
-
-    def emit_error(message: str, *, line: int | None = None, query: str | None = None) -> None:
-        record: dict = {"error": message}
-        if line is not None:
-            record["line"] = line
-        if query is not None:
-            record["query"] = query
-        sys.stdout.write(json.dumps(record) + "\n")
-        sys.stdout.flush()
 
     def answer_batch(batch: list) -> None:
         try:
@@ -417,6 +476,9 @@ def command_serve(args: argparse.Namespace) -> int:
     finally:
         if stream is not sys.stdin:
             stream.close()
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
         if metrics_server is not None:
             metrics_server.close()
     if args.stats:
@@ -490,6 +552,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite an existing index (e.g. a legacy pickle file) in "
         "the current columnar format instead of building from a KB",
     )
+    index.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="additionally split the index into N per-shard files "
+        "(OUTPUT.shardI-of-N) for the sharded serving tier; each is a "
+        "fully valid index the stock engine loads unchanged "
+        "(see docs/sharding.md)",
+    )
     _add_config_arguments(index)
     _add_trace_arguments(index)
     _add_chaos_arguments(index)
@@ -537,6 +606,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RATE", help="attach per-decision provenance records to this "
         "fraction of responses (bare flag: every response; default: the "
         "index config's rate, normally off)",
+    )
+    from repro.resilience.policy import FAILURE_MODES
+
+    serve.add_argument(
+        "--shards", type=int, default=serving_defaults.serving_shards,
+        metavar="N", help="serve through N shard worker processes over the "
+        "files written by 'repro index --shards N' (bit-identical to "
+        "unsharded serving; default: single-process)",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=serving_defaults.serving_replicas,
+        metavar="R", help="worker replicas per shard; >1 enables hedged "
+        "requests (default %(default)s)",
+    )
+    serve.add_argument(
+        "--hedge-ms", type=float, default=serving_defaults.serving_hedge_ms,
+        metavar="MS", help="fixed delay before a backup request fires at a "
+        "sibling replica (default: adaptive p95 of the shard's latency)",
+    )
+    serve.add_argument(
+        "--failure-mode", choices=FAILURE_MODES, default=serving_defaults.failure_mode,
+        help="when a whole shard is unreachable: abort the query, retry "
+        "the scatter, or degrade to the surviving shards' evidence "
+        "(default %(default)s)",
     )
     serve.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",

@@ -108,6 +108,16 @@ class MinoanERConfig:
         failures queries fall back to the pure-python kernels
         (bit-identical, slower) for ``breaker_reset_s`` seconds before
         a half-open probe retries numpy.
+    serving_shards / serving_replicas / serving_hedge_ms:
+        Sharded serving tier (``docs/sharding.md``).  ``serving_shards``
+        = 0 (the default) serves from one in-process engine; N >= 1
+        routes queries through a :class:`repro.sharding.ShardRouter`
+        over N shard worker processes (files written by
+        ``repro index --shards N``), ``serving_replicas`` per shard.
+        ``serving_hedge_ms`` fixes the delay before a backup (hedged)
+        request fires at a sibling replica; ``None`` adapts it to the
+        shard's observed p95 latency.  Decisions are bit-identical to
+        unsharded serving at any shard/replica count.
     provenance_sample_rate:
         Fraction of serving queries that carry a full
         :class:`repro.obs.ProvenanceRecord` (fired rule, evidence type,
@@ -157,6 +167,9 @@ class MinoanERConfig:
     serving_deadline_ms: float | None = None
     breaker_threshold: int = 3
     breaker_reset_s: float = 30.0
+    serving_shards: int = 0
+    serving_replicas: int = 1
+    serving_hedge_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.name_attributes_k < 0:
@@ -229,6 +242,19 @@ class MinoanERConfig:
         if self.breaker_reset_s < 0:
             raise ValueError(
                 f"breaker_reset_s must be >= 0, got {self.breaker_reset_s}"
+            )
+        if self.serving_shards < 0:
+            raise ValueError(
+                f"serving_shards must be >= 0, got {self.serving_shards}"
+            )
+        if self.serving_replicas < 1:
+            raise ValueError(
+                f"serving_replicas must be >= 1, got {self.serving_replicas}"
+            )
+        if self.serving_hedge_ms is not None and self.serving_hedge_ms < 0:
+            raise ValueError(
+                f"serving_hedge_ms must be >= 0 or None, "
+                f"got {self.serving_hedge_ms}"
             )
 
     def with_options(self, **changes: Any) -> "MinoanERConfig":

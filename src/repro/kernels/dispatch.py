@@ -28,17 +28,18 @@ KERNEL_API = (
     "beta_sparse",
     "gamma_topk",
     "is_available",
+    "row_evidence",
     "select_row",
     "value_topk",
 )
 """Entry points every array backend module exposes.
 
 The batch kernels (``value_topk``/``gamma_topk`` and their
-oracle-comparable dict views) plus the single-row serving pair
-(``accumulate_row``/``select_row``).  The serving engine's breaker
-fallback swaps backends mid-call, so the python and numpy modules must
-stay signature-compatible across this whole surface; the conformance
-test walks this tuple."""
+oracle-comparable dict views) plus the single-row serving surface
+(``accumulate_row``/``select_row`` and the fused ``row_evidence``).
+The serving engine's breaker fallback swaps backends mid-call, so the
+python and numpy modules must stay signature-compatible across this
+whole surface; the conformance test walks this tuple."""
 
 
 def missing_api(module: ModuleType) -> tuple[str, ...]:

@@ -120,6 +120,48 @@ def accumulate_row(
     return unique_cols.tolist(), sums.tolist()
 
 
+def row_evidence(
+    weighted_postings,
+    keep: int,
+    margin: int,
+    probe: int | None = None,
+):
+    """One query's merge-ready value evidence, fused.
+
+    The accumulation of :func:`accumulate_row` feeding straight into
+    :func:`select_row` without materialising python lists in between --
+    posting slices (memmapped int32 included) are concatenated as-is,
+    duplicates collapse via ``unique`` + ``bincount`` (bit-identical
+    sums; see :func:`accumulate_row`), and the uncopied arrays go to
+    selection.  The ``margin`` smallest touched ids fall out of
+    ``unique``'s ascending order as a prefix slice, and the ``probe``
+    membership test is one vectorised comparison.  Returns
+    ``(ranked row, mins, touched count, probe touched)``.
+    """
+    chunks = []
+    weights: list[float] = []
+    counts: list[int] = []
+    for weight, candidates in weighted_postings:
+        ids = np.asarray(candidates)
+        if ids.shape[0] == 0:
+            continue
+        chunks.append(ids)
+        weights.append(weight)
+        counts.append(ids.shape[0])
+    if not chunks:
+        return (), [], 0, False
+    cols = np.concatenate(chunks)
+    expanded = np.repeat(
+        np.asarray(weights, dtype=np.float64), np.asarray(counts, dtype=np.int64)
+    )
+    unique_cols, inverse = np.unique(cols, return_inverse=True)
+    sums = np.bincount(inverse, weights=expanded)
+    row = select_row(unique_cols, sums, keep, None)
+    mins = unique_cols[:margin].tolist()
+    touched = probe is not None and bool((unique_cols == int(probe)).any())
+    return row, mins, int(unique_cols.shape[0]), touched
+
+
 def select_row(
     ids,
     sums,

@@ -26,7 +26,7 @@ Floating-point equivalence with the dict reference
 
 from __future__ import annotations
 
-from heapq import heappush, heappushpop
+from heapq import heappush, heappushpop, nsmallest
 from typing import Iterable
 
 from repro.graph.blocking_graph import CandidateList
@@ -112,6 +112,28 @@ def accumulate_row(
         for candidate in candidates:
             row[candidate] = get(candidate, 0.0) + weight
     return list(row.keys()), list(row.values())
+
+
+def row_evidence(
+    weighted_postings: "Iterable[tuple[float, Iterable[int]]]",
+    keep: int,
+    margin: int,
+    probe: int | None = None,
+):
+    """One query's merge-ready value evidence, fused.
+
+    :func:`accumulate_row` + :func:`select_row` plus the two summaries
+    the shard-merge protocol needs -- the ``margin`` smallest touched
+    candidate ids and whether ``probe`` was touched -- in one kernel
+    call, so a backend can keep the row in its native representation
+    end to end instead of round-tripping through python lists between
+    ops.  Returns ``(ranked row, mins, touched count, probe touched)``.
+    """
+    ids, sums = accumulate_row(weighted_postings)
+    row = _select_row(ids, sums, keep, None)
+    mins = [int(candidate) for candidate in nsmallest(margin, ids)]
+    touched = probe is not None and any(int(candidate) == probe for candidate in ids)
+    return row, mins, len(ids), touched
 
 
 def _beta_sparse_rows(interned: InternedBlocks):

@@ -62,6 +62,7 @@ from repro.kb.statistics import KBStatistics
 from repro.kernels import (
     InternedBlocks,
     accumulate_row,
+    block_weight,
     get_backend,
     resolve_backend_name,
     retained_edge_arrays,
@@ -81,6 +82,12 @@ RULE_PRIORITY = {"R1": 0, "R2": 1, "R3": 2}
 PROVENANCE_TOP_SCORES = 3
 """Strongest value candidates kept on a provenance record."""
 
+SWEEP_MARGIN = 4
+"""Smallest touched candidate ids a shard reports for the R3 side-2
+sweep.  Rules R1-R3 claim at most two KB2 entities before the sweep, so
+the sweep's strongest proposal is always among the three smallest
+touched ids; four gives one id of slack."""
+
 _Outcome = tuple[
     "int | None", "str | None", "float | None", int, "tuple[tuple[int, float], ...]"
 ]
@@ -95,6 +102,75 @@ def _top_scores(value_list: Sequence[tuple[int, float]]) -> tuple[tuple[int, flo
         (int(candidate), float(score))
         for candidate, score in value_list[:PROVENANCE_TOP_SCORES]
     )
+
+
+def apply_single_rules(
+    config: MinoanERConfig,
+    alpha: int | None,
+    value_list: CandidateList,
+    touched: Sequence[int],
+) -> tuple[int, str, float] | None:
+    """Rules R1-R4 in their query-local (batch-of-one) form.
+
+    ``alpha`` is the query's name-evidence match (or None),
+    ``value_list`` its pruned value candidates in ``(-score, id)``
+    order, and ``touched`` the *ascending* ids of KB2 entities sharing a
+    retained block with the query (the R3 side-2 sweep set).  Returns
+    the winning ``(kb2 id, rule, score)`` or None.
+
+    Shared by :meth:`MatchEngine._resolve_single` and the shard
+    router's evidence merge (:mod:`repro.sharding.merge`), so both
+    replay the exact same proposal and conflict logic.
+    """
+    # Rules R1-R3.  Proposals are (candidate, score, rule); the query
+    # is implicitly side-1 entity 0.
+    collected: list[tuple[int, float, str]] = []
+    claimed_q = False
+    claimed_2: set[int] = set()
+    if config.use_name_rule and alpha is not None:
+        collected.append((alpha, float("inf"), "R1"))
+        claimed_q = True
+        claimed_2.add(alpha)
+    if config.use_value_rule and not claimed_q and value_list:
+        top_candidate, top_beta = value_list[0]
+        if top_beta >= config.value_threshold:
+            collected.append((top_candidate, top_beta, "R2"))
+            claimed_q = True
+            claimed_2.add(top_candidate)
+    if config.use_rank_aggregation:
+        if not claimed_q:
+            best = top_aggregate_candidate(value_list, (), config.theta)
+            if best is not None:
+                candidate, score = best
+                collected.append((candidate, score, "R3"))
+                claimed_2.add(candidate)
+        # Side-2 sweep: every touched candidate's own value list is
+        # the single pair back to the query (rank score 1.0), so its
+        # best aggregate is the query at theta * 1.0.
+        side2_score = config.theta
+        for candidate in touched:
+            if candidate not in claimed_2:
+                collected.append((candidate, side2_score, "R3"))
+                claimed_2.add(candidate)
+
+    # R4 reciprocity, per candidate: the candidate always retains
+    # the query (the query is its entire candidate column), so only
+    # the query -> candidate direction can fail -- the candidate
+    # must sit in the query's pruned out-set.
+    if config.use_reciprocity:
+        out_q = {candidate for candidate, _ in value_list}
+        if alpha is not None:
+            out_q.add(alpha)
+        collected = [item for item in collected if item[0] in out_q]
+
+    if not collected:
+        return None
+    # Unique mapping over pairs sharing one query entity keeps
+    # exactly the strongest proposal (rule priority, score, id).
+    candidate, score, rule = min(
+        collected, key=lambda item: (RULE_PRIORITY[item[2]], -item[1], item[0])
+    )
+    return int(candidate), rule, float(score)
 
 
 @dataclass(frozen=True)
@@ -187,6 +263,11 @@ class MatchEngine:
             else None
         )
         self.cache = cache if cache is not None else LRUCache(self.config.serving_cache_size)
+        # mmap-native batch path: with a mapped index the row kernels
+        # consume posting slices zero-copy, so batches skip
+        # materialising interned block copies (bit-identical results;
+        # gated by the mmap equivalence suite).
+        self._use_row_batch = bool((index.load_info or {}).get("mmap"))
         self._sampler = ProvenanceSampler(self.config.provenance_sample_rate)
         if recorder is not None:
             self.recorder = recorder
@@ -229,14 +310,17 @@ class MatchEngine:
             deadline = self._query_deadline()
             try:
                 inject("serve:match")
-                outcome = self._resolve_single(entity, deadline)
+                outcome, degraded = self._lookup(entity, deadline)
             except DeadlineExpired:
                 self.recorder.count("deadline.expired")
                 self.recorder.count("serving.degraded")
                 outcome = self._name_only_outcome(entity)
                 degraded = True
             else:
-                self.cache.put(key, outcome)
+                if degraded:
+                    self.recorder.count("serving.degraded")
+                else:
+                    self.cache.put(key, outcome)
         kb2_id, rule, score, candidates, top = outcome
         latency_ms = (time.perf_counter() - started) * 1e3
         trace_id, provenance = self._provenance(
@@ -286,6 +370,16 @@ class MatchEngine:
             cached=cached,
             batched=batched,
         )
+
+    def _lookup(
+        self, entity: EntityDescription, deadline: Deadline | None
+    ) -> tuple[_Outcome, bool]:
+        """Resolve one cache-missed query: ``(outcome, degraded)``.
+
+        The shard router overrides this to scatter/gather; degraded
+        outcomes (partial shard evidence) are never cached.
+        """
+        return self._resolve_single(entity, deadline), False
 
     def _query_deadline(self) -> Deadline | None:
         """A fresh per-lookup deadline, or None when none is configured."""
@@ -397,56 +491,12 @@ class MatchEngine:
         # gamma is inert for a lone query (no resolvable relations), so
         # the neighbor candidate lists of both sides are empty.
 
-        # Rules R1-R3, query-local.  Proposals are (candidate, score,
-        # rule); the query is implicitly side-1 entity 0.
-        collected: list[tuple[int, float, str]] = []
-        claimed_q = False
-        claimed_2: set[int] = set()
-        if config.use_name_rule and alpha is not None:
-            collected.append((alpha, float("inf"), "R1"))
-            claimed_q = True
-            claimed_2.add(alpha)
-        if config.use_value_rule and not claimed_q and value_list:
-            top_candidate, top_beta = value_list[0]
-            if top_beta >= config.value_threshold:
-                collected.append((top_candidate, top_beta, "R2"))
-                claimed_q = True
-                claimed_2.add(top_candidate)
-        if config.use_rank_aggregation:
-            if not claimed_q:
-                best = top_aggregate_candidate(value_list, (), config.theta)
-                if best is not None:
-                    candidate, score = best
-                    collected.append((candidate, score, "R3"))
-                    claimed_2.add(candidate)
-            # Side-2 sweep: every touched candidate's own value list is
-            # the single pair back to the query (rank score 1.0), so its
-            # best aggregate is the query at theta * 1.0.
-            side2_score = config.theta
-            for candidate in sorted(ids):
-                if candidate not in claimed_2:
-                    collected.append((candidate, side2_score, "R3"))
-                    claimed_2.add(candidate)
-
-        # R4 reciprocity, per candidate: the candidate always retains
-        # the query (the query is its entire candidate column), so only
-        # the query -> candidate direction can fail -- the candidate
-        # must sit in the query's pruned out-set.
-        if config.use_reciprocity:
-            out_q = {candidate for candidate, _ in value_list}
-            if alpha is not None:
-                out_q.add(alpha)
-            collected = [item for item in collected if item[0] in out_q]
-
         top = _top_scores(value_list)
-        if not collected:
+        matched = apply_single_rules(config, alpha, value_list, sorted(ids))
+        if matched is None:
             return None, None, None, len(value_list), top
-        # Unique mapping over pairs sharing one query entity keeps
-        # exactly the strongest proposal (rule priority, score, id).
-        candidate, score, rule = min(
-            collected, key=lambda item: (RULE_PRIORITY[item[2]], -item[1], item[0])
-        )
-        return int(candidate), rule, float(score), len(value_list), top
+        candidate, rule, score = matched
+        return candidate, rule, score, len(value_list), top
 
     # ------------------------------------------------------------------
     # Batch path
@@ -472,26 +522,50 @@ class MatchEngine:
         batch = list(entities)
         if not batch:
             return []
-        index = self.index
-        config = self.config
         deadline = self._query_deadline()
         try:
             inject("serve:batch")
-            qkb = KnowledgeBase(batch, name="query-batch", tokenizer=index.tokenizer)
-            qstats = KBStatistics(
-                qkb,
-                top_k_name_attributes=config.name_attributes_k,
-                top_n_relations=config.relations_n,
-            )
+            qkb, qstats = self._batch_stats(batch)
             if deadline is not None:
                 deadline.check("batch graph")
             graph = self._batch_graph(qkb, qstats)
             if deadline is not None:
                 deadline.check("batch matching")
-            matching = NonIterativeMatcher(config).match(graph)
         except DeadlineExpired:
             self.recorder.count("deadline.expired")
             return self._degraded_batch(batch, started)
+        return self._finish_batch(batch, graph, started)
+
+    def _batch_stats(
+        self, batch: list[EntityDescription]
+    ) -> tuple[KnowledgeBase, KBStatistics]:
+        """The batch as the query-side KB of Algorithm 1, profiled."""
+        qkb = KnowledgeBase(
+            batch, name="query-batch", tokenizer=self.index.tokenizer
+        )
+        qstats = KBStatistics(
+            qkb,
+            top_k_name_attributes=self.config.name_attributes_k,
+            top_n_relations=self.config.relations_n,
+        )
+        return qkb, qstats
+
+    def _finish_batch(
+        self,
+        batch: list[EntityDescription],
+        graph: DisjunctiveBlockingGraph,
+        started: float,
+        degraded: bool = False,
+    ) -> list[MatchDecision]:
+        """Run the matcher over the assembled graph and shape decisions.
+
+        ``degraded`` marks every decision as partial-evidence (the shard
+        router sets it when a shard's contribution is missing).
+        """
+        index = self.index
+        matching = NonIterativeMatcher(self.config).match(graph)
+        if degraded:
+            self.recorder.count("serving.degraded", len(batch))
 
         # Per query entity, the strongest surviving pair (under the
         # matcher's own conflict order; unique mapping already leaves at
@@ -519,7 +593,12 @@ class MatchEngine:
             else:
                 kb2_id = rule = score = None
             trace_id, provenance = self._provenance(
-                entity.uri, rule, candidates, _top_scores(value_list), batched=True
+                entity.uri,
+                rule,
+                candidates,
+                _top_scores(value_list),
+                degraded=degraded,
+                batched=True,
             )
             decisions.append(
                 MatchDecision(
@@ -529,6 +608,7 @@ class MatchEngine:
                     rule=rule,
                     score=score,
                     candidates=candidates,
+                    degraded=degraded,
                     latency_ms=per_query_ms,
                     trace_id=trace_id,
                     provenance=provenance,
@@ -600,33 +680,62 @@ class MatchEngine:
         """Algorithm 1 with the KB2 side read from the frozen index."""
         index = self.index
         config = self.config
-        names_forward, names_reverse = self._batch_name_evidence(qstats)
-
-        blocks = BlockCollection(kind="token")
-        postings = index.postings
-        # Probe the (few) query tokens against the index rather than
-        # intersecting keys views: a memmapped postings table answers
-        # membership by binary search without decoding its tokens.
-        for token in sorted(t for t in qkb.token_index if t in postings):
-            blocks.add(Block(token, qkb.token_index[token], postings[token]))
-        if config.purge_blocks:
-            blocks = purge_blocks(
-                blocks,
-                cartesian=len(qkb) * index.n2,
-                budget_ratio=config.purging_budget_ratio,
-                max_comparisons=config.max_block_comparisons,
-            )
-
-        interned = InternedBlocks.from_blocks(blocks, len(qkb), index.n2)
         k = config.candidates_k
         cap = config.serving_candidate_cap
-        if cap is None:
-            value_1, value_2 = self._run_kernel("value_topk", interned, k, self._cut)
+        if cap is None and self._use_row_batch:
+            # mmap-native: accumulate each query row straight off the
+            # mapped posting slices instead of materialising interned
+            # block copies.  Bit-identical to the kernel path below.
+            value_1, value_2 = self._row_value_topk(qkb, k)
         else:
-            value_1, value_2 = self._capped_value_topk(interned, k, cap)
+            blocks = BlockCollection(kind="token")
+            postings = index.postings
+            # Probe the (few) query tokens against the index rather than
+            # intersecting keys views: a memmapped postings table answers
+            # membership by binary search without decoding its tokens.
+            for token in sorted(t for t in qkb.token_index if t in postings):
+                blocks.add(Block(token, qkb.token_index[token], postings[token]))
+            if config.purge_blocks:
+                blocks = purge_blocks(
+                    blocks,
+                    cartesian=len(qkb) * index.n2,
+                    budget_ratio=config.purging_budget_ratio,
+                    max_comparisons=config.max_block_comparisons,
+                )
+
+            interned = InternedBlocks.from_blocks(blocks, len(qkb), index.n2)
+            if cap is None:
+                value_1, value_2 = self._run_kernel(
+                    "value_topk", interned, k, self._cut
+                )
+            else:
+                value_1, value_2 = self._capped_value_topk(interned, k, cap)
+        return self._assemble_graph(qkb, qstats, value_1, value_2)
+
+    def _assemble_graph(
+        self,
+        qkb: KnowledgeBase,
+        qstats: KBStatistics,
+        value_1: list[CandidateList],
+        value_2: list[CandidateList],
+    ) -> DisjunctiveBlockingGraph:
+        """Name + neighbor evidence over computed value candidates.
+
+        Factored out of :meth:`_batch_graph` because the shard router
+        merges ``value_1``/``value_2`` from worker evidence and then
+        needs exactly this remainder of the batch pipeline.
+        """
+        index = self.index
+        config = self.config
+        names_forward, names_reverse = self._batch_name_evidence(qstats)
         edges = retained_edge_arrays(value_1, value_2)
         neighbor_1, neighbor_2 = self._run_kernel(
-            "gamma_topk", edges, qstats.in_neighbor_csr(), index.in_neighbors, k, self._cut
+            "gamma_topk",
+            edges,
+            qstats.in_neighbor_csr(),
+            index.in_neighbors,
+            config.candidates_k,
+            self._cut,
         )
         return DisjunctiveBlockingGraph(
             n1=len(qkb),
@@ -638,6 +747,74 @@ class MatchEngine:
             neighbor_candidates_1=neighbor_1,
             neighbor_candidates_2=neighbor_2,
         )
+
+    def _retained_row_tokens(self, qkb: KnowledgeBase) -> list[str]:
+        """The batch's shared tokens after purging, for the row path.
+
+        Mirrors the block construction + :func:`purge_blocks` pass of
+        :meth:`_batch_graph` exactly -- same sorted token order, same
+        comparison counts, same threshold -- but via global Entity
+        Frequencies, so it also holds on a per-shard index whose local
+        postings under-count the blocks.
+        """
+        index = self.index
+        config = self.config
+        postings = index.postings
+        token_index = qkb.token_index
+        shared = sorted(t for t in token_index if t in postings)
+        if not config.purge_blocks or not shared:
+            return shared
+        ef = index.global_entity_frequency
+        threshold = config.max_block_comparisons
+        if threshold is None:
+            threshold = purging_threshold_from_counts(
+                (len(token_index[t]) * ef(t) for t in shared),
+                cartesian=len(qkb) * index.n2,
+                budget_ratio=config.purging_budget_ratio,
+            )
+        return [t for t in shared if len(token_index[t]) * ef(t) <= threshold]
+
+    def _value_rows(self, qkb: KnowledgeBase, tokens: Sequence[str]):
+        """Yield each batch entity's ``beta`` row over ``tokens``.
+
+        Weighted posting chunks are appended per entity in ascending
+        token order -- the interned block visit order -- so the
+        accumulated float sums are bit-identical to the batch kernels'.
+        Weights use global Entity Frequencies (equal to local ones off
+        a shard).
+        """
+        index = self.index
+        postings = index.postings
+        token_index = qkb.token_index
+        ef = index.global_entity_frequency
+        weighted: list[list[tuple[float, object]]] = [[] for _ in range(len(qkb))]
+        for token in tokens:
+            ids2 = postings[token]
+            members = token_index[token]
+            weight = block_weight(len(members) * ef(token))
+            for eid in members:
+                weighted[eid].append((weight, ids2))
+        for per_entity in weighted:
+            yield self._run_kernel("accumulate_row", per_entity)
+
+    def _row_value_topk(
+        self, qkb: KnowledgeBase, k: int
+    ) -> tuple[list[CandidateList], list[CandidateList]]:
+        """``value_topk`` computed row by row with the single-row kernels."""
+        column_ids: list[list[int]] = [[] for _ in range(self.index.n2)]
+        column_sums: list[list[float]] = [[] for _ in range(self.index.n2)]
+        side1: list[CandidateList] = []
+        for ids, sums in self._value_rows(qkb, self._retained_row_tokens(qkb)):
+            side1.append(self._run_kernel("select_row", ids, sums, k, self._cut))
+            entity = len(side1) - 1
+            for candidate, value in zip(ids, sums):
+                column_ids[candidate].append(entity)
+                column_sums[candidate].append(value)
+        side2 = [
+            self._run_kernel("select_row", ids, sums, k, self._cut)
+            for ids, sums in zip(column_ids, column_sums)
+        ]
+        return side1, side2
 
     def _batch_name_evidence(
         self, qstats: KBStatistics
@@ -694,6 +871,131 @@ class MatchEngine:
             for ids, sums in zip(column_ids, column_sums)
         ]
         return side1, side2
+
+    # ------------------------------------------------------------------
+    # Shard-worker evidence (see repro.sharding)
+    # ------------------------------------------------------------------
+    def value_tokens(
+        self,
+        entity: EntityDescription,
+        qkb: KnowledgeBase | None = None,
+    ) -> list[str]:
+        """The purged, sorted shared-token list for one query entity.
+
+        The query tokens that exist in the indexed KB, sorted, with
+        stopword-like blocks purged by *global* Entity Frequency --
+        exactly the list :meth:`match_evidence` derives for itself.
+        Shard files carry the full token table and the global EFs, so
+        every worker would derive the same list independently; the
+        router therefore computes it once on the full index and ships
+        it with the request (see :mod:`repro.sharding`).
+        """
+        index = self.index
+        config = self.config
+        if qkb is None:
+            qkb = KnowledgeBase([entity], name="query", tokenizer=index.tokenizer)
+        postings = index.postings
+        ef = index.global_entity_frequency
+        shared = sorted(token for token in qkb.tokens(0) if token in postings)
+        if config.purge_blocks and shared:
+            threshold = config.max_block_comparisons
+            if threshold is None:
+                threshold = purging_threshold_from_counts(
+                    (ef(token) for token in shared),
+                    cartesian=index.n2,
+                    budget_ratio=config.purging_budget_ratio,
+                )
+            shared = [token for token in shared if ef(token) <= threshold]
+        return shared
+
+    def match_evidence(
+        self,
+        entity: EntityDescription | None,
+        probe: int | None = None,
+        deadline: Deadline | None = None,
+        tokens: list[str] | None = None,
+    ) -> dict[str, object]:
+        """This index's value evidence for one query, merge-ready.
+
+        Runs the value half of :meth:`_resolve_single` -- with *global*
+        Entity Frequencies, so per-shard weights and purging thresholds
+        equal the unsharded ones -- and returns what the router's merge
+        needs: the strongest ``(candidate, score)`` pairs in
+        ``(-score, id)`` order (``serving_candidate_cap`` of them, else
+        ``candidates_k``), the :data:`SWEEP_MARGIN` smallest touched
+        ids, the touched count, and whether the router-supplied
+        ``probe`` candidate (its alpha match) was touched.
+
+        ``tokens`` short-circuits :meth:`value_tokens`: when the router
+        ships the purged token list it computed once, the worker skips
+        re-tokenising and re-purging the query (``entity`` may then be
+        ``None``) -- the derived list is identical either way.
+        """
+        index = self.index
+        config = self.config
+        if index.n2 == 0:
+            return {"row": [], "mins": [], "count": 0, "probe": False}
+        if deadline is not None:
+            deadline.check("value evidence")
+        shared = self.value_tokens(entity) if tokens is None else tokens
+        postings = index.postings
+        singleton_weights = index.singleton_weights
+        weighted = [(singleton_weights[token], postings[token]) for token in shared]
+        cap = config.serving_candidate_cap
+        keep = cap if cap is not None else config.candidates_k
+        row, mins, count, touched = self._run_kernel(
+            "row_evidence", weighted, keep, SWEEP_MARGIN, probe
+        )
+        return {
+            "row": [[int(candidate), float(score)] for candidate, score in row],
+            "mins": [int(candidate) for candidate in mins],
+            "count": int(count),
+            "probe": bool(touched),
+        }
+
+    def batch_evidence(
+        self,
+        entities: Iterable[EntityDescription],
+        deadline: Deadline | None = None,
+    ) -> dict[str, object]:
+        """This index's value evidence for a whole batch, merge-ready.
+
+        Per batch entity, the strongest pairs of its ``beta`` row over
+        this index (``serving_candidate_cap`` of them, else
+        ``candidates_k``; *unpruned* -- the adaptive cut only applies to
+        the globally merged row).  Without a cap the shard-final pruned
+        candidate columns travel too: each KB2 entity's column lives
+        wholly in its owner shard, so ``select_row(k, cut)`` here *is*
+        the global column.
+        """
+        batch = list(entities)
+        index = self.index
+        config = self.config
+        if not batch or index.n2 == 0:
+            return {"rows": [[] for _ in batch], "cols": {}}
+        qkb = KnowledgeBase(batch, name="query-batch", tokenizer=index.tokenizer)
+        if deadline is not None:
+            deadline.check("batch evidence")
+        k = config.candidates_k
+        cap = config.serving_candidate_cap
+        keep = cap if cap is not None else k
+        rows_out: list[list[list[object]]] = []
+        columns: dict[int, tuple[list[int], list[float]]] = {}
+        for entity, (ids, sums) in enumerate(
+            self._value_rows(qkb, self._retained_row_tokens(qkb))
+        ):
+            top = self._run_kernel("select_row", ids, sums, keep, None)
+            rows_out.append([[int(c), float(s)] for c, s in top])
+            if cap is None:
+                for candidate, value in zip(ids, sums):
+                    column = columns.setdefault(int(candidate), ([], []))
+                    column[0].append(entity)
+                    column[1].append(float(value))
+        cols: dict[str, list[list[object]]] = {}
+        for candidate, (ents, values) in columns.items():
+            ranked = self._run_kernel("select_row", ents, values, k, self._cut)
+            cols[str(candidate)] = [[int(e), float(s)] for e, s in ranked]
+        return {"rows": rows_out, "cols": cols}
 
     # ------------------------------------------------------------------
     # Metrics

@@ -35,7 +35,17 @@ section                   dtype  contents
 ``uri_offsets``           i4     entity id -> blob slice (``n2 + 1``)
 ``neighbor_offsets``      i4     top in-neighbor CSR offsets (``n2 + 1``)
 ``neighbor_ids``          i4     top in-neighbor CSR ids
+``token_global_ef``       i4     *optional*: global ``EF2(t)`` per token
 ========================  =====  =========================================
+
+The ``token_global_ef`` section and the ``shards`` header key exist only
+in per-shard files written by :class:`repro.sharding.ShardPlanner`: a
+shard keeps the full (global) token table but only its own entities'
+posting slices, so the global Entity Frequency of every token -- which
+drives block weights and purging thresholds -- must travel with the
+file.  Readers that predate sharding ignore both (the header parser
+tolerates unknown sections), and files without them encode byte-for-byte
+exactly as before.
 
 Tokens and names are sorted by their UTF-8 byte sequences (identical to
 Python's code-point string order), so a lookup is one binary search over
@@ -180,10 +190,17 @@ def encode_index(fields: Mapping[str, Any]) -> bytes:
         "neighbor_ids": ("i4", _le_bytes(neighbor_ids), len(neighbor_ids)),
     }
 
+    section_names = list(_SECTION_NAMES)
+    global_ef = fields.get("token_global_ef")
+    if global_ef is not None:
+        ef_values = array("i", (int(global_ef[token]) for token in tokens))
+        raw["token_global_ef"] = ("i4", _le_bytes(ef_values), len(ef_values))
+        section_names.append("token_global_ef")
+
     chunks: list[bytes] = []
     sections: list[dict[str, Any]] = []
     cursor = 0
-    for name in _SECTION_NAMES:
+    for name in section_names:
         dtype, data, count = raw[name]
         pad = (-cursor) % ALIGNMENT
         if pad:
@@ -213,6 +230,9 @@ def encode_index(fields: Mapping[str, Any]) -> bytes:
         },
         "sections": sections,
     }
+    shard_info = fields.get("shard_info")
+    if shard_info is not None:
+        header["shards"] = dict(shard_info)
     header_bytes = json.dumps(
         header, sort_keys=True, separators=(",", ":"), ensure_ascii=False
     ).encode("utf-8")
@@ -364,6 +384,13 @@ def decode_eager(data: bytes) -> dict[str, Any]:
     fields["in_neighbors"] = CSRAdjacency(
         get("neighbor_offsets"), get("neighbor_ids")
     )
+    if "token_global_ef" in sections:
+        ef_values = get("token_global_ef")
+        fields["token_global_ef"] = {
+            token: ef_values[i] for i, token in enumerate(tokens)
+        }
+    if "shards" in header:
+        fields["shard_info"] = header["shards"]
     return fields
 
 
@@ -378,35 +405,65 @@ class StringTable:
     Comparison happens on raw UTF-8 byte sequences, whose lexicographic
     order equals Python's code-point string order, so :meth:`find`
     agrees with a ``sorted()`` of the decoded strings.
+
+    The offset array (4 bytes per string, tiny next to the blob) is
+    flattened to python ints and the blob wrapped in a ``memoryview``
+    on the first lookup, keeping load O(1) while dropping the per-probe
+    cost from two ``memmap.__getitem__`` scalar reads plus an ndarray
+    slice to two list reads plus a buffer slice.  Resolved indices are
+    memoised: one online query consults the same token several times
+    (membership, posting, weight, global EF), and query streams repeat
+    tokens heavily, so most lookups are a dict hit.
     """
 
-    __slots__ = ("_blob", "_offsets", "count")
+    __slots__ = ("_blob", "_offsets", "count", "_view", "_bounds", "_cache")
+
+    _CACHE_LIMIT = 1 << 18
 
     def __init__(self, blob, offsets):
         self._blob = blob
         self._offsets = offsets
         self.count = len(offsets) - 1
+        self._view = None
+        self._bounds = None
+        self._cache: dict[str, int] = {}
+
+    def _materialise(self):
+        self._bounds = bounds = self._offsets.tolist()
+        self._view = view = memoryview(self._blob)
+        return view, bounds
 
     def find(self, text: str) -> int:
         """Index of ``text`` in the table, or -1."""
-        key = text.encode("utf-8")
-        blob, offsets = self._blob, self._offsets
-        lo, hi = 0, self.count
-        while lo < hi:
-            mid = (lo + hi) // 2
-            probe = blob[offsets[mid] : offsets[mid + 1]].tobytes()
-            if probe < key:
-                lo = mid + 1
-            elif probe > key:
-                hi = mid
-            else:
-                return mid
-        return -1
+        cache = self._cache
+        found = cache.get(text)
+        if found is None:
+            view, bounds = self._view, self._bounds
+            if bounds is None:
+                view, bounds = self._materialise()
+            key = text.encode("utf-8")
+            lo, hi = 0, self.count
+            found = -1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                probe = bytes(view[bounds[mid] : bounds[mid + 1]])
+                if probe < key:
+                    lo = mid + 1
+                elif probe > key:
+                    hi = mid
+                else:
+                    found = mid
+                    break
+            if len(cache) >= self._CACHE_LIMIT:
+                cache.clear()
+            cache[text] = found
+        return found
 
     def decode(self, i: int) -> str:
-        return self._blob[self._offsets[i] : self._offsets[i + 1]].tobytes().decode(
-            "utf-8"
-        )
+        view, bounds = self._view, self._bounds
+        if bounds is None:
+            view, bounds = self._materialise()
+        return bytes(view[bounds[i] : bounds[i + 1]]).decode("utf-8")
 
     def __iter__(self) -> Iterator[str]:
         for i in range(self.count):
@@ -513,25 +570,63 @@ class MappedNames(Mapping):
         return self._table.count
 
 
-class MappedURIs(Sequence):
-    """Entity id -> URI string, decoded on demand from the mapped blob."""
+class MappedEntityFrequencies(Mapping):
+    """Token -> global Entity Frequency (int), zero-copy.
 
-    __slots__ = ("_blob", "_offsets")
+    Present only in per-shard files; see the module docstring.
+    """
+
+    __slots__ = ("_table", "_values")
+
+    def __init__(self, table: StringTable, values):
+        self._table = table
+        self._values = values
+
+    def __getitem__(self, token: str) -> int:
+        i = self._table.find(token)
+        if i < 0:
+            raise KeyError(token)
+        return int(self._values[i])
+
+    def __contains__(self, token: object) -> bool:
+        return isinstance(token, str) and self._table.find(token) >= 0
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._table)
+
+    def __len__(self) -> int:
+        return self._table.count
+
+
+class MappedURIs(Sequence):
+    """Entity id -> URI string, decoded on demand from the mapped blob.
+
+    Like :class:`StringTable`, the offsets flatten to python ints on
+    first access so per-decision decodes stay off the memmap scalar
+    path; the URI bytes themselves remain mapped.
+    """
+
+    __slots__ = ("_blob", "_offsets", "_view", "_bounds")
 
     def __init__(self, blob, offsets):
         self._blob = blob
         self._offsets = offsets
+        self._view = None
+        self._bounds = None
 
     def __getitem__(self, eid):
         if isinstance(eid, slice):
             return [self[i] for i in range(*eid.indices(len(self)))]
-        offsets = self._offsets
-        n = len(offsets) - 1
+        bounds = self._bounds
+        if bounds is None:
+            self._bounds = bounds = self._offsets.tolist()
+            self._view = memoryview(self._blob)
+        n = len(bounds) - 1
         if eid < 0:
             eid += n
         if not 0 <= eid < n:
             raise IndexError(eid)
-        return self._blob[offsets[eid] : offsets[eid + 1]].tobytes().decode("utf-8")
+        return bytes(self._view[bounds[eid] : bounds[eid + 1]]).decode("utf-8")
 
     def __len__(self) -> int:
         return len(self._offsets) - 1
@@ -587,6 +682,12 @@ def open_mmap(path) -> tuple[dict[str, Any], int]:
     fields["in_neighbors"] = CSRAdjacency(
         view("neighbor_offsets"), view("neighbor_ids")
     )
+    if "token_global_ef" in sections:
+        fields["token_global_ef"] = MappedEntityFrequencies(
+            token_table, view("token_global_ef")
+        )
+    if "shards" in header:
+        fields["shard_info"] = header["shards"]
     return fields, size
 
 

@@ -89,6 +89,13 @@ class ResolutionIndex:
     in_neighbors:
         :class:`~repro.kernels.interning.CSRAdjacency` of the KB's top
         in-neighbors (``gamma`` propagation input).
+    token_global_ef / shard_info:
+        Present only on per-shard indexes cut by
+        :class:`repro.sharding.ShardPlanner`: the *global* Entity
+        Frequency per token (postings hold only local entities, but
+        weights and purging must see the whole KB) and the
+        ``{"count", "index", "partition"}`` shard descriptor.  ``None``
+        on ordinary indexes.
     """
 
     def __init__(
@@ -103,6 +110,9 @@ class ResolutionIndex:
         postings: dict[str, array],
         singleton_weights: dict[str, float],
         in_neighbors: CSRAdjacency,
+        *,
+        token_global_ef: dict[str, int] | None = None,
+        shard_info: dict[str, object] | None = None,
     ):
         self.kb_name = kb_name
         self.n2 = n2
@@ -114,6 +124,8 @@ class ResolutionIndex:
         self.postings = postings
         self.singleton_weights = singleton_weights
         self.in_neighbors = in_neighbors
+        self.token_global_ef = token_global_ef
+        self.shard_info = shard_info
         #: How the index entered memory: ``{"mmap", "format_version",
         #: "file_bytes"}`` after :meth:`load`, None for built indexes.
         self.load_info: dict[str, int | bool] | None = None
@@ -184,6 +196,19 @@ class ResolutionIndex:
         """``EF2(t)``: entities of the indexed KB containing ``token``."""
         return len(self.postings.get(token, ()))
 
+    def global_entity_frequency(self, token: str) -> int:
+        """``EF2(t)`` over the *whole* KB, even on a shard.
+
+        On an ordinary index this equals :meth:`entity_frequency`; on a
+        per-shard index the local posting holds only the shard's
+        entities, so the frozen global count is consulted instead.
+        Block weights and purging thresholds derived from this value are
+        therefore identical on every shard and on the unsharded index.
+        """
+        if self.token_global_ef is not None:
+            return int(self.token_global_ef.get(token, 0))
+        return len(self.postings.get(token, ()))
+
     def uri_of(self, eid: int) -> str:
         """URI of the indexed entity with dense id ``eid``."""
         return self.uris2[eid]
@@ -197,7 +222,7 @@ class ResolutionIndex:
             entries = postings.total_entries()
         else:
             entries = sum(len(ids) for ids in postings.values())
-        return {
+        summary: dict[str, object] = {
             "kb": self.kb_name,
             "entities": self.n2,
             "tokens": len(self.postings),
@@ -206,6 +231,10 @@ class ResolutionIndex:
             "name_attributes": list(self.name_attributes),
             "in_neighbor_edges": len(self.in_neighbors.ids),
         }
+        if self.shard_info is not None:
+            info = self.shard_info
+            summary["shard"] = f"{info.get('index')}/{info.get('count')}"
+        return summary
 
     # ------------------------------------------------------------------
     # Persistence
@@ -220,6 +249,10 @@ class ResolutionIndex:
         content; see ``docs/serving.md`` for the format and threat model.
         """
         fields = {field: getattr(self, field) for field in _PERSISTED_FIELDS}
+        if self.token_global_ef is not None:
+            fields["token_global_ef"] = self.token_global_ef
+        if self.shard_info is not None:
+            fields["shard_info"] = self.shard_info
         data = index_format.encode_index(fields)
         with current_recorder().span("index.save", file_bytes=len(data)):
             Path(path).write_bytes(data)

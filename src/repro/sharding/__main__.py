@@ -1,0 +1,10 @@
+"""``python -m repro.sharding`` runs one shard worker over stdin/stdout.
+
+A separate entry module (rather than ``-m repro.sharding.worker``) so
+runpy does not re-execute a module the package already imported.
+"""
+
+from repro.sharding.worker import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""Merge per-shard evidence into the unsharded engine's exact answer.
+
+Every float a worker ships was accumulated wholly inside one shard
+(posting lists partition disjointly; weights and purging thresholds
+use global Entity Frequencies), so merging is pure *re-ranking* under
+the engine's total order ``(-score, id)`` -- implemented by the same
+:func:`repro.kernels.select_row` the engine uses, which is insensitive
+to input permutation.  The rules then replay through
+:func:`repro.serving.engine.apply_single_rules`, the code path the
+single-process engine itself runs.
+
+Why the merged answer is bit-identical (see ``docs/sharding.md`` for
+the long form):
+
+* **Rows** -- each shard ships its top ``keep`` pairs; the global top
+  ``keep`` is a subset of the union, so ``select_row`` over the
+  concatenation reproduces the global ranking, including the optional
+  ``serving_candidate_cap`` truncation (applied only when the union
+  exceeds the cap -- exactly when the unsharded row would truncate).
+* **Sweep ids** (single queries, uncapped) -- rules R1-R3 claim at
+  most two entities before the R3 side-2 sweep, so the sweep's
+  strongest proposal is among the three smallest *touched* ids; each
+  shard's :data:`~repro.serving.engine.SWEEP_MARGIN` smallest cover
+  them.  With reciprocity on, surviving sweep proposals are further
+  confined to the pruned value list plus the (probed) alpha.  Replay
+  over this subset therefore keeps the true winner while every extra
+  id it proposes is one the unsharded sweep proposed too.
+* **Columns** (batches, uncapped) -- a KB2 entity's candidate column
+  lives wholly in its owner shard, so the shard's pruned column *is*
+  the global one and columns merge by disjoint union.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.config import MinoanERConfig
+from repro.graph.blocking_graph import CandidateList
+from repro.graph.pruning import adaptive_cut
+from repro.kernels import select_row
+from repro.serving.engine import _Outcome, _top_scores, apply_single_rules
+
+__all__ = ["merge_batch_evidence", "merge_single_evidence"]
+
+
+def _concat_rows(rows: Sequence[Sequence[Sequence[Any]]]) -> tuple[list[int], list[float]]:
+    ids: list[int] = []
+    sums: list[float] = []
+    for row in rows:
+        for candidate, score in row:
+            ids.append(int(candidate))
+            sums.append(float(score))
+    return ids, sums
+
+
+def _merge_ranked(
+    rows: Sequence[Sequence[Sequence[Any]]], k: int, cut
+) -> CandidateList:
+    """Top-K of the union of per-shard ranked rows, ``(-score, id)`` order.
+
+    A candidate id lives in exactly one shard (posting lists partition
+    by entity), so the decorated ``(score, -id)`` tuples are pairwise
+    distinct and one descending C-level sort realises the exact total
+    order :func:`select_row` would produce over the concatenation --
+    and since each shard's row arrives already ranked, Timsort merges
+    the descending runs by galloping instead of re-sorting.  No
+    ``int``/``float`` casts: rows come off the wire as native JSON
+    numbers (the engine casts when it builds them).  This is the
+    router's per-query merge hot path; its cost is what scales with
+    shard count on the scatter-gather critical path.
+    """
+    decorated = [(score, -candidate) for row in rows for candidate, score in row]
+    decorated.sort(reverse=True)
+    ranked: CandidateList = tuple((-negated, score) for score, negated in decorated[:k])
+    if cut is not None:
+        ranked = adaptive_cut(ranked, cut[0], cut[1])
+    return ranked
+
+
+def _capped(
+    ids: list[int], sums: list[float], cap: int | None
+) -> tuple[list[int], list[float]]:
+    """The engine's candidate-cap truncation, applied to a merged row."""
+    if cap is None or len(ids) <= cap:
+        return ids, sums
+    capped = select_row(ids, sums, cap)
+    return [candidate for candidate, _ in capped], [score for _, score in capped]
+
+
+def merge_single_evidence(
+    config: MinoanERConfig,
+    cut,
+    alpha: int | None,
+    evidences: Sequence[dict[str, Any]],
+) -> _Outcome:
+    """One query's outcome from per-shard ``match_evidence`` payloads.
+
+    ``alpha`` is the router's locally-computed name match and ``cut``
+    the engine's adaptive-pruning tuple.  ``evidences`` holds the
+    surviving shards' payloads (a failed shard is simply absent --
+    the merge then yields the best degraded answer the survivors
+    support).  Returns the engine's ``_Outcome`` shape.
+    """
+    k = config.candidates_k
+    cap = config.serving_candidate_cap
+    if cap is not None:
+        ids, sums = _concat_rows([evidence["row"] for evidence in evidences])
+        ids, sums = _capped(ids, sums, cap)
+        value_list = select_row(ids, sums, k, cut)
+        sweep: Sequence[int] = sorted(ids)
+    else:
+        value_list = _merge_ranked([evidence["row"] for evidence in evidences], k, cut)
+        sweep_set = {
+            int(candidate)
+            for evidence in evidences
+            for candidate in evidence["mins"]
+        }
+        sweep_set.update(candidate for candidate, _ in value_list)
+        if alpha is not None and any(
+            evidence["probe"] for evidence in evidences
+        ):
+            sweep_set.add(int(alpha))
+        sweep = sorted(sweep_set)
+    top = _top_scores(value_list)
+    matched = apply_single_rules(config, alpha, value_list, sweep)
+    if matched is None:
+        return None, None, None, len(value_list), top
+    candidate, rule, score = matched
+    return candidate, rule, score, len(value_list), top
+
+
+def merge_batch_evidence(
+    config: MinoanERConfig,
+    cut,
+    n_entities: int,
+    n2: int,
+    evidences: Sequence[dict[str, Any]],
+) -> tuple[list[CandidateList], list[CandidateList]]:
+    """A batch's ``(value_1, value_2)`` from per-shard ``batch_evidence``.
+
+    Reproduces exactly what the engine's ``value_topk`` (uncapped) or
+    ``_capped_value_topk`` (capped) would return for the whole batch
+    against the unsharded index; the router feeds the result to
+    ``MatchEngine._assemble_graph``.
+    """
+    k = config.candidates_k
+    cap = config.serving_candidate_cap
+    value_1: list[CandidateList] = []
+    if cap is None:
+        for position in range(n_entities):
+            ids, sums = _concat_rows(
+                [evidence["rows"][position] for evidence in evidences]
+            )
+            value_1.append(select_row(ids, sums, k, cut))
+        value_2: list[CandidateList] = [() for _ in range(n2)]
+        for evidence in evidences:
+            for candidate, ranked in evidence["cols"].items():
+                value_2[int(candidate)] = tuple(
+                    (int(entity), float(score)) for entity, score in ranked
+                )
+        return value_1, value_2
+
+    # Capped: columns are rebuilt from the *capped* merged rows, in
+    # batch-entity order -- mirroring ``_capped_value_topk``.
+    column_ids: list[list[int]] = [[] for _ in range(n2)]
+    column_sums: list[list[float]] = [[] for _ in range(n2)]
+    for position in range(n_entities):
+        ids, sums = _concat_rows(
+            [evidence["rows"][position] for evidence in evidences]
+        )
+        ids, sums = _capped(ids, sums, cap)
+        value_1.append(select_row(ids, sums, k, cut))
+        for candidate, score in zip(ids, sums):
+            column_ids[candidate].append(position)
+            column_sums[candidate].append(score)
+    value_2 = [
+        select_row(ids, sums, k, cut)
+        for ids, sums in zip(column_ids, column_sums)
+    ]
+    return value_1, value_2

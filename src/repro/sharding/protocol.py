@@ -1,0 +1,156 @@
+"""Length-prefixed JSONL framing for the shard wire protocol.
+
+A frame is the ASCII decimal byte length of a canonical-JSON message,
+a newline, the message, a newline::
+
+    47\\n{"id":3,"op":"match","entity":{...}}\\n
+
+The explicit length makes framing independent of message content (no
+embedded-newline hazards) while staying trivially debuggable -- a
+captured stream is readable JSONL with interleaved lengths.  Messages
+are plain JSON objects; request/response correlation is by ``id``.
+
+Requests (router -> worker): ``op`` of ``hello`` (handshake +
+shard descriptor), ``match`` (single-query evidence; carries the
+router's alpha ``probe`` and optional ``budget_ms``), ``batch`` (batch
+evidence), ``stats`` (engine stats + a
+:class:`~repro.obs.recorder.RecorderSnapshot` for trace grafting),
+``shutdown``; plus ``{"cancel": id}`` (no response -- a hedged request
+whose twin already won is dropped if still queued).
+
+Responses (worker -> router) echo ``id`` and carry ``ok``; failures
+are ``{"ok": false, "error": ..., "kind": "deadline" | "error"}`` so
+the router can distinguish budget expiry (degrade like the engine
+would) from worker faults (count against the replica's breaker).
+
+Scores are floats and survive the trip bit-exactly: python's
+``json`` emits ``repr``-round-trippable doubles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO
+
+from repro.obs.recorder import RecorderSnapshot, Span
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "read_frame",
+    "snapshot_from_json",
+    "snapshot_to_json",
+    "write_frame",
+]
+
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+"""Upper bound on one frame's payload; a corrupt length prefix must
+not make the reader allocate unbounded memory."""
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame: bad length prefix, truncation, or non-JSON."""
+
+
+def write_frame(stream: BinaryIO, message: dict[str, Any]) -> None:
+    """Serialise one message onto ``stream`` and flush it."""
+    data = json.dumps(message, separators=(",", ":"), ensure_ascii=False).encode(
+        "utf-8"
+    )
+    stream.write(b"%d\n%s\n" % (len(data), data))
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one message from ``stream``; None on clean end-of-stream.
+
+    Raises :class:`ProtocolError` on a malformed length line, a frame
+    truncated mid-payload, an oversized length, or non-JSON payload.
+    """
+    line = stream.readline()
+    if not line:
+        return None
+    try:
+        length = int(line)
+    except ValueError:
+        raise ProtocolError(f"bad frame length prefix {line[:64]!r}") from None
+    if not 0 <= length <= MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} out of bounds")
+    data = stream.read(length + 1)
+    if len(data) < length + 1:
+        raise ProtocolError(
+            f"truncated frame: expected {length + 1} bytes, got {len(data)}"
+        )
+    try:
+        message = json.loads(data[:length])
+    except ValueError as error:
+        raise ProtocolError(f"frame payload is not JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def _json_scalar(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def snapshot_to_json(snapshot: RecorderSnapshot) -> dict[str, Any]:
+    """A :class:`RecorderSnapshot` as a JSON-safe object.
+
+    Span attributes are coerced to scalars (``str`` fallback); every
+    numeric field survives exactly.
+    """
+    return {
+        "trace_id": snapshot.trace_id,
+        "duration_s": snapshot.duration_s,
+        "spans": [
+            [
+                span.name,
+                span.span_id,
+                span.parent_id,
+                span.depth,
+                span.start,
+                span.seconds,
+                span.status,
+                {key: _json_scalar(value) for key, value in span.attributes.items()},
+            ]
+            for span in snapshot.spans
+        ],
+        "counters": dict(snapshot.counters),
+        "gauges": dict(snapshot.gauges),
+        "gauge_times": dict(snapshot.gauge_times),
+        "histograms": {
+            name: [count, total, minimum, maximum, list(window)]
+            for name, (count, total, minimum, maximum, window) in snapshot.histograms.items()
+        },
+    }
+
+
+def snapshot_from_json(payload: dict[str, Any]) -> RecorderSnapshot:
+    """Rebuild the snapshot :func:`snapshot_to_json` serialised."""
+    return RecorderSnapshot(
+        trace_id=payload["trace_id"],
+        duration_s=payload["duration_s"],
+        spans=tuple(
+            Span(
+                name=name,
+                span_id=span_id,
+                parent_id=parent_id,
+                depth=depth,
+                start=start,
+                seconds=seconds,
+                status=status,
+                attributes=dict(attributes),
+            )
+            for name, span_id, parent_id, depth, start, seconds, status, attributes in payload["spans"]
+        ),
+        counters=dict(payload["counters"]),
+        gauges=dict(payload["gauges"]),
+        gauge_times=dict(payload["gauge_times"]),
+        histograms={
+            name: (entry[0], entry[1], entry[2], entry[3], tuple(entry[4]))
+            for name, entry in payload["histograms"].items()
+        },
+    )

@@ -1,0 +1,795 @@
+"""Scatter/gather serving over shard workers, bit-identical to one engine.
+
+:class:`ShardRouter` *is a* :class:`~repro.serving.engine.MatchEngine`
+over the full (unsharded) index -- memory-mapped, so loading it is O(1)
+and its pages are shared with any local worker mapping the same file.
+Everything query-side and cheap runs in the router exactly as in the
+single-process engine: name evidence (alpha), batch statistics,
+neighbor evidence (gamma), the matching rules, caching, deadlines and
+provenance.  Only the expensive *value* evidence (the ``beta`` rows
+over the token postings) is scattered to the shard workers, whose
+disjoint posting partitions + global weights make every per-pair score
+bit-identical to the unsharded one; the router re-ranks the merged
+evidence with :mod:`repro.sharding.merge` and replays the rules through
+the engine's own code path.
+
+Per shard, R replicas serve interchangeably.  A request goes to one
+replica (round-robin); if no answer arrives within the hedge delay --
+``config.serving_hedge_ms`` when set, else an adaptive p95 of the
+shard's recent latencies -- a backup request is *hedged* to the next
+replica and the first answer wins (the loser is cancelled best-effort).
+Replica faults feed per-replica circuit breakers
+(:mod:`repro.resilience.breaker`); what happens when a whole shard is
+unreachable follows ``config.failure_mode``:
+
+* ``fail_fast`` -- the query raises :class:`ShardFailure`;
+* ``retry`` -- the scatter is retried per ``config.retry_*``, then
+  raises;
+* ``degrade`` -- the survivors' evidence is merged anyway and every
+  affected decision is marked ``degraded`` (the existing wire format),
+  with ``on_shard_error`` fired once per healthy->down transition so
+  the stream can carry an error record.
+
+Deadlines decay across the fan-out: each worker request carries the
+router deadline's *remaining* budget as ``budget_ms``, so a slow shard
+cannot spend time a later pipeline stage no longer has.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.config import MinoanERConfig, config_to_dict
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.statistics import KBStatistics
+from repro.obs import Recorder
+from repro.obs.recorder import percentile
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultPlan, current_faults, inject
+from repro.resilience.policy import Deadline, DeadlineExpired, RetryPolicy
+from repro.serving.cache import LRUCache
+from repro.serving.engine import MatchDecision, MatchEngine, _Outcome
+from repro.serving.index import ResolutionIndex
+from repro.serving.io import entity_to_json
+from repro.sharding.merge import merge_batch_evidence, merge_single_evidence
+from repro.sharding.planner import shard_paths
+from repro.sharding.protocol import read_frame, snapshot_from_json, write_frame
+from repro.sharding.worker import ShardWorker
+
+__all__ = ["InlineReplica", "ProcessReplica", "ShardFailure", "ShardRouter"]
+
+DEFAULT_HEDGE_DELAY_S = 0.05
+"""Hedge delay before the adaptive p95 has enough samples."""
+
+HEDGE_MIN_SAMPLES = 8
+"""Latency observations a shard needs before its p95 drives hedging."""
+
+HEDGE_WINDOW = 128
+"""Recent per-shard latencies kept for the adaptive hedge delay."""
+
+
+class ShardFailure(RuntimeError):
+    """A shard request failed on every replica the router could try."""
+
+
+def _host_cpus() -> int:
+    """CPUs this process may run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+class ProcessReplica:
+    """One worker subprocess speaking the frame protocol over pipes.
+
+    A dedicated reader thread demultiplexes responses to per-request
+    sink queues by ``id``, so hedged requests to sibling replicas can
+    share one sink and race.  All messages a replica delivers have the
+    shape ``("ok", replica, frame)`` or ``("err", replica, error)``;
+    once the process dies, every pending and future request fails fast
+    with the terminal error.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        shard: int,
+        mmap: bool = False,
+        config_json: str | None = None,
+    ):
+        argv = [sys.executable, "-m", "repro.sharding", str(path)]
+        if mmap:
+            argv.append("--mmap")
+        if config_json is not None:
+            argv += ["--config", config_json]
+        self.shard = shard
+        self.breaker: CircuitBreaker | None = None
+        self.proc = subprocess.Popen(  # noqa: S603 - argv is our own module
+            argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE
+        )
+        self._lock = threading.Lock()
+        self._pending: dict[int, "queue.Queue"] = {}
+        self._next_rid = 0
+        self._dead: Exception | None = None
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"shard-{shard}-reader", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._dead is None and self.proc.poll() is None
+
+    def send(self, op: str, payload: dict[str, Any], sink: "queue.Queue") -> int:
+        """Dispatch one request; its response will arrive on ``sink``."""
+        with self._lock:
+            if self._dead is not None:
+                raise ShardFailure(f"shard {self.shard} worker is down: {self._dead}")
+            self._next_rid += 1
+            rid = self._next_rid
+            self._pending[rid] = sink
+            try:
+                write_frame(self.proc.stdin, {"id": rid, "op": op, **payload})
+            except Exception as error:
+                self._pending.pop(rid, None)
+                raise ShardFailure(
+                    f"shard {self.shard} worker write failed: {error}"
+                ) from error
+        return rid
+
+    def cancel(self, rid: int) -> None:
+        """Forget a request; best-effort tell the worker to skip it."""
+        with self._lock:
+            self._pending.pop(rid, None)
+            if self._dead is None:
+                try:
+                    write_frame(self.proc.stdin, {"cancel": rid})
+                except Exception:
+                    pass
+
+    def request(
+        self, op: str, payload: dict[str, Any] | None = None, timeout: float = 30.0
+    ) -> dict[str, Any]:
+        """Synchronous round trip; raises :class:`ShardFailure` on error."""
+        sink: queue.Queue = queue.Queue()
+        rid = self.send(op, payload or {}, sink)
+        try:
+            kind, _, body = sink.get(timeout=timeout)
+        except queue.Empty:
+            self.cancel(rid)
+            raise ShardFailure(
+                f"shard {self.shard} worker timed out on {op!r}"
+            ) from None
+        if kind == "err":
+            raise ShardFailure(f"shard {self.shard}: {body}")
+        if not body.get("ok"):
+            raise ShardFailure(f"shard {self.shard}: {body.get('error', 'unknown error')}")
+        return body
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Polite stop: shutdown op, close stdin, wait, then kill."""
+        try:
+            self.request("shutdown", timeout=timeout)
+        except Exception:
+            pass
+        try:
+            self.proc.stdin.close()
+        except Exception:
+            pass
+        try:
+            self.proc.wait(timeout=timeout)
+        except Exception:
+            self.kill()
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+            self.proc.wait(timeout=5.0)
+        except Exception:
+            pass
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = read_frame(self.proc.stdout)
+                if frame is None:
+                    break
+                sink = None
+                with self._lock:
+                    sink = self._pending.pop(frame.get("id"), None)
+                if sink is not None:
+                    sink.put(("ok", self, frame))
+        except Exception as error:
+            self._mark_dead(error)
+            return
+        self._mark_dead(RuntimeError(f"shard {self.shard} worker exited"))
+
+    def _mark_dead(self, error: Exception) -> None:
+        with self._lock:
+            if self._dead is not None:
+                return
+            self._dead = error
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for sink in pending:
+            sink.put(("err", self, error))
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"ProcessReplica(shard={self.shard}, pid={self.proc.pid}, {state})"
+
+
+class InlineReplica:
+    """An in-process replica over a :class:`ShardWorker`, for tests.
+
+    Requests and responses still round-trip through JSON so the inline
+    path exercises exact wire fidelity (float repr round-trips, string
+    column keys) without subprocess overhead -- the property tests run
+    hundreds of sharded queries through it.
+    """
+
+    def __init__(self, worker: ShardWorker, shard: int | None = None):
+        self.worker = worker
+        self.shard = worker.shard_index if shard is None else shard
+        self.breaker: CircuitBreaker | None = None
+        self._lock = threading.Lock()
+        self._next_rid = 0
+
+    @property
+    def alive(self) -> bool:
+        return True
+
+    def send(self, op: str, payload: dict[str, Any], sink: "queue.Queue") -> int:
+        with self._lock:
+            self._next_rid += 1
+            rid = self._next_rid
+        request = json.loads(json.dumps({"id": rid, "op": op, **payload}))
+        response = json.loads(json.dumps(self.worker.handle(request)))
+        sink.put(("ok", self, response))
+        return rid
+
+    def cancel(self, rid: int) -> None:
+        pass
+
+    def request(
+        self, op: str, payload: dict[str, Any] | None = None, timeout: float = 30.0
+    ) -> dict[str, Any]:
+        sink: queue.Queue = queue.Queue()
+        self.send(op, payload or {}, sink)
+        _, _, body = sink.get_nowait()
+        if not body.get("ok"):
+            raise ShardFailure(f"shard {self.shard}: {body.get('error', 'unknown error')}")
+        return body
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        pass
+
+    def kill(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"InlineReplica(shard={self.shard})"
+
+
+class ShardRouter(MatchEngine):
+    """A :class:`MatchEngine` whose value evidence is scattered to shards.
+
+    Parameters
+    ----------
+    index:
+        The *full* (unsharded) index; name/neighbor evidence and the
+        rules run on it locally.  Load it with ``mmap=True`` -- O(1)
+        and page-shared with co-located workers.
+    replica_sets:
+        One list of replicas per shard, shard order.  Replicas need
+        ``send/cancel/request/shutdown/kill`` (see
+        :class:`ProcessReplica` / :class:`InlineReplica`); each gets a
+        circuit breaker attached if it brings none.
+    on_shard_error:
+        ``(shard, error) -> None``, fired once per healthy->down
+        transition in ``degrade`` mode; the CLI emits the stream's
+        error record from it.
+
+    Everything else (config, cache, recorder) is the engine's.
+    """
+
+    def __init__(
+        self,
+        index: ResolutionIndex,
+        replica_sets: Sequence[Sequence[Any]],
+        config: MinoanERConfig | None = None,
+        cache: LRUCache | None = None,
+        recorder: Recorder | None = None,
+        on_shard_error: Callable[[int, Exception], None] | None = None,
+        scatter: str = "auto",
+    ):
+        super().__init__(index, config, cache, recorder)
+        if scatter not in ("auto", "pool", "sequential"):
+            raise ValueError(f"scatter must be auto|pool|sequential, got {scatter!r}")
+        if not replica_sets:
+            raise ValueError("a router needs at least one shard")
+        self._replicas: list[list[Any]] = [list(group) for group in replica_sets]
+        for group in self._replicas:
+            if not group:
+                raise ValueError("every shard needs at least one replica")
+            for replica in group:
+                if replica.breaker is None:
+                    replica.breaker = CircuitBreaker(
+                        failure_threshold=self.config.breaker_threshold,
+                        reset_after_s=self.config.breaker_reset_s,
+                        recorder=self.recorder,
+                    )
+        self.shards = len(self._replicas)
+        self._on_shard_error = on_shard_error
+        self._down: set[int] = set()
+        self._rr = [0] * self.shards
+        self._rr_lock = threading.Lock()
+        self._latency: list[deque[float]] = [
+            deque(maxlen=HEDGE_WINDOW) for _ in range(self.shards)
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, 2 * self.shards), thread_name_prefix="shard-router"
+        )
+        if scatter == "auto":
+            # On a single-core host the fan-out serialises anyway, so
+            # the pool's submit/wakeup machinery is pure overhead;
+            # scatter shard-by-shard on the query thread instead.
+            # Hedging, retries, breakers and chaos all live inside
+            # _request_shard and behave identically on either path.
+            scatter = "sequential" if _host_cpus() == 1 else "pool"
+        self._sequential = scatter == "sequential"
+        #: Per-shard round-trip milliseconds of the most recent scatter,
+        #: shard order -- only measured on the sequential path (pool
+        #: timings would include sibling shards' queueing); None there.
+        self.last_shard_ms: list[float] | None = None
+        #: Per-shard worker compute milliseconds (self-reported
+        #: ``service_ms``) of the most recent scatter; None for a shard
+        #: that degraded.  Set on both scatter paths.
+        self.last_service_ms: list[float | None] | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def spawn(
+        cls,
+        index_path: str | Path,
+        count: int,
+        replicas: int = 1,
+        mmap: bool = True,
+        config: MinoanERConfig | None = None,
+        cache: LRUCache | None = None,
+        recorder: Recorder | None = None,
+        on_shard_error: Callable[[int, Exception], None] | None = None,
+        index: ResolutionIndex | None = None,
+        scatter: str = "auto",
+    ) -> "ShardRouter":
+        """Launch ``count * replicas`` worker subprocesses and a router.
+
+        Expects the shard files of ``index_path`` (written by
+        ``repro index --shards``) next to it; each worker is
+        handshaken with ``hello`` before the router is returned, so a
+        missing or corrupt shard fails construction, not the first
+        query.  ``index`` short-circuits re-loading the full index when
+        the caller already holds it.
+        """
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        paths = shard_paths(index_path, count)
+        missing = [str(path) for path in paths if not path.exists()]
+        if missing:
+            raise FileNotFoundError(
+                f"missing shard files ({', '.join(missing)}); "
+                f"run `repro index --shards {count}` first"
+            )
+        if index is None:
+            index = ResolutionIndex.load(index_path, mmap=mmap)
+        config_json = (
+            json.dumps(config_to_dict(config)) if config is not None else None
+        )
+        replica_sets: list[list[ProcessReplica]] = []
+        try:
+            for shard, path in enumerate(paths):
+                group = []
+                for _ in range(replicas):
+                    replica = ProcessReplica(
+                        path, shard, mmap=mmap, config_json=config_json
+                    )
+                    group.append(replica)
+                    replica.request("hello", timeout=120.0)
+                replica_sets.append(group)
+        except Exception:
+            for group in replica_sets:
+                for replica in group:
+                    replica.kill()
+            raise
+        return cls(
+            index,
+            replica_sets,
+            config=config,
+            cache=cache,
+            recorder=recorder,
+            on_shard_error=on_shard_error,
+            scatter=scatter,
+        )
+
+    # ------------------------------------------------------------------
+    # Engine overrides
+    # ------------------------------------------------------------------
+    def _lookup(
+        self, entity: EntityDescription, deadline: Deadline | None
+    ) -> tuple[_Outcome, bool]:
+        """Local alpha, scattered value evidence, merged outcome."""
+        index = self.index
+        if index.n2 == 0:
+            return (None, None, None, 0, ()), False
+        qkb = KnowledgeBase([entity], name="query", tokenizer=index.tokenizer)
+        qstats = KBStatistics(
+            qkb,
+            top_k_name_attributes=self.config.name_attributes_k,
+            top_n_relations=self.config.relations_n,
+        )
+        if deadline is not None:
+            deadline.check("name evidence")
+        alpha = self._alpha_match(qstats)
+        # The purged shared-token list is identical on every shard (full
+        # token table + global EFs travel in each shard file), so derive
+        # it once here instead of N times in the workers; the request
+        # then carries a small token list, not the whole entity.
+        payload: dict[str, Any] = {"tokens": self.value_tokens(entity, qkb=qkb)}
+        if alpha is not None:
+            payload["probe"] = int(alpha)
+        evidences, degraded = self._gather("match", payload, deadline)
+        outcome = merge_single_evidence(
+            self.config, self._cut, alpha, [e for e in evidences if e is not None]
+        )
+        return outcome, degraded
+
+    def match_batch(
+        self, entities: Iterable[EntityDescription]
+    ) -> list[MatchDecision]:
+        """The engine's batch pipeline with scattered value evidence."""
+        started = time.perf_counter()
+        batch = list(entities)
+        if not batch:
+            return []
+        deadline = self._query_deadline()
+        try:
+            inject("serve:batch")
+            qkb, qstats = self._batch_stats(batch)
+            if deadline is not None:
+                deadline.check("batch graph")
+            payload = {"entities": [entity_to_json(entity) for entity in batch]}
+            evidences, degraded = self._gather("batch", payload, deadline)
+            value_1, value_2 = merge_batch_evidence(
+                self.config,
+                self._cut,
+                len(batch),
+                self.index.n2,
+                [evidence for evidence in evidences if evidence is not None],
+            )
+            graph = self._assemble_graph(qkb, qstats, value_1, value_2)
+            if deadline is not None:
+                deadline.check("batch matching")
+        except DeadlineExpired:
+            self.recorder.count("deadline.expired")
+            return self._degraded_batch(batch, started)
+        return self._finish_batch(batch, graph, started, degraded=degraded)
+
+    # ------------------------------------------------------------------
+    # Scatter/gather
+    # ------------------------------------------------------------------
+    def _gather(
+        self, op: str, payload: dict[str, Any], deadline: Deadline | None
+    ) -> tuple[list[dict[str, Any] | None], bool]:
+        """One request to every shard; ``(per-shard results, degraded)``.
+
+        A shard whose every usable replica failed contributes ``None``
+        in ``degrade`` mode (the merge treats absence as empty
+        evidence); in ``fail_fast``/``retry`` modes its failure
+        propagates.  :class:`DeadlineExpired` always propagates -- the
+        engine's degraded-answer machinery owns budget expiry.
+        """
+        # The ambient fault plan is a ContextVar and would be invisible
+        # inside the pool threads; capture it here (the query thread)
+        # so `--chaos shard:request:N=...` reaches the launch sites.
+        plan = current_faults()
+        results: list[dict[str, Any] | None] = []
+        degraded = False
+
+        def settle(shard: int, resolve: Callable[[], dict[str, Any]]) -> None:
+            nonlocal degraded
+            try:
+                result = resolve()
+            except DeadlineExpired:
+                raise
+            except ShardFailure as error:
+                if self.config.failure_mode != "degrade":
+                    raise
+                results.append(None)
+                degraded = True
+                if shard not in self._down:
+                    self._down.add(shard)
+                    if self._on_shard_error is not None:
+                        self._on_shard_error(shard, error)
+            else:
+                results.append(result)
+                if shard in self._down:
+                    self._down.discard(shard)
+
+        if self._sequential:
+            timings: list[float] = []
+            for shard in range(self.shards):
+                started = time.perf_counter()
+                settle(
+                    shard,
+                    lambda shard=shard: self._shard_call(
+                        shard, op, payload, deadline, plan
+                    ),
+                )
+                timings.append((time.perf_counter() - started) * 1e3)
+            self.last_shard_ms = timings
+        else:
+            self.last_shard_ms = None
+            futures = [
+                self._pool.submit(self._shard_call, shard, op, payload, deadline, plan)
+                for shard in range(self.shards)
+            ]
+            for shard, future in enumerate(futures):
+                settle(shard, future.result)
+        self.last_service_ms = [
+            result.get("service_ms") if result is not None else None
+            for result in results
+        ]
+        return results, degraded
+
+    def _shard_call(
+        self,
+        shard: int,
+        op: str,
+        payload: dict[str, Any],
+        deadline: Deadline | None,
+        plan: FaultPlan | None = None,
+    ) -> dict[str, Any]:
+        """One shard's answer, retried per ``config.failure_mode``."""
+        if self.config.failure_mode == "retry":
+            policy = RetryPolicy(
+                max_attempts=self.config.retry_max_attempts,
+                base_delay_s=self.config.retry_base_delay_s,
+                retryable=(ShardFailure,),
+            )
+            return policy.call(
+                lambda: self._request_shard(shard, op, payload, deadline, plan)
+            )
+        return self._request_shard(shard, op, payload, deadline, plan)
+
+    def _request_shard(
+        self,
+        shard: int,
+        op: str,
+        payload: dict[str, Any],
+        deadline: Deadline | None,
+        plan: FaultPlan | None = None,
+    ) -> dict[str, Any]:
+        """One hedged request to a shard's replica group.
+
+        Round-robin picks the primary; a backup fires after the hedge
+        delay and the first good answer wins (losers cancelled).  A
+        replica error rolls over to the next usable replica
+        immediately.  Raises :class:`ShardFailure` when the group is
+        exhausted and :class:`DeadlineExpired` when the budget runs out
+        (locally or reported by the worker).
+        """
+        replicas = self._replica_order(shard)
+        if deadline is not None:
+            deadline.check(f"shard {shard} request")
+            payload = dict(payload)
+            payload["budget_ms"] = deadline.remaining() * 1e3
+        sink: queue.Queue = queue.Queue()
+        inflight: dict[Any, int] = {}
+        cursor = 0
+        last_error: Exception | None = None
+        hedge_replica: Any = None
+
+        def launch() -> Any:
+            nonlocal cursor, last_error
+            while cursor < len(replicas):
+                replica = replicas[cursor]
+                cursor += 1
+                if not replica.breaker.allow():
+                    continue
+                self.recorder.count("shard.requests")
+                try:
+                    if plan is not None:
+                        action = plan.draw(f"shard:request:{shard}")
+                        if action is not None:
+                            action.apply()
+                    rid = replica.send(op, payload, sink)
+                except Exception as error:
+                    last_error = error
+                    self._replica_failed(replica, error)
+                    continue
+                inflight[replica] = rid
+                return replica
+            return None
+
+        def cancel_losers(winner: Any = None) -> None:
+            for replica, rid in list(inflight.items()):
+                if replica is not winner:
+                    replica.cancel(rid)
+
+        primary = launch()
+        if primary is None:
+            raise ShardFailure(
+                f"shard {shard}: no replica accepted the request"
+                + (f" ({last_error})" if last_error else "")
+            )
+        started = time.perf_counter()
+        hedge_delay = self._hedge_delay(shard)
+        while True:
+            if not inflight:
+                if launch() is None:
+                    raise ShardFailure(
+                        f"shard {shard}: all replicas failed ({last_error})"
+                    )
+                continue
+            timeout: float | None = None
+            if hedge_replica is None and cursor < len(replicas):
+                elapsed = time.perf_counter() - started
+                timeout = max(0.0, hedge_delay - elapsed)
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    cancel_losers()
+                    deadline.check(f"shard {shard} response")
+                timeout = remaining if timeout is None else min(timeout, remaining)
+            try:
+                kind, replica, body = sink.get(timeout=timeout)
+            except queue.Empty:
+                if deadline is not None and deadline.expired:
+                    cancel_losers()
+                    deadline.check(f"shard {shard} response")
+                if hedge_replica is None and cursor < len(replicas):
+                    hedge_replica = launch()
+                    if hedge_replica is not None:
+                        self.recorder.count("shard.hedge.fired")
+                continue
+            if inflight.pop(replica, None) is None:
+                continue  # stale answer from a cancelled twin
+            if kind == "err":
+                last_error = body
+                self._replica_failed(replica, body)
+                continue
+            if not body.get("ok"):
+                message = body.get("error", "unknown error")
+                if body.get("kind") == "deadline":
+                    # The worker ran out of the budget we gave it; that
+                    # is the query's deadline, not the replica's fault.
+                    replica.breaker.record_success()
+                    cancel_losers()
+                    raise DeadlineExpired(f"shard {shard}: {message}")
+                error = ShardFailure(f"shard {shard}: {message}")
+                last_error = error
+                self._replica_failed(replica, error)
+                continue
+            replica.breaker.record_success()
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            self.recorder.observe("shard.latency_ms", elapsed_ms)
+            self._latency[shard].append(elapsed_ms)
+            if hedge_replica is not None:
+                self.recorder.count(
+                    "shard.hedge.won"
+                    if replica is hedge_replica
+                    else "shard.hedge.lost"
+                )
+            cancel_losers(winner=replica)
+            return body
+
+    def _replica_order(self, shard: int) -> list[Any]:
+        """The shard's replicas, rotated round-robin per request."""
+        group = self._replicas[shard]
+        with self._rr_lock:
+            offset = self._rr[shard]
+            self._rr[shard] = (offset + 1) % len(group)
+        return group[offset:] + group[:offset]
+
+    def _replica_failed(self, replica: Any, error: Exception) -> None:
+        replica.breaker.record_failure()
+        self.recorder.count("shard.failures")
+
+    def _hedge_delay(self, shard: int) -> float:
+        """Seconds before a backup request fires for this shard."""
+        fixed = self.config.serving_hedge_ms
+        if fixed is not None:
+            return fixed / 1e3
+        window = self._latency[shard]
+        if len(window) < HEDGE_MIN_SAMPLES:
+            return DEFAULT_HEDGE_DELAY_S
+        return percentile(sorted(window), 0.95) / 1e3
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def wire_floor_ms(self, samples: int = 30) -> float:
+        """Median ``hello`` round-trip: the fan-out's pure wire cost.
+
+        No evidence compute happens on a ``hello``, so this is the
+        frame-protocol + scheduling floor one shard hop pays; the
+        shard-scaling benchmark combines it with the workers'
+        self-reported ``service_ms`` to reconstruct the scatter-gather
+        critical path free of single-core queueing noise.
+        """
+        timings = []
+        for _ in range(max(1, samples)):
+            started = time.perf_counter()
+            self._replicas[0][0].request("hello", timeout=30.0)
+            timings.append((time.perf_counter() - started) * 1e3)
+        timings.sort()
+        return timings[len(timings) // 2]
+
+    def stats(self) -> dict[str, object]:
+        """Engine stats plus a ``sharding`` section."""
+        snapshot = super().stats()
+        recorder = self.recorder
+        snapshot["sharding"] = {
+            "shards": self.shards,
+            "replicas": [len(group) for group in self._replicas],
+            "down": sorted(self._down),
+            "requests": int(recorder.counter_value("shard.requests")),
+            "failures": int(recorder.counter_value("shard.failures")),
+            "hedge_fired": int(recorder.counter_value("shard.hedge.fired")),
+            "hedge_won": int(recorder.counter_value("shard.hedge.won")),
+            "hedge_lost": int(recorder.counter_value("shard.hedge.lost")),
+        }
+        return snapshot
+
+    def close(self) -> None:
+        """Graft worker traces into the router's recorder and shut down.
+
+        Each reachable replica is asked for its engine's
+        :class:`~repro.obs.recorder.RecorderSnapshot`, which is merged
+        under a ``shard.worker`` span (so ``--trace`` output shows
+        per-shard kernel/cache activity nested under the router's
+        trace); then workers are stopped and the pool drained.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for shard, group in enumerate(self._replicas):
+            for position, replica in enumerate(group):
+                try:
+                    body = replica.request("stats", timeout=10.0)
+                except Exception:
+                    continue
+                with self.recorder.span(
+                    "shard.worker", shard=shard, replica=position
+                ) as span:
+                    pass
+                self.recorder.merge(snapshot_from_json(body["snapshot"]), span)
+        for group in self._replicas:
+            for replica in group:
+                try:
+                    replica.shutdown()
+                except Exception:
+                    pass
+        self._pool.shutdown(wait=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(index={self.index.kb_name!r}, shards={self.shards}, "
+            f"replicas={[len(group) for group in self._replicas]})"
+        )

@@ -160,3 +160,55 @@ class TestTopkGroupedFastPath:
         )
         assert fast[0] == ((0, 2.0), (2, 1.0))
         assert general[0] == fast[0]
+
+
+class TestRowEvidence:
+    """The fused serving op equals its composed parts on both backends."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        blocks=weighted_postings(),
+        k=st.integers(min_value=1, max_value=8),
+        margin=st.integers(min_value=0, max_value=5),
+    )
+    def test_fused_equals_composed(self, blocks, k, margin):
+        from heapq import nsmallest
+
+        ids, sums = python_backend.accumulate_row(blocks)
+        probe = min(ids) if ids else 0
+        for candidate in (None, probe, -1):
+            row, mins, count, touched = python_backend.row_evidence(
+                blocks, k, margin, candidate
+            )
+            assert row == python_backend.select_row(ids, sums, k)
+            assert mins == sorted(nsmallest(margin, ids))
+            assert count == len(ids)
+            assert touched == (candidate is not None and candidate in ids)
+
+    @needs_numpy
+    @settings(max_examples=150, deadline=None)
+    @given(
+        blocks=weighted_postings(),
+        k=st.integers(min_value=1, max_value=8),
+        margin=st.integers(min_value=0, max_value=5),
+    )
+    def test_numpy_matches_python(self, blocks, k, margin):
+        import repro.kernels.numpy_backend as numpy_backend
+
+        ids, _ = python_backend.accumulate_row(blocks)
+        probe = min(ids) if ids else 0
+        for candidate in (None, probe, -1):
+            expected = python_backend.row_evidence(blocks, k, margin, candidate)
+            actual = numpy_backend.row_evidence(blocks, k, margin, candidate)
+            assert tuple(actual[0]) == tuple(expected[0])
+            assert list(actual[1]) == list(expected[1])
+            assert actual[2:] == expected[2:]
+            assert all(isinstance(c, int) for c in actual[1])
+
+    @needs_numpy
+    def test_empty_blocks(self):
+        import repro.kernels.numpy_backend as numpy_backend
+
+        for backend in (python_backend, numpy_backend):
+            row, mins, count, touched = backend.row_evidence([], 5, 3, 1)
+            assert (tuple(row), list(mins), count, touched) == ((), [], 0, False)

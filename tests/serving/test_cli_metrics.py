@@ -1,0 +1,87 @@
+"""`serve --metrics-port 0` reports the actually-bound ephemeral port.
+
+The CLI must print the resolved port both on the ``# metrics at`` line
+and inside the ``# index ...`` provenance line (which prints *after*
+the endpoint binds), so supervisors tailing stderr can scrape the
+endpoint without racing the bind.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import MinoanERConfig
+from repro.serving import ResolutionIndex
+from repro.serving.io import entity_to_json
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def run_serve(tmp_path, pair, extra_args=()):
+    index = ResolutionIndex.build(pair.kb2, MinoanERConfig())
+    index_path = tmp_path / "kb2.idx"
+    index.save(index_path)
+    queries = tmp_path / "queries.jsonl"
+    with queries.open("w", encoding="utf-8") as handle:
+        for entity in list(pair.kb1)[:3]:
+            handle.write(json.dumps(entity_to_json(entity)) + "\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    return subprocess.run(
+        [
+            sys.executable, "-m", "repro", "serve", str(index_path),
+            "-i", str(queries), "--metrics-port", "0", *extra_args,
+        ],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+
+
+class TestEphemeralMetricsPort:
+    def test_bound_port_in_provenance_line(self, mini_pair, tmp_path):
+        proc = run_serve(tmp_path, mini_pair)
+        assert proc.returncode == 0, proc.stderr
+
+        index_line = next(
+            line for line in proc.stderr.splitlines() if line.startswith("# index ")
+        )
+        metrics_line = next(
+            line for line in proc.stderr.splitlines() if line.startswith("# metrics at ")
+        )
+        provenance_port = re.search(r"metrics port (\d+)", index_line)
+        assert provenance_port, f"no metrics port in: {index_line}"
+        endpoint_port = re.search(r"http://[^:]+:(\d+)/metrics", metrics_line)
+        assert endpoint_port, f"no port in: {metrics_line}"
+
+        port = int(provenance_port.group(1))
+        assert port != 0, "ephemeral port must be resolved, not echoed"
+        assert port == int(endpoint_port.group(1))
+
+        # The stream itself is unaffected.
+        decisions = [json.loads(line) for line in proc.stdout.splitlines()]
+        assert len(decisions) == 3
+
+    def test_no_metrics_flag_keeps_plain_provenance(self, mini_pair, tmp_path):
+        index = ResolutionIndex.build(mini_pair.kb2, MinoanERConfig())
+        index_path = tmp_path / "kb2.idx"
+        index.save(index_path)
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(
+            json.dumps(entity_to_json(list(mini_pair.kb1)[0])) + "\n",
+            encoding="utf-8",
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", str(index_path), "-i", str(queries)],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        index_line = next(
+            line for line in proc.stderr.splitlines() if line.startswith("# index ")
+        )
+        assert "metrics port" not in index_line

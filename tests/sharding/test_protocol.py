@@ -1,0 +1,108 @@
+"""Wire framing and snapshot serialisation round-trips."""
+
+import io
+import math
+
+import pytest
+
+from repro.obs import Recorder
+from repro.sharding import (
+    ProtocolError,
+    read_frame,
+    snapshot_from_json,
+    snapshot_to_json,
+    write_frame,
+)
+from repro.sharding.protocol import MAX_FRAME_BYTES
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        buffer = io.BytesIO()
+        message = {"id": 3, "op": "match", "entity": {"uri": "a", "pairs": []}}
+        write_frame(buffer, message)
+        buffer.seek(0)
+        assert read_frame(buffer) == message
+
+    def test_multiple_frames_in_sequence(self):
+        buffer = io.BytesIO()
+        for i in range(5):
+            write_frame(buffer, {"id": i})
+        buffer.seek(0)
+        assert [read_frame(buffer)["id"] for _ in range(5)] == list(range(5))
+        assert read_frame(buffer) is None
+
+    def test_clean_eof_returns_none(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+    def test_floats_survive_bit_exactly(self):
+        values = [0.1 + 0.2, 1 / 3, 1e-300, math.pi, 2.0**53 - 1]
+        buffer = io.BytesIO()
+        write_frame(buffer, {"scores": values})
+        buffer.seek(0)
+        decoded = read_frame(buffer)["scores"]
+        assert all(a == b for a, b in zip(decoded, values))
+
+    def test_unicode_payload(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"uri": "café 寿司"})
+        buffer.seek(0)
+        assert read_frame(buffer)["uri"] == "café 寿司"
+
+    def test_bad_length_prefix(self):
+        with pytest.raises(ProtocolError, match="length prefix"):
+            read_frame(io.BytesIO(b"xyz\n{}\n"))
+
+    def test_oversized_length(self):
+        huge = str(MAX_FRAME_BYTES + 1).encode()
+        with pytest.raises(ProtocolError, match="out of bounds"):
+            read_frame(io.BytesIO(huge + b"\n"))
+
+    def test_truncated_payload(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            read_frame(io.BytesIO(b"100\n{}"))
+
+    def test_non_json_payload(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            read_frame(io.BytesIO(b"3\nabc\n"))
+
+    def test_non_object_payload(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            read_frame(io.BytesIO(b"2\n[]\n"))
+
+
+class TestSnapshotCodec:
+    def test_roundtrip_preserves_spans_and_metrics(self):
+        recorder = Recorder()
+        with recorder.span("outer", label="x"):
+            with recorder.span("inner"):
+                pass
+        recorder.count("worker.requests", 3)
+        recorder.gauge("worker.up", 1)
+        recorder.observe("worker.latency_ms", 1.25)
+        recorder.observe("worker.latency_ms", 0.5)
+        snapshot = recorder.snapshot()
+
+        rebuilt = snapshot_from_json(snapshot_to_json(snapshot))
+        assert rebuilt.trace_id == snapshot.trace_id
+        assert rebuilt.counters == snapshot.counters
+        assert rebuilt.gauges == snapshot.gauges
+        assert rebuilt.histograms == snapshot.histograms
+        assert [s.name for s in rebuilt.spans] == [s.name for s in snapshot.spans]
+        assert [s.parent_id for s in rebuilt.spans] == [
+            s.parent_id for s in snapshot.spans
+        ]
+
+    def test_rebuilt_snapshot_merges_into_a_recorder(self):
+        child = Recorder()
+        with child.span("shard.work"):
+            pass
+        child.count("shard.ops", 2)
+        rebuilt = snapshot_from_json(snapshot_to_json(child.snapshot()))
+
+        parent = Recorder()
+        with parent.span("shard.worker") as span:
+            pass
+        parent.merge(rebuilt, span)
+        assert "shard.work" in parent.span_names()
+        assert parent.counter_value("shard.ops") == 2
