@@ -314,22 +314,51 @@ def command_index(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 0
-    if not args.output:
-        print("error: -o/--output is required unless --migrate", file=sys.stderr)
+    if args.compact:
+        import os
+
+        from repro.serving.live import LiveIndex, UpsertLedger
+
+        source = args.kb
+        destination = Path(args.output or source)
+        live = LiveIndex(ResolutionIndex.load(source))
+        events = 0
+        if args.ledger:
+            for op, value in UpsertLedger(args.ledger).replay():
+                live.apply(op, value)
+                events += 1
+        index = live.compact()
+        # Temp file + atomic rename: a serving process mmapping the old
+        # file keeps its pages until it reloads (docs/live_index.md).
+        tmp = destination.with_name(destination.name + ".tmp")
+        index.save(tmp)
+        os.replace(tmp, destination)
+        print(
+            f"# compacted {source} + {events} ledger event(s) -> "
+            f"{destination}",
+            file=sys.stderr,
+        )
+        args.output = str(destination)
+    elif not args.output:
+        print(
+            "error: -o/--output is required unless --migrate or --compact",
+            file=sys.stderr,
+        )
         return 2
-    # The input may be a KB to freeze, or an already-built index file to
-    # (re-)shard: sniff the container magic rather than guessing from
-    # the extension.
-    with open(args.kb, "rb") as handle:
-        is_index = handle.read(len(MAGIC)) == MAGIC
-    if is_index:
-        index = ResolutionIndex.load(args.kb)
-        if args.kb != args.output:
-            index.save(args.output)
     else:
-        kb2 = _load_kb(args.kb, "KB2")
-        index = ResolutionIndex.build(kb2, _config_from(args))
-        index.save(args.output)
+        # The input may be a KB to freeze, or an already-built index
+        # file to (re-)shard: sniff the container magic rather than
+        # guessing from the extension.
+        with open(args.kb, "rb") as handle:
+            is_index = handle.read(len(MAGIC)) == MAGIC
+        if is_index:
+            index = ResolutionIndex.load(args.kb)
+            if args.kb != args.output:
+                index.save(args.output)
+        else:
+            kb2 = _load_kb(args.kb, "KB2")
+            index = ResolutionIndex.build(kb2, _config_from(args))
+            index.save(args.output)
     summary = index.describe()
     print(
         f"# indexed {summary['entities']} entities "
@@ -353,7 +382,8 @@ def command_serve(args: argparse.Namespace) -> int:
     import json
 
     from repro.serving import MatchEngine, RequestError, ResolutionIndex
-    from repro.serving.io import iter_requests, write_decisions
+    from repro.serving.io import ControlRequest, iter_requests, write_decisions
+    from repro.serving.live import LiveEngine, UpsertLedger
 
     mmap = args.mmap if args.mmap is not None else MinoanERConfig().index_mmap
     index = ResolutionIndex.load(args.index, mmap=mmap)
@@ -391,9 +421,9 @@ def command_serve(args: argparse.Namespace) -> int:
         sys.stdout.flush()
 
     if config.serving_shards:
-        from repro.sharding import ShardRouter
+        from repro.sharding import LiveShardRouter
 
-        engine: MatchEngine = ShardRouter.spawn(
+        engine: MatchEngine = LiveShardRouter.spawn(
             args.index,
             config.serving_shards,
             replicas=config.serving_replicas,
@@ -403,7 +433,18 @@ def command_serve(args: argparse.Namespace) -> int:
             index=index,
         )
     else:
-        engine = MatchEngine(index, config)
+        engine = LiveEngine(index, config)
+    # Control records (in-band upserts/compaction/swaps) default their
+    # file operations to the index the server was started on.
+    engine.index_path = Path(args.index)
+    if args.ledger:
+        replayed = engine.attach_ledger(UpsertLedger(args.ledger))
+        if replayed:
+            print(
+                f"# ledger {args.ledger}: replayed {replayed} event(s), "
+                f"generation {engine.generation}",
+                file=sys.stderr,
+            )
     # index.load may have run before the engine's recorder existed (it
     # records on the ambient recorder); re-surface how the index entered
     # memory as index.* gauges on the recorder the /metrics endpoint and
@@ -449,6 +490,35 @@ def command_serve(args: argparse.Namespace) -> int:
             return
         write_decisions(decisions, sys.stdout)
 
+    def handle_control(item: ControlRequest) -> None:
+        """Apply one in-band control record and acknowledge it in-line.
+
+        Acks are JSONL like every other response, carrying the op, its
+        outcome and the index generation it produced, so a driver can
+        assert 'everything after this line reflects the edit'.
+        """
+        ack: dict = {"control": item.op}
+        try:
+            if item.op == "upsert":
+                engine.upsert(item.entity)
+                ack["uri"] = item.entity.uri
+            elif item.op == "delete":
+                ack["uri"] = item.uri
+                ack["removed"] = engine.delete(item.uri)
+            elif item.op == "compact":
+                fresh = engine.compact(item.path)
+                ack["entities"] = fresh.n2
+            else:  # reload
+                engine.reload(item.path)
+        except Exception as error:
+            engine.recorder.count("serving.control_errors")
+            emit_error(str(error), line=item.line)
+            return
+        ack["ok"] = True
+        ack["generation"] = engine.generation
+        sys.stdout.write(json.dumps(ack) + "\n")
+        sys.stdout.flush()
+
     stream = open(args.input, "r", encoding="utf-8") if args.input else sys.stdin
     try:
         # One bad line (or one failing query) gets one JSONL error
@@ -457,6 +527,14 @@ def command_serve(args: argparse.Namespace) -> int:
         for item in iter_requests(stream, recorder=engine.recorder):
             if isinstance(item, RequestError):
                 emit_error(item.error, line=item.line)
+                continue
+            if isinstance(item, ControlRequest):
+                # Queries already read precede the edit in stream order;
+                # answer them against the pre-edit index first.
+                if batch:
+                    answer_batch(batch)
+                    batch = []
+                handle_control(item)
                 continue
             if config.serving_batch_size == 1:
                 try:
@@ -559,6 +637,17 @@ def build_parser() -> argparse.ArgumentParser:
         "fully valid index the stock engine loads unchanged "
         "(see docs/sharding.md)",
     )
+    index.add_argument(
+        "--compact", action="store_true",
+        help="fold a live-serving upsert ledger into an existing index "
+        "file (KB names the index; default: rewrite in place via atomic "
+        "rename) -- see docs/live_index.md",
+    )
+    index.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="with --compact: the JSONL upsert/delete ledger to fold in "
+        "(default: none, a plain deterministic rewrite)",
+    )
     _add_config_arguments(index)
     _add_trace_arguments(index)
     _add_chaos_arguments(index)
@@ -630,6 +719,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="when a whole shard is unreachable: abort the query, retry "
         "the scatter, or degrade to the surviving shards' evidence "
         "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="durable JSONL upsert/delete ledger: replayed over the "
+        "index at startup, appended on every in-band control mutation, "
+        "truncated by compaction (see docs/live_index.md)",
     )
     serve.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",

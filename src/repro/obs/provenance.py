@@ -42,6 +42,10 @@ class ProvenanceRecord:
     candidates considered (R1 name hits have none -- name evidence is
     not scored).  ``degraded``/``cached``/``batched`` mark how the
     answer was produced, mirroring the decision's own flags.
+    ``generation`` is the index generation the answer was computed
+    against (0 for a frozen index; live indexes bump it on every
+    mutation and swap -- see ``docs/live_index.md``), so an audit can
+    tell exactly which index state produced any sampled decision.
     """
 
     trace_id: str
@@ -53,6 +57,7 @@ class ProvenanceRecord:
     degraded: bool = False
     cached: bool = False
     batched: bool = False
+    generation: int = 0
 
     def to_json(self) -> dict[str, Any]:
         """JSON-ready view (non-finite scores become ``null``)."""
@@ -68,6 +73,7 @@ class ProvenanceRecord:
             "degraded": self.degraded,
             "cached": self.cached,
             "batched": self.batched,
+            "generation": self.generation,
         }
 
     @classmethod

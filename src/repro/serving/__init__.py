@@ -13,7 +13,15 @@ batch cost per query:
   a thread-safe content-addressed
   :class:`~repro.serving.cache.LRUCache`;
 * :mod:`repro.serving.io` defines the JSONL wire format of the
-  ``python -m repro serve`` subcommand.
+  ``python -m repro serve`` subcommand;
+* :mod:`repro.serving.live` makes the frozen index *mutable* without
+  giving up its guarantees: an append-only
+  :class:`~repro.serving.live.UpsertLedger`, an LSM-style in-memory
+  delta segment overlaid by :class:`~repro.serving.live.LiveIndex`,
+  and :class:`~repro.serving.live.LiveEngine`, whose decisions stay
+  bit-identical to a full rebuild of the same entities and whose
+  compaction/reload swaps never drop an in-flight query (see
+  ``docs/live_index.md``).
 
 Serving the whole of KB1 through
 :meth:`~repro.serving.engine.MatchEngine.match_batch` reproduces the
@@ -24,14 +32,29 @@ batch pipeline's match set exactly (tested in
 from repro.serving.cache import LRUCache, entity_fingerprint
 from repro.serving.engine import MatchDecision, MatchEngine
 from repro.serving.index import ResolutionIndex
-from repro.serving.io import RequestError, iter_requests, read_requests
+from repro.serving.io import ControlRequest, RequestError, iter_requests, read_requests
+from repro.serving.live import (
+    IndexHandle,
+    LedgerError,
+    LiveEngine,
+    LiveIndex,
+    LiveServingMixin,
+    UpsertLedger,
+)
 
 __all__ = [
+    "ControlRequest",
+    "IndexHandle",
     "LRUCache",
+    "LedgerError",
+    "LiveEngine",
+    "LiveIndex",
+    "LiveServingMixin",
     "MatchDecision",
     "MatchEngine",
     "RequestError",
     "ResolutionIndex",
+    "UpsertLedger",
     "entity_fingerprint",
     "iter_requests",
     "read_requests",

@@ -33,10 +33,13 @@ def entity_fingerprint(entity: EntityDescription) -> str:
     """
     digest = hashlib.blake2b(digest_size=16)
     for attribute, value in entity.pairs:
-        digest.update(attribute.encode("utf-8"))
-        digest.update(b"\x1e")
-        digest.update(value.encode("utf-8"))
-        digest.update(b"\x1f")
+        # Length-prefix each field: separator bytes alone are ambiguous
+        # (("a\x1eb", "c") and ("a", "b\x1ec") would collide), and a
+        # collision here serves the wrong cached decision.
+        for field in (attribute, value):
+            data = field.encode("utf-8")
+            digest.update(len(data).to_bytes(8, "big"))
+            digest.update(data)
     return digest.hexdigest()
 
 
@@ -81,13 +84,16 @@ class LRUCache:
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``, evicting the least recently used
         entry when over capacity."""
-        if self.capacity == 0:
-            return
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-            self._entries[key] = value
-            if len(self._entries) > self.capacity:
+            if self.capacity > 0:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                self._entries[key] = value
+            # ``capacity`` is a mutable public attribute: after a shrink,
+            # a put that merely refreshes an existing key (or is dropped
+            # by a zero capacity) still has to drain the excess, so
+            # evict until back under the bound.
+            while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
 

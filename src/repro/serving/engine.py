@@ -250,6 +250,11 @@ class MatchEngine:
     ):
         self.index = index
         self.config = config or index.config
+        #: Monotonic index generation: bumped by every live mutation and
+        #: zero-drop swap (see :mod:`repro.serving.live`).  Cache keys
+        #: carry it, so no answer computed against an older index state
+        #: can ever be served after the state changes.
+        self.generation = 0
         backend = resolve_backend_name(self.config.kernel_backend)
         if backend == "dict":
             # The dict reference has no array entry points; the python
@@ -301,7 +306,7 @@ class MatchEngine:
         answer (counted ``deadline.expired``; never cached).
         """
         started = time.perf_counter()
-        key = entity_fingerprint(entity)
+        key = (self.generation, entity_fingerprint(entity))
         outcome = self.cache.get(key)
         hit = outcome is not None
         self.recorder.count("serving.cache.hits" if hit else "serving.cache.misses")
@@ -369,6 +374,7 @@ class MatchEngine:
             degraded=degraded,
             cached=cached,
             batched=batched,
+            generation=self.generation,
         )
 
     def _lookup(
@@ -703,7 +709,7 @@ class MatchEngine:
                     max_comparisons=config.max_block_comparisons,
                 )
 
-            interned = InternedBlocks.from_blocks(blocks, len(qkb), index.n2)
+            interned = InternedBlocks.from_blocks(blocks, len(qkb), index.id_space)
             if cap is None:
                 value_1, value_2 = self._run_kernel(
                     "value_topk", interned, k, self._cut
@@ -739,7 +745,7 @@ class MatchEngine:
         )
         return DisjunctiveBlockingGraph(
             n1=len(qkb),
-            n2=index.n2,
+            n2=index.id_space,
             name_matches_1=names_forward,
             name_matches_2=names_reverse,
             value_candidates_1=value_1,
@@ -801,8 +807,8 @@ class MatchEngine:
         self, qkb: KnowledgeBase, k: int
     ) -> tuple[list[CandidateList], list[CandidateList]]:
         """``value_topk`` computed row by row with the single-row kernels."""
-        column_ids: list[list[int]] = [[] for _ in range(self.index.n2)]
-        column_sums: list[list[float]] = [[] for _ in range(self.index.n2)]
+        column_ids: list[list[int]] = [[] for _ in range(self.index.id_space)]
+        column_sums: list[list[float]] = [[] for _ in range(self.index.id_space)]
         side1: list[CandidateList] = []
         for ids, sums in self._value_rows(qkb, self._retained_row_tokens(qkb)):
             side1.append(self._run_kernel("select_row", ids, sums, k, self._cut))
@@ -914,6 +920,8 @@ class MatchEngine:
         probe: int | None = None,
         deadline: Deadline | None = None,
         tokens: list[str] | None = None,
+        exclude: Sequence[int] | None = None,
+        weights: dict[str, float] | None = None,
     ) -> dict[str, object]:
         """This index's value evidence for one query, merge-ready.
 
@@ -930,6 +938,14 @@ class MatchEngine:
         ships the purged token list it computed once, the worker skips
         re-tokenising and re-purging the query (``entity`` may then be
         ``None``) -- the derived list is identical either way.
+
+        ``exclude`` and ``weights`` carry the live-index overlay of a
+        router whose base has pending edits (see
+        :mod:`repro.serving.live`): ``exclude`` lists dead base ids to
+        drop from every posting before accumulating, ``weights``
+        overrides the hoisted singleton block weight of tokens whose
+        *live* Entity Frequency differs from the frozen one.  Both
+        default to no-ops, so the frozen-index path is untouched.
         """
         index = self.index
         config = self.config
@@ -940,7 +956,18 @@ class MatchEngine:
         shared = self.value_tokens(entity) if tokens is None else tokens
         postings = index.postings
         singleton_weights = index.singleton_weights
-        weighted = [(singleton_weights[token], postings[token]) for token in shared]
+        dead = set(exclude) if exclude else None
+        weighted = []
+        for token in shared:
+            ids = postings[token]
+            if dead is not None:
+                kept = [candidate for candidate in ids if candidate not in dead]
+                if len(kept) != len(ids):
+                    ids = kept
+            weight = singleton_weights[token]
+            if weights is not None and token in weights:
+                weight = float(weights[token])
+            weighted.append((weight, ids))
         cap = config.serving_candidate_cap
         keep = cap if cap is not None else config.candidates_k
         row, mins, count, touched = self._run_kernel(

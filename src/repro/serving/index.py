@@ -192,6 +192,19 @@ class ResolutionIndex:
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
+    @property
+    def id_space(self) -> int:
+        """Size of the dense-id range structures must be dimensioned for.
+
+        On a frozen index this is simply ``n2``.  A live overlay
+        (:class:`repro.serving.live.LiveIndex`) reports a larger value:
+        base ids plus every delta slot ever allocated, including
+        tombstoned ones -- ``n2`` stays the *live* entity count (which
+        drives weights and purging) while ``id_space`` drives array and
+        graph extents.
+        """
+        return self.n2
+
     def entity_frequency(self, token: str) -> int:
         """``EF2(t)``: entities of the indexed KB containing ``token``."""
         return len(self.postings.get(token, ()))

@@ -61,8 +61,61 @@ _SCALARS = (str, int, float, bool)
 
 MAX_REQUEST_LINE_BYTES = 1_000_000
 """Default per-line size guard of :func:`iter_requests`: a request line
-longer than this (in characters) is rejected without being parsed, so
-one runaway producer cannot balloon the server's memory."""
+whose UTF-8 encoding (line terminator excluded) is longer than this in
+*bytes* is rejected without being parsed, so one runaway producer
+cannot balloon the server's memory."""
+
+
+CONTROL_OPS = frozenset({"upsert", "delete", "compact", "reload"})
+"""In-band control operations the live serving loop understands."""
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """One in-band control record of a live serving stream.
+
+    A request line shaped ``{"control": "upsert", "entity": {...}}``
+    (or ``delete``/``compact``/``reload``) mutates the live index
+    instead of querying it (see ``docs/live_index.md``).  Control
+    records do not consume an accepted-query position, so positional
+    ``query-N`` URIs stay contiguous around them.
+
+    ``entity`` is set for ``upsert`` (the full description), ``uri``
+    for ``delete``; ``path`` optionally names the index file for
+    ``compact``/``reload``.
+    """
+
+    op: str
+    line: int
+    entity: EntityDescription | None = None
+    uri: str | None = None
+    path: str | None = None
+
+
+def control_from_json(payload: dict[str, Any], line: int) -> ControlRequest:
+    """Parse one ``{"control": ...}`` record (``ValueError`` on bad shape)."""
+    op = payload["control"]
+    if op not in CONTROL_OPS:
+        raise ValueError(
+            f"unknown control operation {op!r}; expected one of "
+            f"{sorted(CONTROL_OPS)}"
+        )
+    if op == "upsert":
+        if "entity" not in payload:
+            raise ValueError("control 'upsert' needs an 'entity' object")
+        entity = entity_from_json(payload["entity"], default_uri="")
+        if not entity.uri:
+            raise ValueError("control 'upsert' entity needs a non-empty 'uri'")
+        return ControlRequest(op, line, entity=entity)
+    if op == "delete":
+        uri = payload.get("uri")
+        if not isinstance(uri, str) or not uri:
+            raise ValueError("control 'delete' needs a non-empty string 'uri'")
+        return ControlRequest(op, line, uri=uri)
+    path = payload.get("path")
+    if path is not None and not isinstance(path, str):
+        raise ValueError(f"control {op!r} 'path' must be a string, got {path!r}")
+    return ControlRequest(op, line, path=path)
 
 
 @dataclass(frozen=True)
@@ -196,12 +249,14 @@ def iter_requests(
     stream: TextIO,
     max_line_bytes: int = MAX_REQUEST_LINE_BYTES,
     recorder=None,
-) -> Iterator[EntityDescription | RequestError]:
+) -> Iterator[EntityDescription | ControlRequest | RequestError]:
     """Lenient JSONL scan: one item per non-blank line, errors included.
 
     Well-formed requests come out as
-    :class:`~repro.kb.entity.EntityDescription`; malformed, oversized,
-    and fault-injected (``io:read_requests``) lines come out as
+    :class:`~repro.kb.entity.EntityDescription`; lines carrying a
+    ``"control"`` key come out as :class:`ControlRequest` (live-index
+    mutations, see ``docs/live_index.md``); malformed, oversized, and
+    fault-injected (``io:read_requests``) lines come out as
     :class:`RequestError` and the scan *continues*, so one garbage
     producer cannot take down the stream.  Blank lines are separators
     and yield nothing.
@@ -225,12 +280,19 @@ def iter_requests(
             continue
         try:
             inject("io:read_requests")
-            if len(line) > max_line_bytes:
+            # Measure actual UTF-8 bytes, excluding the line terminator:
+            # ``len(line)`` counts characters, which understates a
+            # multi-byte payload by up to 4x against the byte budget.
+            line_bytes = len(line.rstrip("\r\n").encode("utf-8"))
+            if line_bytes > max_line_bytes:
                 raise ValueError(
                     f"request line exceeds {max_line_bytes} bytes "
-                    f"({len(line)} bytes)"
+                    f"({line_bytes} bytes)"
                 )
             payload = json.loads(stripped)
+            if isinstance(payload, dict) and "control" in payload:
+                yield control_from_json(payload, number)
+                continue
             entity = entity_from_json(payload, default_uri=f"query-{accepted + 1}")
         except (json.JSONDecodeError, ValueError, RuntimeError) as error:
             recorder.count("serving.request_errors")
@@ -247,6 +309,11 @@ def read_requests(stream: TextIO) -> Iterator[EntityDescription]:
     for item in iter_requests(stream):
         if isinstance(item, RequestError):
             raise ValueError(item.error)
+        if isinstance(item, ControlRequest):
+            raise ValueError(
+                f"control record on line {item.line}: batch tooling reads "
+                f"plain query streams (control ops are for 'serve')"
+            )
         yield item
 
 

@@ -1,0 +1,1133 @@
+"""Live index: LSM-style delta segments, tombstones, ledger, zero-drop swaps.
+
+The frozen :class:`~repro.serving.index.ResolutionIndex` answers
+queries for a KB that never changes; real Web KBs are re-crawled
+continuously.  This module layers mutability on top of the frozen base
+without giving up its properties, following the classic LSM split:
+
+* :class:`UpsertLedger` -- an append-only JSONL event log of entity
+  upserts and deletes.  The ledger is the durable source of truth; the
+  index (base + delta) is a disposable projection rebuilt from base +
+  replay at startup.
+* :class:`DeltaSegment` -- a small mutable in-memory segment holding
+  the upserted entities' postings, name map and descriptions, plus the
+  tombstone set of *base* ids shadowed by an upsert or removed by a
+  delete.
+* :class:`LiveIndex` -- a duck-typed overlay presenting base + delta
+  as one index to the unmodified engine: candidate generation unions
+  base and delta postings (dead base ids filtered lazily, zero-copy
+  for unaffected tokens), block weights are recomputed from *live*
+  Entity Frequencies, and delta entities occupy dense ids above every
+  base id.  :meth:`LiveIndex.compact` folds everything into a fresh
+  frozen index whose save is byte-deterministic.
+* :class:`IndexHandle` -- a reader/writer drain gate plus a monotonic
+  generation counter: queries pin the current index state, mutations
+  and swaps wait for pinned queries to finish, flip atomically, and
+  bump the generation (which keys the LRU cache, so no answer computed
+  against an older state is ever served after a change).
+* :class:`LiveServingMixin` / :class:`LiveEngine` -- the serving
+  behaviours over any :class:`~repro.serving.engine.MatchEngine`
+  subclass (``LiveShardRouter`` in :mod:`repro.sharding.router` reuses
+  the same mixin over the sharded tier).
+
+Equivalence contract (the invariant every serving PR has held to):
+decisions over base + delta are bit-identical to a full rebuild of the
+index over the equivalent final KB -- base entities never edited, in
+base order, followed by live delta entities in upsert order.  Ids map
+monotonically between the two, and every tie-break in the pipeline is
+``(-score, id)``, so the mapping preserves decisions.  Exactness is
+guaranteed for *relation-neutral* edits (upserted descriptions are
+treated as relation-free, and edits must not change the rebuilt KB's
+discovered name attributes); see ``docs/live_index.md`` for the
+precise scope and why compaction output always equals live serving.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from array import array
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.blocking.name_blocking import normalize_name
+from repro.kb.entity import EntityDescription
+from repro.kernels import CSRAdjacency, block_weight
+from repro.serving.engine import SWEEP_MARGIN, MatchEngine
+from repro.serving.index import ResolutionIndex
+
+__all__ = [
+    "DeltaSegment",
+    "IndexHandle",
+    "LedgerError",
+    "LiveEngine",
+    "LiveIndex",
+    "LiveServingMixin",
+    "UpsertLedger",
+]
+
+
+class LedgerError(ValueError):
+    """A malformed ledger line (carries the 1-based line number)."""
+
+
+def _entity_to_record(entity: EntityDescription) -> dict[str, Any]:
+    return {"uri": entity.uri, "pairs": [list(pair) for pair in entity.pairs]}
+
+
+def _entity_from_record(payload: Any, line: int) -> EntityDescription:
+    if (
+        not isinstance(payload, dict)
+        or not isinstance(payload.get("uri"), str)
+        or not payload["uri"]
+        or not isinstance(payload.get("pairs"), list)
+    ):
+        raise LedgerError(
+            f"ledger line {line}: 'entity' needs a non-empty 'uri' and a "
+            f"'pairs' list"
+        )
+    pairs = []
+    for item in payload["pairs"]:
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 2
+            or not all(isinstance(part, str) for part in item)
+        ):
+            raise LedgerError(
+                f"ledger line {line}: each pair must be [attribute, value] "
+                f"strings, got {item!r}"
+            )
+        pairs.append((item[0], item[1]))
+    return EntityDescription(payload["uri"], pairs)
+
+
+class UpsertLedger:
+    """Append-only JSONL event log of live-index mutations.
+
+    One JSON object per line::
+
+        {"op": "upsert", "entity": {"uri": "...", "pairs": [["a", "v"], ...]}}
+        {"op": "delete", "uri": "..."}
+
+    The ledger is the durable record (Engram-style: immutable events,
+    disposable projection): a serving process replays it over the
+    frozen base at startup to recover the delta segment, and
+    compaction folds it into a fresh base and truncates it.  Appends
+    flush to the OS on every record so a crashed server loses at most
+    the record being written; replay is strict and raises
+    :class:`LedgerError` naming the first bad line.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        #: Records appended through this instance (not the file total).
+        self.appended = 0
+
+    def append_upsert(self, entity: EntityDescription) -> None:
+        """Append one upsert event and flush it."""
+        self._append({"op": "upsert", "entity": _entity_to_record(entity)})
+
+    def append_delete(self, uri: str) -> None:
+        """Append one delete event and flush it."""
+        self._append({"op": "delete", "uri": uri})
+
+    def _append(self, record: dict[str, Any]) -> None:
+        data = json.dumps(record, ensure_ascii=False) + "\n"
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self.appended += 1
+
+    def replay(self) -> Iterator[tuple[str, Any]]:
+        """Yield ``("upsert", EntityDescription)`` / ``("delete", uri)``
+        events in append order; a missing file is an empty ledger."""
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                except ValueError as error:
+                    raise LedgerError(
+                        f"ledger line {number}: not JSON ({error})"
+                    ) from None
+                if not isinstance(record, dict):
+                    raise LedgerError(
+                        f"ledger line {number}: expected an object, got "
+                        f"{type(record).__name__}"
+                    )
+                op = record.get("op")
+                if op == "upsert":
+                    yield "upsert", _entity_from_record(record.get("entity"), number)
+                elif op == "delete":
+                    uri = record.get("uri")
+                    if not isinstance(uri, str) or not uri:
+                        raise LedgerError(
+                            f"ledger line {number}: 'delete' needs a "
+                            f"non-empty string 'uri'"
+                        )
+                    yield "delete", uri
+                else:
+                    raise LedgerError(
+                        f"ledger line {number}: unknown op {op!r} "
+                        f"(expected 'upsert' or 'delete')"
+                    )
+
+    def clear(self) -> None:
+        """Truncate the ledger (called after its events were compacted
+        into a fresh base)."""
+        with self._lock:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def __repr__(self) -> str:
+        return f"UpsertLedger({str(self.path)!r}, appended={self.appended})"
+
+
+class DeltaSegment:
+    """The mutable in-memory segment of a :class:`LiveIndex`.
+
+    Slots are allocated densely and never reused: every upsert gets a
+    fresh slot (its global id is ``base_n2 + slot``), and the slot an
+    entity previously occupied is tombstoned -- so an entity's position
+    in the equivalent rebuilt KB is its *last* upsert, and slot order
+    is exactly rebuild order.  ``dead_base`` holds base ids shadowed by
+    an upsert of the same URI or removed by a delete; base ids are
+    never resurrected (a re-upsert after a delete lands in the delta).
+    """
+
+    def __init__(self) -> None:
+        #: Slot -> description; ``None`` marks a tombstoned slot.
+        self.entities: list[EntityDescription | None] = []
+        #: Slot -> URI (kept through tombstoning for diagnostics).
+        self.uris: list[str] = []
+        #: Live URI -> its current slot.
+        self.uri_slot: dict[str, int] = {}
+        #: Token -> ascending live slots containing it.
+        self.postings: dict[str, list[int]] = {}
+        #: Normalised name -> ascending live slots carrying it.
+        self.names: dict[str, list[int]] = {}
+        #: Slot -> its token set / name tuple (for tombstone removal).
+        self.token_sets: list[frozenset[str]] = []
+        self.name_sets: list[tuple[str, ...]] = []
+        #: Base ids shadowed or deleted.
+        self.dead_base: set[int] = set()
+        #: Live (non-tombstoned) slot count.
+        self.live_count = 0
+
+    @property
+    def allocated(self) -> int:
+        """Slots ever allocated, tombstoned ones included."""
+        return len(self.entities)
+
+    def live_slots(self) -> list[int]:
+        """Ascending live slots -- rebuild order of the delta entities."""
+        return [slot for slot, entity in enumerate(self.entities) if entity is not None]
+
+    def add(
+        self,
+        entity: EntityDescription,
+        tokens: frozenset[str],
+        names: tuple[str, ...],
+    ) -> int:
+        """Append ``entity`` into a fresh slot and return it."""
+        slot = len(self.entities)
+        self.entities.append(entity)
+        self.uris.append(entity.uri)
+        self.token_sets.append(tokens)
+        self.name_sets.append(names)
+        for token in tokens:
+            self.postings.setdefault(token, []).append(slot)
+        for name in names:
+            self.names.setdefault(name, []).append(slot)
+        self.uri_slot[entity.uri] = slot
+        self.live_count += 1
+        return slot
+
+    def remove_slot(self, slot: int) -> None:
+        """Tombstone one live slot, unlinking its postings and names."""
+        for token in self.token_sets[slot]:
+            group = self.postings[token]
+            group.remove(slot)
+            if not group:
+                del self.postings[token]
+        for name in self.name_sets[slot]:
+            group = self.names[name]
+            group.remove(slot)
+            if not group:
+                del self.names[name]
+        self.uri_slot.pop(self.uris[slot], None)
+        self.entities[slot] = None
+        self.live_count -= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaSegment(live={self.live_count}, allocated={self.allocated}, "
+            f"dead_base={len(self.dead_base)})"
+        )
+
+
+class _LivePostings:
+    """Token -> live posting ids, unioning base (dead-filtered) and delta.
+
+    Unaffected tokens return the raw base sequence -- a zero-copy
+    memmap slice on a mapped base -- so the frozen-index hot path pays
+    nothing.  ``len()`` is a documented *upper bound* (tokens whose
+    every base entity died still count); no serving math consumes it.
+    """
+
+    __slots__ = ("_live",)
+
+    def __init__(self, live: "LiveIndex"):
+        self._live = live
+
+    def __contains__(self, token: object) -> bool:
+        return isinstance(token, str) and self._live.entity_frequency(token) > 0
+
+    def __getitem__(self, token: str) -> Sequence[int]:
+        ids = self._live._posting(token)
+        if ids is None:
+            raise KeyError(token)
+        return ids
+
+    def get(self, token: str, default: Any = ()) -> Any:
+        ids = self._live._posting(token)
+        return default if ids is None else ids
+
+    def __len__(self) -> int:
+        live = self._live
+        base = live.base.postings
+        extra = sum(1 for token in live.delta.postings if token not in base)
+        return len(base) + extra
+
+    def __iter__(self) -> Iterator[str]:
+        live = self._live
+        base = live.base.postings
+        for token in base:
+            yield token
+        for token in live.delta.postings:
+            if token not in base:
+                yield token
+
+
+class _LiveWeights:
+    """Token -> singleton block weight from the *live* Entity Frequency.
+
+    Falls through to the base's hoisted weight when the token's live EF
+    equals the frozen one (the overwhelmingly common case)."""
+
+    __slots__ = ("_live",)
+
+    def __init__(self, live: "LiveIndex"):
+        self._live = live
+
+    def __getitem__(self, token: str) -> float:
+        live = self._live
+        base_ids = live.base.postings.get(token)
+        base_ef = len(base_ids) if base_ids is not None else 0
+        live_ef = (
+            base_ef
+            - live._dead_count(token)
+            + len(live.delta.postings.get(token, ()))
+        )
+        if live_ef == base_ef and base_ids is not None:
+            return live.base.singleton_weights[token]
+        if live_ef <= 0:
+            raise KeyError(token)
+        return block_weight(live_ef)
+
+    def __contains__(self, token: object) -> bool:
+        return isinstance(token, str) and self._live.entity_frequency(token) > 0
+
+
+class _LiveNames:
+    """Normalised name -> live global ids (base survivors + delta)."""
+
+    __slots__ = ("_live",)
+
+    def __init__(self, live: "LiveIndex"):
+        self._live = live
+
+    def _group(self, name: str) -> tuple[int, ...] | None:
+        live = self._live
+        dead = live.delta.dead_base
+        base_ids = live.base.names.get(name, ())
+        ids = [eid for eid in base_ids if eid not in dead]
+        base_n2 = live.base.n2
+        ids.extend(base_n2 + slot for slot in live.delta.names.get(name, ()))
+        return tuple(ids) if ids else None
+
+    def __getitem__(self, name: str) -> tuple[int, ...]:
+        group = self._group(name)
+        if group is None:
+            raise KeyError(name)
+        return group
+
+    def get(self, name: str, default: Any = None) -> Any:
+        group = self._group(name)
+        return default if group is None else group
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self._group(name) is not None
+
+    def __len__(self) -> int:
+        live = self._live
+        base = live.base.names
+        extra = sum(1 for name in live.delta.names if name not in base)
+        return len(base) + extra
+
+
+class _LiveURIs:
+    """Global id -> URI over base then delta slots (tombstones keep
+    their last URI -- live code never asks for a dead id's URI, but
+    diagnostics may)."""
+
+    __slots__ = ("_live",)
+
+    def __init__(self, live: "LiveIndex"):
+        self._live = live
+
+    def __getitem__(self, eid: int) -> str:
+        live = self._live
+        base_n2 = live.base.n2
+        if 0 <= eid < base_n2:
+            return live.base.uris2[eid]
+        return live.delta.uris[eid - base_n2]
+
+    def __len__(self) -> int:
+        return self._live.id_space
+
+    def __iter__(self) -> Iterator[str]:
+        for eid in range(len(self)):
+            yield self[eid]
+
+
+class LiveIndex:
+    """Frozen base + mutable delta presented as one engine-ready index.
+
+    Duck-types the :class:`~repro.serving.index.ResolutionIndex`
+    surface the engine consumes (``n2``/``id_space``/``postings``/
+    ``singleton_weights``/``names``/``uris2``/``in_neighbors``/
+    ``entity_frequency``/...), so :class:`MatchEngine` and the shard
+    router run over it unmodified.  ``n2`` is the *live* entity count
+    (drives weights and purging, matching a rebuild); ``id_space`` is
+    ``base n2 + allocated delta slots`` (drives array and graph
+    extents; tombstoned columns stay empty and are harmless).
+
+    Not thread-safe on its own: callers serialise mutations against
+    queries through :class:`IndexHandle` (as :class:`LiveServingMixin`
+    does).
+    """
+
+    def __init__(self, base: ResolutionIndex):
+        if base.shard_info is not None:
+            raise ValueError(
+                "a LiveIndex overlays the full index, not a shard "
+                f"({base.shard_info.get('index')}/{base.shard_info.get('count')})"
+            )
+        self.base = base
+        self.delta = DeltaSegment()
+        self._epoch = 0
+        self._base_uri_ids: dict[str, int] | None = None
+        # Per-epoch memos, all invalidated wholesale by any mutation.
+        self._dead_counts: tuple[int, dict[str, int]] = (0, {})
+        self._merged: tuple[int, dict[str, list[int]]] = (0, {})
+        self._csr: tuple[int, CSRAdjacency] | None = None
+        self.postings = _LivePostings(self)
+        self.singleton_weights = _LiveWeights(self)
+        self.names = _LiveNames(self)
+        self.uris2 = _LiveURIs(self)
+
+    # ------------------------------------------------------------------
+    # Frozen-surface passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def kb_name(self) -> str:
+        return self.base.kb_name
+
+    @property
+    def config(self):
+        return self.base.config
+
+    @property
+    def tokenizer(self):
+        return self.base.tokenizer
+
+    @property
+    def name_attributes(self) -> tuple[str, ...]:
+        return self.base.name_attributes
+
+    @property
+    def load_info(self):
+        return self.base.load_info
+
+    @property
+    def shard_info(self):
+        return None
+
+    @property
+    def token_global_ef(self):
+        return None
+
+    # ------------------------------------------------------------------
+    # Live geometry
+    # ------------------------------------------------------------------
+    @property
+    def n2(self) -> int:
+        """Live entity count (weights/purging input -- equals a rebuild's)."""
+        return self.base.n2 - len(self.delta.dead_base) + self.delta.live_count
+
+    @property
+    def id_space(self) -> int:
+        """Dense-id extent: every base id plus every allocated slot."""
+        return self.base.n2 + self.delta.allocated
+
+    @property
+    def delta_active(self) -> bool:
+        """True when any edit distinguishes live state from the base."""
+        return bool(self.delta.live_count or self.delta.dead_base)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Dead base ids plus tombstoned delta slots."""
+        return len(self.delta.dead_base) + (
+            self.delta.allocated - self.delta.live_count
+        )
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter (cache-invalidation key for the views)."""
+        return self._epoch
+
+    def _bump(self) -> None:
+        self._epoch += 1
+
+    # ------------------------------------------------------------------
+    # Posting / EF overlay
+    # ------------------------------------------------------------------
+    def _dead_count(self, token: str) -> int:
+        """Dead base ids in this token's base posting (epoch-memoised).
+
+        The base keeps no per-entity token sets, so the first probe of
+        an affected token after a mutation scans its posting once; a
+        clean (no-tombstone) live index short-circuits to 0.
+        """
+        dead = self.delta.dead_base
+        if not dead:
+            return 0
+        epoch, memo = self._dead_counts
+        if epoch != self._epoch:
+            memo = {}
+            self._dead_counts = (self._epoch, memo)
+        count = memo.get(token)
+        if count is None:
+            ids = self.base.postings.get(token, ())
+            count = sum(1 for eid in ids if eid in dead)
+            memo[token] = count
+        return count
+
+    def _posting(self, token: str) -> Sequence[int] | None:
+        """The live posting of ``token`` (ascending global ids), or
+        ``None`` when its live EF is zero.
+
+        Unaffected tokens return the base's sequence untouched (the
+        zero-copy mmap slice); affected ones build and memoise a plain
+        list for the current epoch.
+        """
+        base_ids = self.base.postings.get(token)
+        delta_slots = self.delta.postings.get(token)
+        dead_count = self._dead_count(token) if base_ids is not None else 0
+        if not delta_slots and not dead_count:
+            if base_ids is None or not len(base_ids):
+                return None
+            return base_ids
+        epoch, memo = self._merged
+        if epoch != self._epoch:
+            memo = {}
+            self._merged = (self._epoch, memo)
+        merged = memo.get(token)
+        if merged is None:
+            merged = []
+            if base_ids is not None:
+                if dead_count:
+                    dead = self.delta.dead_base
+                    merged.extend(
+                        int(eid) for eid in base_ids if eid not in dead
+                    )
+                elif hasattr(base_ids, "tolist"):
+                    merged.extend(base_ids.tolist())
+                else:
+                    merged.extend(base_ids)
+            if delta_slots:
+                base_n2 = self.base.n2
+                merged.extend(base_n2 + slot for slot in delta_slots)
+            memo[token] = merged
+        return merged if merged else None
+
+    def entity_frequency(self, token: str) -> int:
+        """Live ``EF2(t)``: base EF minus dead members plus delta members."""
+        base_ids = self.base.postings.get(token)
+        base_ef = len(base_ids) if base_ids is not None else 0
+        if base_ef:
+            base_ef -= self._dead_count(token)
+        return base_ef + len(self.delta.postings.get(token, ()))
+
+    def global_entity_frequency(self, token: str) -> int:
+        """Same as :meth:`entity_frequency` (a live index is never a shard)."""
+        return self.entity_frequency(token)
+
+    def uri_of(self, eid: int) -> str:
+        return self.uris2[eid]
+
+    # ------------------------------------------------------------------
+    # Neighbor overlay
+    # ------------------------------------------------------------------
+    @property
+    def in_neighbors(self) -> CSRAdjacency:
+        """The base in-neighbor CSR, extended to ``id_space`` rows with
+        dead ids masked (so ``gamma`` never proposes a tombstoned
+        entity).  Delta entities contribute no relation structure (the
+        relation-neutral scope); their rows are empty."""
+        if not self.delta_active:
+            return self.base.in_neighbors
+        cached = self._csr
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        dead = self.delta.dead_base
+        base_csr = self.base.in_neighbors
+        rows: list[Sequence[int]] = []
+        for eid in range(self.base.n2):
+            if eid in dead:
+                rows.append(())
+                continue
+            neighbors = base_csr.neighbors(eid)
+            if dead:
+                kept = [int(j) for j in neighbors if j not in dead]
+                rows.append(kept)
+            else:
+                rows.append(neighbors)
+        rows.extend(() for _ in range(self.delta.allocated))
+        csr = CSRAdjacency.from_lists(rows)
+        self._csr = (self._epoch, csr)
+        return csr
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def _base_id(self, uri: str) -> int | None:
+        if self._base_uri_ids is None:
+            self._base_uri_ids = {
+                uri2: eid for eid, uri2 in enumerate(self.base.uris2)
+            }
+        return self._base_uri_ids.get(uri)
+
+    def _names_of(self, entity: EntityDescription) -> tuple[str, ...]:
+        """The entity's normalised names under the base's frozen name
+        attributes, in the index build's exact emit order."""
+        out: list[str] = []
+        seen: set[str] = set()
+        for attribute in self.base.name_attributes:
+            for raw in entity.values_of(attribute):
+                name = normalize_name(raw)
+                if name and name not in seen:
+                    seen.add(name)
+                    out.append(name)
+        return tuple(out)
+
+    def upsert(self, entity: EntityDescription) -> int:
+        """Insert or replace one entity; returns its new global id.
+
+        Every value is tokenised as a literal (relation-neutral scope);
+        a previous delta slot for the URI is tombstoned, a base entity
+        with the URI is shadowed via ``dead_base``.
+        """
+        uri = entity.uri
+        if not uri:
+            raise ValueError("an upserted entity needs a non-empty URI")
+        tokens = self.tokenizer.token_set([value for _, value in entity.pairs])
+        names = self._names_of(entity)
+        delta = self.delta
+        previous = delta.uri_slot.get(uri)
+        if previous is not None:
+            delta.remove_slot(previous)
+        else:
+            base_id = self._base_id(uri)
+            if base_id is not None:
+                delta.dead_base.add(base_id)
+        slot = delta.add(entity, tokens, names)
+        self._bump()
+        return self.base.n2 + slot
+
+    def delete(self, uri: str) -> bool:
+        """Remove one entity by URI; False when it was not live."""
+        delta = self.delta
+        slot = delta.uri_slot.get(uri)
+        if slot is not None:
+            delta.remove_slot(slot)
+            self._bump()
+            return True
+        base_id = self._base_id(uri)
+        if base_id is not None and base_id not in delta.dead_base:
+            delta.dead_base.add(base_id)
+            self._bump()
+            return True
+        return False
+
+    def apply(self, op: str, value: Any) -> bool:
+        """Apply one replayed ledger event; True if it changed state."""
+        if op == "upsert":
+            self.upsert(value)
+            return True
+        if op == "delete":
+            return self.delete(value)
+        raise ValueError(f"unknown live-index op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Sharded-tier helpers
+    # ------------------------------------------------------------------
+    def dead_base_ids(self) -> list[int]:
+        """Sorted dead base ids -- the scatter's ``exclude`` payload."""
+        return sorted(self.delta.dead_base)
+
+    def weight_overrides(self, tokens: Iterable[str]) -> dict[str, float]:
+        """Per-token live-weight overrides for tokens whose live EF
+        differs from the frozen one -- the scatter's ``weights``
+        payload (workers keep serving off their unmodified shards)."""
+        base_postings = self.base.postings
+        overrides: dict[str, float] = {}
+        for token in tokens:
+            base_ids = base_postings.get(token)
+            if base_ids is None:
+                continue
+            base_ef = len(base_ids)
+            live_ef = (
+                base_ef
+                - self._dead_count(token)
+                + len(self.delta.postings.get(token, ()))
+            )
+            if live_ef != base_ef and live_ef > 0:
+                overrides[token] = block_weight(live_ef)
+        return overrides
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> ResolutionIndex:
+        """Fold base + delta into a fresh frozen index.
+
+        Survivor base entities keep their relative order, live delta
+        entities follow in slot (= last-upsert) order; ids are densely
+        renumbered by that order, which is exactly the equivalent
+        rebuilt KB's id assignment -- so for relation-neutral KBs the
+        result's :meth:`~ResolutionIndex.save` bytes equal a cold
+        ``ResolutionIndex.build`` of the final KB.  In every case the
+        compacted index answers queries identically to the live overlay
+        it folded (same postings, weights, names and neighbor rows
+        under the monotone renumbering).
+        """
+        base = self.base
+        delta = self.delta
+        base_n2 = base.n2
+        dead = delta.dead_base
+        survivors = [eid for eid in range(base_n2) if eid not in dead]
+        mapping: dict[int, int] = {old: new for new, old in enumerate(survivors)}
+        uris: list[str] = [base.uris2[eid] for eid in survivors]
+        live_slots = delta.live_slots()
+        for slot in live_slots:
+            mapping[base_n2 + slot] = len(uris)
+            uris.append(delta.uris[slot])
+
+        postings: dict[str, array] = {}
+        base_postings = base.postings
+        for token in base_postings:
+            ids = [mapping[eid] for eid in base_postings[token] if eid not in dead]
+            slots = delta.postings.get(token)
+            if slots:
+                ids.extend(mapping[base_n2 + slot] for slot in slots)
+            if ids:
+                postings[token] = array("i", ids)
+        for token, slots in delta.postings.items():
+            if slots and token not in base_postings:
+                postings[token] = array(
+                    "i", [mapping[base_n2 + slot] for slot in slots]
+                )
+        weights = {token: block_weight(len(ids)) for token, ids in postings.items()}
+
+        names: dict[str, tuple[int, ...]] = {}
+        base_names = base.names
+        for name in base_names:
+            ids = [mapping[eid] for eid in base_names[name] if eid not in dead]
+            slots = delta.names.get(name)
+            if slots:
+                ids.extend(mapping[base_n2 + slot] for slot in slots)
+            if ids:
+                names[name] = tuple(ids)
+        for name, slots in delta.names.items():
+            if slots and name not in base_names:
+                names[name] = tuple(mapping[base_n2 + slot] for slot in slots)
+
+        base_csr = base.in_neighbors
+        rows: list[list[int]] = []
+        for eid in survivors:
+            rows.append(
+                [mapping[j] for j in base_csr.neighbors(eid) if j not in dead]
+            )
+        rows.extend([] for _ in live_slots)
+
+        return ResolutionIndex(
+            kb_name=base.kb_name,
+            n2=len(uris),
+            uris2=uris,
+            config=base.config,
+            tokenizer=base.tokenizer,
+            name_attributes=base.name_attributes,
+            names=names,
+            postings=postings,
+            singleton_weights=weights,
+            in_neighbors=CSRAdjacency.from_lists(rows),
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Base summary overlaid with live counts and a delta section."""
+        summary = self.base.describe()
+        summary["entities"] = self.n2
+        summary["delta"] = {
+            "entities": self.delta.live_count,
+            "allocated": self.delta.allocated,
+            "dead_base": len(self.delta.dead_base),
+            "tombstones": self.tombstone_count,
+        }
+        return summary
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveIndex({self.kb_name!r}, base={self.base.n2}, "
+            f"delta={self.delta.live_count}, dead={len(self.delta.dead_base)}, "
+            f"epoch={self._epoch})"
+        )
+
+
+class IndexHandle:
+    """Generation holder + reader/writer drain gate for zero-drop swaps.
+
+    Queries :meth:`pin` the current index state (many at once);
+    mutations and swaps take :meth:`exclusive`, which waits for every
+    pinned query to finish -- no in-flight query ever sees a torn
+    state, and none is dropped: late pins simply wait and run against
+    the *new* state.  Writers are preferred (a waiting writer blocks
+    new pins) so a steady query stream cannot starve a swap.
+
+    :attr:`generation` is bumped explicitly (:meth:`bump`) while
+    exclusive is held; readers observe it stably for the lifetime of
+    their pin.
+    """
+
+    def __init__(self, generation: int = 0):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writer_active = False
+        self.generation = generation
+
+    @contextmanager
+    def pin(self):
+        """Hold the current index state for one query."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield self.generation
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def exclusive(self):
+        """Drain pinned queries, then hold the index exclusively."""
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer_active or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+    def bump(self) -> int:
+        """Advance the generation (call only while exclusive is held)."""
+        self.generation += 1
+        return self.generation
+
+    def __repr__(self) -> str:
+        return f"IndexHandle(generation={self.generation}, readers={self._readers})"
+
+
+class LiveServingMixin:
+    """Live-index behaviours over any :class:`MatchEngine` subclass.
+
+    Wraps the engine's query entry points in :meth:`IndexHandle.pin`
+    and adds ``upsert``/``delete``/``attach_ledger``/``compact``/
+    ``reload``, each of which drains in-flight queries, mutates, bumps
+    the generation (invalidating every cached answer -- the LRU key
+    carries the generation) and refreshes the ``live.*`` gauges.
+    Compose it *before* the engine class::
+
+        class LiveEngine(LiveServingMixin, MatchEngine): ...
+
+    The sharded variant (``LiveShardRouter`` in
+    :mod:`repro.sharding.router`) reuses this mixin unchanged and adds
+    the scatter-side overlay.
+    """
+
+    def __init__(self, index, *args, **kwargs):
+        live = index if isinstance(index, LiveIndex) else LiveIndex(index)
+        super().__init__(live, *args, **kwargs)
+        self.handle = IndexHandle()
+        self.ledger: UpsertLedger | None = None
+        #: Where the serving base lives on disk; ``compact``/``reload``
+        #: default to it.  The CLI sets it from ``--index``.
+        self.index_path: Path | None = None
+        self.swap_count = 0
+        self._refresh_gauges()
+
+    # ------------------------------------------------------------------
+    # Pinned query paths
+    # ------------------------------------------------------------------
+    def match(self, entity):
+        with self.handle.pin():
+            return super().match(entity)
+
+    def match_batch(self, entities):
+        with self.handle.pin():
+            return self._pinned_match_batch(list(entities))
+
+    def _pinned_match_batch(self, batch):
+        return super().match_batch(batch)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def _mutate(self, operation: Callable[[], Any]) -> Any:
+        """Run ``operation`` under the drain gate and bump the generation."""
+        with self.handle.exclusive():
+            result = operation()
+            self.handle.bump()
+            self.generation = self.handle.generation
+            self._refresh_gauges()
+        return result
+
+    def upsert(self, entity: EntityDescription, record: bool = True) -> int:
+        """Insert or replace one entity; returns the new generation.
+
+        ``record=False`` skips the ledger append (used when the event
+        already came *from* the ledger or an upstream log)."""
+
+        def operation():
+            self.index.upsert(entity)
+            if record and self.ledger is not None:
+                self.ledger.append_upsert(entity)
+            self.recorder.count("live.upserts")
+
+        self._mutate(operation)
+        return self.generation
+
+    def delete(self, uri: str, record: bool = True) -> bool:
+        """Remove one entity by URI; False when it was not live."""
+
+        def operation():
+            removed = self.index.delete(uri)
+            if removed:
+                if record and self.ledger is not None:
+                    self.ledger.append_delete(uri)
+                self.recorder.count("live.deletes")
+            return removed
+
+        return self._mutate(operation)
+
+    def attach_ledger(self, ledger: UpsertLedger, replay: bool = True) -> int:
+        """Adopt ``ledger`` for durability; optionally replay it first.
+
+        Returns the number of replayed events.  Replay applies the
+        events without re-appending them, so restart recovery is
+        idempotent.
+        """
+        self.ledger = ledger
+        if not replay:
+            return 0
+        events = list(ledger.replay())
+        if not events:
+            return 0
+
+        def operation():
+            for op, value in events:
+                self.index.apply(op, value)
+            self.recorder.count("live.ledger_ops", len(events))
+
+        self._mutate(operation)
+        return len(events)
+
+    # ------------------------------------------------------------------
+    # Compaction + zero-drop swap
+    # ------------------------------------------------------------------
+    def _mmap_flag(self) -> bool:
+        return bool((self.index.load_info or {}).get("mmap"))
+
+    def _install_base(self, fresh: ResolutionIndex) -> None:
+        """Flip the engine onto a fresh frozen base (exclusive held)."""
+        self.index = LiveIndex(fresh)
+        self._use_row_batch = bool((fresh.load_info or {}).get("mmap"))
+
+    def _swap_workers(
+        self, fresh: ResolutionIndex, path: Path | None, reshard: bool
+    ) -> None:
+        """Propagate a swap to downstream workers (no-op unsharded)."""
+
+    def compact(self, path: str | Path | None = None) -> ResolutionIndex:
+        """Fold the delta into a fresh base and swap onto it in place.
+
+        With a ``path`` (default: :attr:`index_path`) the fresh base is
+        written there byte-deterministically -- via a temp file +
+        atomic rename, so concurrent mmaps of the old file keep their
+        pages -- and reloaded with the serving mmap mode; without one
+        the fold stays in memory.  The ledger (if attached) is
+        truncated: its events now live in the base.  Queries drain
+        before the flip and resume against the new base; returns the
+        fresh index.
+        """
+        target = Path(path) if path is not None else self.index_path
+
+        def operation():
+            fresh = self.index.compact()
+            if target is not None:
+                tmp = target.with_name(target.name + ".tmp")
+                fresh.save(tmp)
+                os.replace(tmp, target)
+                fresh = ResolutionIndex.load(target, mmap=self._mmap_flag())
+            self._swap_workers(fresh, target, reshard=True)
+            self._install_base(fresh)
+            if self.ledger is not None:
+                self.ledger.clear()
+            self.swap_count += 1
+            self.recorder.count("serving.swaps")
+            return fresh
+
+        return self._mutate(operation)
+
+    def reload(self, path: str | Path | None = None) -> int:
+        """Zero-drop swap onto the index file at ``path``.
+
+        Loads the new base (the slow part happens before queries are
+        blocked), drains in-flight queries, flips the engine -- and the
+        sharded tier's workers -- atomically, and bumps the generation.
+        Any delta state is discarded: a reload asserts the file already
+        contains the desired live state (``repro index --compact``
+        produces exactly that).  Returns the new generation.
+        """
+        target = Path(path) if path is not None else self.index_path
+        if target is None:
+            raise ValueError("reload needs an index path (none configured)")
+        fresh = ResolutionIndex.load(target, mmap=self._mmap_flag())
+
+        def operation():
+            self._swap_workers(fresh, target, reshard=False)
+            self._install_base(fresh)
+            self.swap_count += 1
+            self.recorder.count("serving.swaps")
+
+        self._mutate(operation)
+        return self.generation
+
+    # ------------------------------------------------------------------
+    # Delta evidence (consumed by the sharded tier's merge)
+    # ------------------------------------------------------------------
+    def delta_match_evidence(
+        self, tokens: Sequence[str], probe: int | None = None
+    ) -> dict[str, object]:
+        """The delta segment's merge-ready value evidence for one query.
+
+        Shaped exactly like :meth:`MatchEngine.match_evidence` so the
+        router can append it to the worker evidences as one more
+        (virtual) shard: delta ids partition disjointly from every
+        shard's base ids, weights are the live ones, and the sweep-mins
+        argument of :mod:`repro.sharding.merge` extends unchanged.
+        """
+        live = self.index
+        config = self.config
+        base_n2 = live.base.n2
+        weighted = []
+        for token in tokens:
+            slots = live.delta.postings.get(token)
+            if slots:
+                weighted.append(
+                    (
+                        live.singleton_weights[token],
+                        [base_n2 + slot for slot in slots],
+                    )
+                )
+        cap = config.serving_candidate_cap
+        keep = cap if cap is not None else config.candidates_k
+        row, mins, count, touched = self._run_kernel(
+            "row_evidence", weighted, keep, SWEEP_MARGIN, probe
+        )
+        return {
+            "row": [[int(candidate), float(score)] for candidate, score in row],
+            "mins": [int(candidate) for candidate in mins],
+            "count": int(count),
+            "probe": bool(touched),
+        }
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _refresh_gauges(self) -> None:
+        live = self.index
+        recorder = self.recorder
+        recorder.gauge("index.generation", self.generation)
+        recorder.gauge("live.delta_entities", live.delta.live_count)
+        recorder.gauge("live.tombstones", live.tombstone_count)
+        recorder.gauge("live.swaps", self.swap_count)
+
+    def stats(self) -> dict[str, object]:
+        snapshot = super().stats()
+        live = self.index
+        snapshot["live"] = {
+            "generation": self.generation,
+            "delta_entities": live.delta.live_count,
+            "delta_allocated": live.delta.allocated,
+            "dead_base": len(live.delta.dead_base),
+            "tombstones": live.tombstone_count,
+            "swaps": self.swap_count,
+            "upserts": int(self.recorder.counter_value("live.upserts")),
+            "deletes": int(self.recorder.counter_value("live.deletes")),
+            "ledger": str(self.ledger.path) if self.ledger is not None else None,
+        }
+        return snapshot
+
+
+class LiveEngine(LiveServingMixin, MatchEngine):
+    """A :class:`MatchEngine` over a :class:`LiveIndex`: queries pin,
+    mutations drain, swaps never drop a query, and every decision is
+    bit-identical to a rebuild holding the same entities."""
+
+    def __repr__(self) -> str:
+        live = self.index
+        return (
+            f"LiveEngine(index={live.kb_name!r}, n2={live.n2}, "
+            f"generation={self.generation}, delta={live.delta.live_count})"
+        )

@@ -42,6 +42,7 @@ from repro.sharding.protocol import (
 )
 from repro.sharding.router import (
     InlineReplica,
+    LiveShardRouter,
     ProcessReplica,
     ShardFailure,
     ShardRouter,
@@ -50,6 +51,7 @@ from repro.sharding.worker import ShardWorker
 
 __all__ = [
     "InlineReplica",
+    "LiveShardRouter",
     "ProcessReplica",
     "ProtocolError",
     "ShardFailure",

@@ -12,11 +12,15 @@ are plain JSON objects; request/response correlation is by ``id``.
 
 Requests (router -> worker): ``op`` of ``hello`` (handshake +
 shard descriptor), ``match`` (single-query evidence; carries the
-router's alpha ``probe`` and optional ``budget_ms``), ``batch`` (batch
-evidence), ``stats`` (engine stats + a
+router's alpha ``probe`` and optional ``budget_ms``, plus the live
+overlay's ``exclude`` dead-id list and ``weights`` overrides when the
+router has pending edits -- see ``docs/live_index.md``), ``batch``
+(batch evidence), ``stats`` (engine stats + a
 :class:`~repro.obs.recorder.RecorderSnapshot` for trace grafting),
-``shutdown``; plus ``{"cancel": id}`` (no response -- a hedged request
-whose twin already won is dropped if still queued).
+``reload`` (zero-drop swap onto a freshly compacted shard file; the
+response is the new ``hello`` descriptor), ``shutdown``; plus
+``{"cancel": id}`` (no response -- a hedged request whose twin already
+won is dropped if still queued).
 
 Responses (worker -> router) echo ``id`` and carry ``ok``; failures
 are ``{"ok": false, "error": ..., "kind": "deadline" | "error"}`` so

@@ -62,12 +62,19 @@ from repro.serving.cache import LRUCache
 from repro.serving.engine import MatchDecision, MatchEngine, _Outcome
 from repro.serving.index import ResolutionIndex
 from repro.serving.io import entity_to_json
+from repro.serving.live import LiveServingMixin
 from repro.sharding.merge import merge_batch_evidence, merge_single_evidence
-from repro.sharding.planner import shard_paths
+from repro.sharding.planner import ShardPlanner, shard_paths
 from repro.sharding.protocol import read_frame, snapshot_from_json, write_frame
 from repro.sharding.worker import ShardWorker
 
-__all__ = ["InlineReplica", "ProcessReplica", "ShardFailure", "ShardRouter"]
+__all__ = [
+    "InlineReplica",
+    "LiveShardRouter",
+    "ProcessReplica",
+    "ShardFailure",
+    "ShardRouter",
+]
 
 DEFAULT_HEDGE_DELAY_S = 0.05
 """Hedge delay before the adaptive p95 has enough samples."""
@@ -478,7 +485,7 @@ class ShardRouter(MatchEngine):
                 self.config,
                 self._cut,
                 len(batch),
-                self.index.n2,
+                self.index.id_space,
                 [evidence for evidence in evidences if evidence is not None],
             )
             graph = self._assemble_graph(qkb, qstats, value_1, value_2)
@@ -792,4 +799,140 @@ class ShardRouter(MatchEngine):
         return (
             f"ShardRouter(index={self.index.kb_name!r}, shards={self.shards}, "
             f"replicas={[len(group) for group in self._replicas]})"
+        )
+
+
+class LiveShardRouter(LiveServingMixin, ShardRouter):
+    """A :class:`ShardRouter` over a live index: upserts, deletes,
+    compaction and zero-drop swaps across the whole worker fleet.
+
+    Workers keep serving their frozen shard files untouched; the
+    router-side :class:`~repro.serving.live.LiveIndex` overlay makes
+    the fleet's answers track the edits exactly:
+
+    * **alpha / gamma / rules** already run on the router, so they see
+      the live name map and neighbor view for free;
+    * **value evidence** scatters the shared tokens present in the
+      *base* (a worker's token table covers only those) together with
+      the overlay's ``exclude`` dead-id list and live ``weights``
+      overrides, and merges the delta segment's own evidence
+      (:meth:`~repro.serving.live.LiveServingMixin.delta_match_evidence`)
+      as one more virtual shard.  Posting partitions stay disjoint --
+      base candidates live in their owner shard, delta candidates only
+      in the virtual shard -- so every per-pair score still accumulates
+      exactly once and the PR7 merge argument extends unchanged;
+    * **batches** fall back to the router-local engine pipeline while a
+      delta is active (counted ``shard.batch_local``): the batch wire
+      format has no overlay channel, and a rarely-exercised parallel
+      encoding of the overlay is exactly the kind of divergence this
+      tier exists to avoid.  Compaction restores the scattered path.
+
+    :meth:`compact` re-shards the fresh base and broadcasts ``reload``
+    to every replica while the drain gate is held (no worker request
+    can be in flight), writing each file via temp + atomic rename so
+    replicas mapping the old inode keep their pages until they flip.  A
+    replica that fails its reload is killed on the spot -- a dead
+    replica degrades per ``failure_mode``, which is strictly better
+    than a live one answering from a stale generation.
+    """
+
+    def _lookup(
+        self, entity: EntityDescription, deadline: Deadline | None
+    ) -> tuple[_Outcome, bool]:
+        live = self.index
+        if not live.delta_active:
+            return super()._lookup(entity, deadline)
+        if live.n2 == 0:
+            return (None, None, None, 0, ()), False
+        qkb = KnowledgeBase([entity], name="query", tokenizer=live.tokenizer)
+        qstats = KBStatistics(
+            qkb,
+            top_k_name_attributes=self.config.name_attributes_k,
+            top_n_relations=self.config.relations_n,
+        )
+        if deadline is not None:
+            deadline.check("name evidence")
+        alpha = self._alpha_match(qstats)
+        shared = self.value_tokens(entity, qkb=qkb)
+        # Delta-only tokens are absent from the workers' (full, frozen)
+        # token tables; their evidence comes from the virtual shard.
+        base_postings = live.base.postings
+        payload: dict[str, Any] = {
+            "tokens": [token for token in shared if token in base_postings]
+        }
+        exclude = live.dead_base_ids()
+        if exclude:
+            payload["exclude"] = exclude
+        overrides = live.weight_overrides(shared)
+        if overrides:
+            payload["weights"] = overrides
+        if alpha is not None:
+            payload["probe"] = int(alpha)
+        evidences, degraded = self._gather("match", payload, deadline)
+        merged = [evidence for evidence in evidences if evidence is not None]
+        merged.append(
+            self.delta_match_evidence(
+                shared, probe=int(alpha) if alpha is not None else None
+            )
+        )
+        outcome = merge_single_evidence(self.config, self._cut, alpha, merged)
+        return outcome, degraded
+
+    def _pinned_match_batch(self, batch: list[EntityDescription]):
+        if self.index.delta_active:
+            self.recorder.count("shard.batch_local")
+            return MatchEngine.match_batch(self, batch)
+        return super()._pinned_match_batch(batch)
+
+    def _swap_workers(
+        self, fresh: ResolutionIndex, path: Path | None, reshard: bool
+    ) -> None:
+        if path is None:
+            raise ValueError(
+                "a sharded live tier swaps through shard files on disk; "
+                "set index_path (the CLI does) or pass compact(path=...)"
+            )
+        paths = shard_paths(path, self.shards)
+        if reshard:
+            for shard_index, target in zip(
+                ShardPlanner(self.shards).plan(fresh), paths
+            ):
+                # Temp file + atomic rename: replicas still mmapping the
+                # old file keep its (old-inode) pages until they reload.
+                tmp = target.with_name(target.name + ".tmp")
+                shard_index.save(tmp)
+                os.replace(tmp, target)
+        mmap = self._mmap_flag()
+        for shard, group in enumerate(self._replicas):
+            for replica in list(group):
+                try:
+                    body = replica.request(
+                        "reload",
+                        {"path": str(paths[shard]), "mmap": mmap},
+                        timeout=120.0,
+                    )
+                    if int(body.get("shard", shard)) != shard:
+                        raise ShardFailure(
+                            f"shard {shard}: reloaded file identifies as "
+                            f"shard {body.get('shard')}"
+                        )
+                except Exception as error:
+                    # A replica that missed the swap must never answer
+                    # again -- it would serve the old generation.  Kill
+                    # it; the group degrades per failure_mode.
+                    replica.kill()
+                    self.recorder.count("shard.reload_failures")
+                    if self._on_shard_error is not None:
+                        exc = (
+                            error
+                            if isinstance(error, Exception)
+                            else RuntimeError(str(error))
+                        )
+                        self._on_shard_error(shard, exc)
+
+    def __repr__(self) -> str:
+        live = self.index
+        return (
+            f"LiveShardRouter(index={live.kb_name!r}, shards={self.shards}, "
+            f"generation={self.generation}, delta={live.delta.live_count})"
         )

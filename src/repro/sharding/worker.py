@@ -93,6 +93,8 @@ class ShardWorker:
                     probe=request.get("probe"),
                     deadline=self._deadline(request),
                     tokens=request.get("tokens"),
+                    exclude=request.get("exclude"),
+                    weights=request.get("weights"),
                 )
             elif op == "batch":
                 result = self.engine.batch_evidence(
@@ -102,6 +104,13 @@ class ShardWorker:
                     ],
                     deadline=self._deadline(request),
                 )
+            elif op == "reload":
+                # Zero-drop swap: adopt a freshly compacted shard file.
+                # The router holds its drain gate while broadcasting, so
+                # no evidence request is in flight; loading before the
+                # old engine is dropped keeps the worker answerable if
+                # the load raises (the router kills the replica then).
+                result = self._reload(request)
             elif op == "stats":
                 result = {
                     "stats": self.engine.stats(),
@@ -128,6 +137,21 @@ class ShardWorker:
         if op in ("match", "batch"):
             result["service_ms"] = (time.perf_counter() - started) * 1e3
         return {"id": rid, "ok": True, **result}
+
+    def _reload(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Load the shard file named by ``request["path"]`` and flip the
+        engine onto it, preserving config and recorder; returns the new
+        ``hello`` payload so the router can sanity-check the identity."""
+        old = self.engine
+        mmap = request.get("mmap")
+        if mmap is None:
+            mmap = bool((old.index.load_info or {}).get("mmap"))
+        index = ResolutionIndex.load(request["path"], mmap=bool(mmap))
+        self.engine = MatchEngine(index, old.config, recorder=old.recorder)
+        info = index.shard_info or {}
+        self.shard_index = int(info.get("index", 0))
+        self.shard_count = int(info.get("count", 1))
+        return self.describe()
 
     @staticmethod
     def _deadline(request: dict[str, Any]) -> Deadline | None:

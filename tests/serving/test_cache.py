@@ -30,6 +30,37 @@ class TestEntityFingerprint:
         b = EntityDescription("x", [("a", "bc")])
         assert entity_fingerprint(a) != entity_fingerprint(b)
 
+    def test_separator_bytes_in_fields_do_not_collide(self):
+        # Regression: the digest once joined fields with raw \x1f/\x1e
+        # separators, so a field *containing* those bytes could shift
+        # content across the field boundary and collide -- serving the
+        # wrong cached decision for an attacker-shaped query.  Fields
+        # are length-prefixed now; these all hash distinctly.
+        collisions = [
+            (
+                EntityDescription("x", [("a\x1fb", "c")]),
+                EntityDescription("x", [("a", "b\x1fc")]),
+            ),
+            (
+                EntityDescription("x", [("a", "b\x1ec"), ("d", "e")]),
+                EntityDescription("x", [("a", "b"), ("c\x1fd", "e")]),
+            ),
+            (
+                EntityDescription("x", [("a", "b\x1e")]),
+                EntityDescription("x", [("a", "b"), ("", "")]),
+            ),
+        ]
+        for left, right in collisions:
+            assert entity_fingerprint(left) != entity_fingerprint(right), (
+                left.pairs,
+                right.pairs,
+            )
+
+    def test_pairs_with_separators_still_order_insensitive(self):
+        a = EntityDescription("x", [("a\x1e", "1"), ("b", "\x1f2")])
+        b = EntityDescription("x", [("b", "\x1f2"), ("a\x1e", "1")])
+        assert entity_fingerprint(a) == entity_fingerprint(b)
+
 
 class TestLRUCache:
     def test_get_put_roundtrip(self):
@@ -102,6 +133,30 @@ class TestLRUCache:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             LRUCache(-1)
+
+    def test_refresh_put_respects_shrunk_capacity(self):
+        # Regression: after `capacity` was shrunk, a put that merely
+        # refreshed an existing key skipped the eviction branch (it only
+        # ran on inserts), leaving the cache over its bound forever.
+        cache = LRUCache(4)
+        for i in range(4):
+            cache.put(f"k{i}", i)
+        cache.capacity = 2
+        cache.put("k3", 30)  # refresh, not insert
+        assert len(cache) <= cache.capacity
+        assert cache.get("k3") == 30
+        # The drained entries were the least recently used ones.
+        assert cache.get("k0") is None
+        assert cache.get("k1") is None
+
+    def test_shrink_to_zero_drains_on_refresh(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.capacity = 0
+        cache.put("a", 10)
+        assert len(cache) == 0
+        assert cache.get("a") is None
 
     def test_clear_keeps_counters(self):
         cache = LRUCache(2)

@@ -10,7 +10,9 @@ from repro.kb.entity import EntityDescription
 from repro.obs import Recorder
 from repro.serving.engine import MatchDecision
 from repro.serving.io import (
+    ControlRequest,
     RequestError,
+    control_from_json,
     decision_to_json,
     entity_from_json,
     entity_to_json,
@@ -269,6 +271,94 @@ class TestLenientReader:
     def test_strict_reader_promotes_the_first_error(self):
         stream = io.StringIO('{"pairs": [["a", "1"]]}\nnot json\n')
         with pytest.raises(ValueError, match="bad request on line 2"):
+            list(read_requests(stream))
+
+    def test_size_guard_measures_bytes_not_characters(self):
+        # Regression: the guard compared len(line) -- *characters* --
+        # against the byte budget, so a multi-byte payload could be up
+        # to 4x over the limit and still pass.  "💥" is 4 UTF-8 bytes.
+        payload = '{"pairs": [["a", "%s"]]}' % ("\U0001f4a5" * 30)
+        assert len(payload) <= 100 < len(payload.encode("utf-8"))
+        stream = io.StringIO(payload + "\n")
+        (item,) = iter_requests(stream, max_line_bytes=100)
+        assert isinstance(item, RequestError)
+        assert "exceeds 100 bytes" in item.error
+
+    def test_size_guard_excludes_the_line_terminator(self):
+        # A payload of exactly the budget passes; its trailing "\n"
+        # (and "\r\n") never counts against it.
+        payload = '{"pairs": [["a", "%s"]]}' % "x"
+        budget = len(payload.encode("utf-8"))
+        for terminator in ("\n", "\r\n"):
+            stream = io.StringIO(payload + terminator)
+            (item,) = iter_requests(stream, max_line_bytes=budget)
+            assert isinstance(item, EntityDescription), terminator
+
+
+class TestControlRecords:
+    def test_upsert_parsed(self):
+        request = control_from_json(
+            {
+                "control": "upsert",
+                "entity": {"uri": "e1", "pairs": [["name", "bray"]]},
+            },
+            line=3,
+        )
+        assert isinstance(request, ControlRequest)
+        assert request.op == "upsert"
+        assert request.line == 3
+        assert request.entity.uri == "e1"
+        assert request.entity.pairs == (("name", "bray"),)
+
+    def test_delete_parsed(self):
+        request = control_from_json({"control": "delete", "uri": "e1"}, line=1)
+        assert request.op == "delete"
+        assert request.uri == "e1"
+
+    @pytest.mark.parametrize("op", ["compact", "reload"])
+    def test_compact_and_reload_take_an_optional_path(self, op):
+        bare = control_from_json({"control": op}, line=1)
+        assert bare.op == op and bare.path is None
+        with_path = control_from_json({"control": op, "path": "x.idx"}, line=1)
+        assert with_path.path == "x.idx"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"control": "merge"},
+            {"control": "upsert"},
+            {"control": "upsert", "entity": {"pairs": [["a", "1"]]}},
+            {"control": "delete"},
+            {"control": "delete", "uri": ""},
+            {"control": "reload", "path": 7},
+        ],
+    )
+    def test_malformed_control_rejected(self, payload):
+        with pytest.raises((ValueError, KeyError)):
+            control_from_json(payload, line=1)
+
+    def test_lenient_reader_yields_control_requests(self):
+        stream = io.StringIO(
+            '{"pairs": [["a", "1"]]}\n'
+            '{"control": "delete", "uri": "e1"}\n'
+            '{"pairs": [["a", "2"]]}\n'
+        )
+        first, control, second = list(iter_requests(stream))
+        assert isinstance(control, ControlRequest)
+        assert control.line == 2
+        # Control records do not consume positional query numbers.
+        assert first.uri == "query-1"
+        assert second.uri == "query-2"
+
+    def test_malformed_control_becomes_error_record(self):
+        stream = io.StringIO('{"control": "noop"}\n')
+        (item,) = iter_requests(stream)
+        assert isinstance(item, RequestError)
+        assert "unknown control operation" in item.error
+
+    def test_strict_reader_rejects_control_records(self):
+        stream = io.StringIO('{"control": "delete", "uri": "e1"}\n')
+        with pytest.raises(ValueError, match="control record on line 1"):
             list(read_requests(stream))
 
 
