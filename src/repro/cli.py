@@ -381,9 +381,10 @@ def command_index(args: argparse.Namespace) -> int:
 def command_serve(args: argparse.Namespace) -> int:
     import json
 
+    from repro.resilience.admission import LoadShedError
     from repro.serving import MatchEngine, RequestError, ResolutionIndex
     from repro.serving.io import ControlRequest, iter_requests, write_decisions
-    from repro.serving.live import LiveEngine, UpsertLedger
+    from repro.serving.live import LedgerError, LiveEngine, UpsertLedger
 
     mmap = args.mmap if args.mmap is not None else MinoanERConfig().index_mmap
     index = ResolutionIndex.load(args.index, mmap=mmap)
@@ -397,6 +398,11 @@ def command_serve(args: argparse.Namespace) -> int:
         serving_replicas=args.replicas,
         serving_hedge_ms=args.hedge_ms,
         failure_mode=args.failure_mode,
+        serving_max_pending=args.max_pending,
+        serving_quota_qps=args.quota_qps,
+        serving_quota_burst=args.quota_burst,
+        compaction_max_delta=args.auto_compact_delta,
+        compaction_max_tombstone_ratio=args.auto_compact_tombstones,
         index_mmap=bool(load_info.get("mmap", False)),
     )
     if args.provenance is not None:
@@ -409,8 +415,15 @@ def command_serve(args: argparse.Namespace) -> int:
         line: int | None = None,
         query: str | None = None,
         shard: int | None = None,
+        shed: str | None = None,
+        ledger: str | None = None,
     ) -> None:
         record: dict = {"error": message}
+        if shed is not None:
+            record["shed"] = True
+            record["reason"] = shed
+        if ledger is not None:
+            record["ledger"] = ledger
         if line is not None:
             record["line"] = line
         if query is not None:
@@ -431,20 +444,60 @@ def command_serve(args: argparse.Namespace) -> int:
             config=config,
             on_shard_error=lambda shard, error: emit_error(str(error), shard=shard),
             index=index,
+            supervise=args.supervise,
         )
     else:
         engine = LiveEngine(index, config)
+        if args.supervise:
+            print(
+                "# --supervise has no effect without --shards (nothing to "
+                "supervise in-process)",
+                file=sys.stderr,
+            )
     # Control records (in-band upserts/compaction/swaps) default their
     # file operations to the index the server was started on.
     engine.index_path = Path(args.index)
     if args.ledger:
-        replayed = engine.attach_ledger(UpsertLedger(args.ledger))
+        try:
+            replayed = engine.attach_ledger(
+                UpsertLedger(args.ledger), recover=args.ledger_recover
+            )
+        except (LedgerError, OSError) as error:
+            # One structured record, a clean shutdown and a nonzero exit:
+            # a corrupt or unreadable ledger must never half-start a
+            # server (or spray a traceback a driver cannot parse).
+            engine.recorder.count("serving.ledger_errors")
+            emit_error(f"ledger unusable: {error}", ledger=str(args.ledger))
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+            return 1
         if replayed:
             print(
                 f"# ledger {args.ledger}: replayed {replayed} event(s), "
                 f"generation {engine.generation}",
                 file=sys.stderr,
             )
+        recovered = engine.ledger.recovered if engine.ledger is not None else None
+        if recovered:
+            print(
+                f"# ledger {args.ledger}: truncated torn tail at line "
+                f"{recovered['line']} ({recovered['dropped_bytes']} byte(s); "
+                f"{recovered['reason']})",
+                file=sys.stderr,
+            )
+    compactor = None
+    if (
+        config.compaction_max_delta is not None
+        or config.compaction_max_tombstone_ratio is not None
+    ):
+        from repro.serving.compaction import CompactionScheduler
+
+        compactor = CompactionScheduler(
+            engine,
+            max_delta=config.compaction_max_delta,
+            max_tombstone_ratio=config.compaction_max_tombstone_ratio,
+        ).start()
     # index.load may have run before the engine's recorder existed (it
     # records on the ambient recorder); re-surface how the index entered
     # memory as index.* gauges on the recorder the /metrics endpoint and
@@ -481,12 +534,26 @@ def command_serve(args: argparse.Namespace) -> int:
         )
 
     def answer_batch(batch: list) -> None:
+        # Batched queries are admitted as one request of cost len(batch)
+        # under the default source: per-source quotas are exact only at
+        # --batch-size 1, where each query carries its own envelope.
+        entities = [request.entity for request in batch]
         try:
-            decisions = engine.match_batch(batch)
+            decisions = engine.match_batch(entities)
+        except LoadShedError as error:
+            engine.recorder.count("serving.shed", len(batch))
+            for request in batch:
+                emit_error(
+                    str(error),
+                    query=request.entity.uri,
+                    line=request.line,
+                    shed=error.reason,
+                )
+            return
         except Exception as error:
             engine.recorder.count("serving.query_errors", len(batch))
-            for entity in batch:
-                emit_error(str(error), query=entity.uri)
+            for request in batch:
+                emit_error(str(error), query=request.entity.uri)
             return
         write_decisions(decisions, sys.stdout)
 
@@ -524,7 +591,7 @@ def command_serve(args: argparse.Namespace) -> int:
         # One bad line (or one failing query) gets one JSONL error
         # record; the stream keeps going.
         batch: list = []
-        for item in iter_requests(stream, recorder=engine.recorder):
+        for item in iter_requests(stream, recorder=engine.recorder, envelopes=True):
             if isinstance(item, RequestError):
                 emit_error(item.error, line=item.line)
                 continue
@@ -538,10 +605,19 @@ def command_serve(args: argparse.Namespace) -> int:
                 continue
             if config.serving_batch_size == 1:
                 try:
-                    decision = engine.match(item)
+                    decision = engine.match(item.entity, source=item.source)
+                except LoadShedError as error:
+                    engine.recorder.count("serving.shed")
+                    emit_error(
+                        str(error),
+                        query=item.entity.uri,
+                        line=item.line,
+                        shed=error.reason,
+                    )
+                    continue
                 except Exception as error:
                     engine.recorder.count("serving.query_errors")
-                    emit_error(str(error), query=item.uri)
+                    emit_error(str(error), query=item.entity.uri)
                     continue
                 write_decisions([decision], sys.stdout)
             else:
@@ -554,6 +630,10 @@ def command_serve(args: argparse.Namespace) -> int:
     finally:
         if stream is not sys.stdin:
             stream.close()
+        # Scheduler first: a compaction racing engine shutdown would
+        # fold into a closing index.
+        if compactor is not None:
+            compactor.close()
         close = getattr(engine, "close", None)
         if close is not None:
             close()
@@ -721,10 +801,51 @@ def build_parser() -> argparse.ArgumentParser:
         "(default %(default)s)",
     )
     serve.add_argument(
+        "--supervise", action="store_true",
+        help="with --shards: run a replica supervisor that restarts "
+        "crashed shard workers with seeded exponential backoff and "
+        "replays them to the live generation before readmitting them "
+        "to the rotation (see docs/resilience.md)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="admission control: shed queries (one explicit JSONL "
+        "record each, never a silent drop) while N request costs are "
+        "already in flight (default: unbounded)",
+    )
+    serve.add_argument(
+        "--quota-qps", type=float, default=None, metavar="QPS",
+        help="per-source token-bucket quota; requests carrying a "
+        "'source' field are shed once that source exceeds QPS "
+        "sustained (default: no quotas)",
+    )
+    serve.add_argument(
+        "--quota-burst", type=float, default=None, metavar="N",
+        help="token-bucket burst capacity for --quota-qps "
+        "(default: 2x the rate)",
+    )
+    serve.add_argument(
         "--ledger", metavar="FILE", default=None,
         help="durable JSONL upsert/delete ledger: replayed over the "
         "index at startup, appended on every in-band control mutation, "
         "truncated by compaction (see docs/live_index.md)",
+    )
+    serve.add_argument(
+        "--ledger-recover", action=argparse.BooleanOptionalAction, default=True,
+        help="truncate a torn final ledger record (a crashed writer's "
+        "partial append) behind an fsync'd audit marker and keep "
+        "serving; --no-ledger-recover makes any damage fatal "
+        "(default: recover)",
+    )
+    serve.add_argument(
+        "--auto-compact-delta", type=int, default=None, metavar="N",
+        help="background-compact once the delta overlay holds N edits "
+        "(default: manual compaction only)",
+    )
+    serve.add_argument(
+        "--auto-compact-tombstones", type=float, default=None, metavar="R",
+        help="background-compact once deleted entities exceed fraction "
+        "R of the id space (default: manual compaction only)",
     )
     serve.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",

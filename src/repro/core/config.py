@@ -118,6 +118,27 @@ class MinoanERConfig:
         request fires at a sibling replica; ``None`` adapts it to the
         shard's observed p95 latency.  Decisions are bit-identical to
         unsharded serving at any shard/replica count.
+    serving_max_pending / serving_quota_qps / serving_quota_burst:
+        Admission control of the serving engine
+        (``docs/resilience.md``).  ``serving_max_pending`` bounds the
+        summed cost of queries inside the engine at once;
+        ``serving_quota_qps`` rate-limits each traffic source through a
+        token bucket of ``serving_quota_burst`` capacity (default
+        ``max(1, 2 * qps)``).  Both default off; rejections surface as
+        explicit load-shed error records, never silent drops.
+    retry_budget_ratio:
+        Finagle-style retry budget of the sharded router in
+        ``failure_mode="retry"``: retries may add at most this fraction
+        on top of real traffic once the initial reserve drains, which
+        stops retry amplification when a shard is down hard.  ``None``
+        disables the budget (retries bounded only by
+        ``retry_max_attempts``).
+    compaction_max_delta / compaction_max_tombstone_ratio:
+        Background-compaction triggers of the live serving tier
+        (``docs/live_index.md``): compact when the delta overlay holds
+        at least ``compaction_max_delta`` edits, or when tombstones
+        exceed ``compaction_max_tombstone_ratio`` of the id space.
+        Both default ``None`` (compaction stays operator-driven).
     provenance_sample_rate:
         Fraction of serving queries that carry a full
         :class:`repro.obs.ProvenanceRecord` (fired rule, evidence type,
@@ -170,6 +191,12 @@ class MinoanERConfig:
     serving_shards: int = 0
     serving_replicas: int = 1
     serving_hedge_ms: float | None = None
+    serving_max_pending: int | None = None
+    serving_quota_qps: float | None = None
+    serving_quota_burst: float | None = None
+    retry_budget_ratio: float | None = 0.2
+    compaction_max_delta: int | None = None
+    compaction_max_tombstone_ratio: float | None = None
 
     def __post_init__(self) -> None:
         if self.name_attributes_k < 0:
@@ -255,6 +282,38 @@ class MinoanERConfig:
             raise ValueError(
                 f"serving_hedge_ms must be >= 0 or None, "
                 f"got {self.serving_hedge_ms}"
+            )
+        if self.serving_max_pending is not None and self.serving_max_pending < 1:
+            raise ValueError(
+                f"serving_max_pending must be >= 1 or None, "
+                f"got {self.serving_max_pending}"
+            )
+        if self.serving_quota_qps is not None and self.serving_quota_qps <= 0:
+            raise ValueError(
+                f"serving_quota_qps must be > 0 or None, "
+                f"got {self.serving_quota_qps}"
+            )
+        if self.serving_quota_burst is not None and self.serving_quota_burst <= 0:
+            raise ValueError(
+                f"serving_quota_burst must be > 0 or None, "
+                f"got {self.serving_quota_burst}"
+            )
+        if self.retry_budget_ratio is not None and self.retry_budget_ratio < 0:
+            raise ValueError(
+                f"retry_budget_ratio must be >= 0 or None, "
+                f"got {self.retry_budget_ratio}"
+            )
+        if self.compaction_max_delta is not None and self.compaction_max_delta < 1:
+            raise ValueError(
+                f"compaction_max_delta must be >= 1 or None, "
+                f"got {self.compaction_max_delta}"
+            )
+        if self.compaction_max_tombstone_ratio is not None and not (
+            0.0 < self.compaction_max_tombstone_ratio <= 1.0
+        ):
+            raise ValueError(
+                f"compaction_max_tombstone_ratio must be in (0, 1] or None, "
+                f"got {self.compaction_max_tombstone_ratio}"
             )
 
     def with_options(self, **changes: Any) -> "MinoanERConfig":

@@ -22,6 +22,12 @@ counted through the ambient :func:`repro.obs.current_recorder`
 so ``--trace`` output shows resilience behaviour alongside spans.
 """
 
+from repro.resilience.admission import (
+    AdmissionController,
+    LoadShedError,
+    RetryBudget,
+    TokenBucket,
+)
 from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, STATE_VALUES, CircuitBreaker
 from repro.resilience.faults import (
     SITES,
@@ -41,6 +47,7 @@ from repro.resilience.policy import (
     DeadlineExpired,
     RetryPolicy,
 )
+from repro.resilience.supervisor import ReplicaSupervisor
 
 __all__ = [
     "CLOSED",
@@ -50,6 +57,7 @@ __all__ = [
     "OPEN",
     "SITES",
     "STATE_VALUES",
+    "AdmissionController",
     "CircuitBreaker",
     "Deadline",
     "DeadlineExpired",
@@ -57,7 +65,11 @@ __all__ = [
     "FaultInjected",
     "FaultPlan",
     "FaultSpec",
+    "LoadShedError",
+    "ReplicaSupervisor",
+    "RetryBudget",
     "RetryPolicy",
+    "TokenBucket",
     "current_faults",
     "inject",
     "parse_chaos",

@@ -73,6 +73,7 @@ SITES: dict[str, str] = {
     "serve:match": "one single-query lookup in MatchEngine.match",
     "serve:batch": "one batch lookup in MatchEngine.match_batch",
     "io:read_requests": "parsing one JSONL request line",
+    "live:compact": "one live-index compaction (manual or scheduled)",
 }
 """Catalogue of the registered injection sites (see docs/resilience.md).
 

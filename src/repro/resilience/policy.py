@@ -164,6 +164,8 @@ class RetryPolicy:
         self,
         thunk: Callable[[], Value],
         on_retry: Callable[[int, BaseException], Any] | None = None,
+        deadline: "Deadline | None" = None,
+        budget: "Any | None" = None,
     ) -> Value:
         """Run ``thunk`` under this policy and return its value.
 
@@ -171,6 +173,17 @@ class RetryPolicy:
         (attempt is the 1-based attempt that just failed) -- the hook
         the callers use to count ``retry.attempts`` on their recorder.
         Non-retryable errors and the final failure propagate unchanged.
+
+        ``deadline`` bounds the retry loop to its remaining budget: an
+        already-expired deadline suppresses further retries (the last
+        error propagates), and every backoff sleep is clamped to
+        ``deadline.remaining()`` so a retry never sleeps past the very
+        deadline its caller is trying to honour.
+
+        ``budget`` is an optional :class:`~repro.resilience.admission.RetryBudget`
+        consulted (``allow_retry()``) before each retry; an exhausted
+        budget propagates the last error immediately, which is what
+        stops retry amplification when a downstream shard is struggling.
         """
         attempt = 0
         while True:
@@ -180,9 +193,17 @@ class RetryPolicy:
             except Exception as error:
                 if not self.is_retryable(error) or attempt >= self.max_attempts:
                     raise
+                if deadline is not None and deadline.expired():
+                    raise
+                if budget is not None and not budget.allow_retry():
+                    raise
                 if on_retry is not None:
                     on_retry(attempt, error)
-                time.sleep(self.backoff_s(attempt))
+                delay = self.backoff_s(attempt)
+                if deadline is not None:
+                    delay = min(delay, deadline.remaining())
+                if delay > 0:
+                    time.sleep(delay)
 
     def __repr__(self) -> str:
         return (

@@ -45,8 +45,9 @@ for the chaos plans of :mod:`repro.resilience.faults`.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.blocking.base import Block, BlockCollection
 from repro.blocking.name_blocking import normalize_name
@@ -70,6 +71,7 @@ from repro.kernels import (
 )
 from repro.obs import NULL_RECORDER, Recorder, current_recorder
 from repro.obs.provenance import RULE_EVIDENCE, ProvenanceRecord, ProvenanceSampler
+from repro.resilience.admission import AdmissionController
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.faults import inject
 from repro.resilience.policy import Deadline, DeadlineExpired
@@ -292,19 +294,57 @@ class MatchEngine:
         else:
             self._fallback = None
             self.breaker = None
+        # Admission control (docs/resilience.md): a bounded pending-work
+        # gauge plus per-source token-bucket quotas.  Both knobs default
+        # off, so the engine only pays the context-manager when the
+        # operator asked for overload protection.
+        if self.config.serving_max_pending or self.config.serving_quota_qps:
+            self.admission: AdmissionController | None = AdmissionController(
+                max_pending=self.config.serving_max_pending or None,
+                quota_qps=self.config.serving_quota_qps,
+                quota_burst=self.config.serving_quota_burst,
+                recorder=self.recorder,
+            )
+        else:
+            self.admission = None
+
+    @contextmanager
+    def _admitted(self, source: str | None, cost: int) -> Iterator[None]:
+        """Hold admission for ``cost`` queries; no-op when control is off.
+
+        Raises :class:`~repro.resilience.admission.LoadShedError` before
+        any resolution work happens -- the caller (``repro serve``)
+        turns that into an explicit JSONL shed record.
+        """
+        if self.admission is None:
+            yield
+            return
+        with self.admission.admit(source=source, cost=cost):
+            yield
 
     # ------------------------------------------------------------------
     # Single-query path
     # ------------------------------------------------------------------
-    def match(self, entity: EntityDescription) -> MatchDecision:
+    def match(
+        self, entity: EntityDescription, *, source: str | None = None
+    ) -> MatchDecision:
         """Resolve one description against the index (batch-of-one).
 
         Consults the LRU cache first (content-fingerprint key); on a
         miss, runs the query-local pipeline and caches the outcome.
         With ``config.serving_deadline_ms`` set, a query that exhausts
         its budget mid-pipeline gets a degraded name-evidence-only
-        answer (counted ``deadline.expired``; never cached).
+        answer (counted ``deadline.expired``; never cached).  ``source``
+        labels the request for per-source admission quotas; with
+        admission control configured, an over-limit query raises
+        :class:`~repro.resilience.admission.LoadShedError` before any
+        resolution work.
         """
+        with self._admitted(source, 1):
+            return self._match_one(entity)
+
+    def _match_one(self, entity: EntityDescription) -> MatchDecision:
+        """The single-query path, past admission (subclass override point)."""
         started = time.perf_counter()
         key = (self.generation, entity_fingerprint(entity))
         outcome = self.cache.get(key)
@@ -508,7 +548,7 @@ class MatchEngine:
     # Batch path
     # ------------------------------------------------------------------
     def match_batch(
-        self, entities: Iterable[EntityDescription]
+        self, entities: Iterable[EntityDescription], *, source: str | None = None
     ) -> list[MatchDecision]:
         """Resolve a batch of descriptions together, with shared context.
 
@@ -522,12 +562,20 @@ class MatchEngine:
         With ``config.serving_deadline_ms`` set, the budget covers the
         whole batch; on expiry every batch entity gets a degraded
         name-evidence-only decision (batch context is lost, so the
-        degraded answers are query-local).
+        degraded answers are query-local).  With admission control
+        configured, the whole batch is admitted at once (cost = batch
+        size, charged to ``source``) or shed at once with
+        :class:`~repro.resilience.admission.LoadShedError`.
         """
-        started = time.perf_counter()
         batch = list(entities)
         if not batch:
             return []
+        with self._admitted(source, len(batch)):
+            return self._match_many(batch)
+
+    def _match_many(self, batch: list[EntityDescription]) -> list[MatchDecision]:
+        """The batch path, past admission (subclass override point)."""
+        started = time.perf_counter()
         deadline = self._query_deadline()
         try:
             inject("serve:batch")
@@ -1090,6 +1138,8 @@ class MatchEngine:
                 "state": self.breaker.state,
                 "trips": self.breaker.trips,
             }
+        if self.admission is not None:
+            snapshot["admission"] = self.admission.stats()
         snapshot["cache"] = self.cache.stats()
         return snapshot
 

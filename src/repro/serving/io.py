@@ -44,6 +44,15 @@ errors); malformed JSON, nested/null/non-finite values (``NaN`` and
 oversized lines (> :data:`MAX_REQUEST_LINE_BYTES`) become error
 records.  The strict :func:`read_requests` (batch tooling) raises on
 the first error instead.
+
+Overload records: a request line may carry an optional ``"source"``
+string labelling its traffic source; with admission control configured
+(``--max-pending`` / ``--quota-qps``, see ``docs/resilience.md``) an
+over-limit request is *shed* -- answered in stream order with an
+explicit error record instead of a decision, never silently dropped::
+
+    {"error": "source 'tenant-a' over quota (100.0/s)", "shed": true,
+     "reason": "quota", "query": "q7", "line": 12}
 """
 
 from __future__ import annotations
@@ -116,6 +125,23 @@ def control_from_json(payload: dict[str, Any], line: int) -> ControlRequest:
     if path is not None and not isinstance(path, str):
         raise ValueError(f"control {op!r} 'path' must be a string, got {path!r}")
     return ControlRequest(op, line, path=path)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One accepted query line with its wire envelope, from
+    :func:`iter_requests` in ``envelopes=True`` mode.
+
+    ``source`` is the optional ``"source"`` key of the request line --
+    a free-form traffic label (tenant, pipeline, client) that admission
+    control charges per-source quotas against (``docs/resilience.md``).
+    The entity itself never carries it: descriptions are content, the
+    envelope is routing.
+    """
+
+    entity: EntityDescription
+    line: int
+    source: str | None = None
 
 
 @dataclass(frozen=True)
@@ -249,7 +275,8 @@ def iter_requests(
     stream: TextIO,
     max_line_bytes: int = MAX_REQUEST_LINE_BYTES,
     recorder=None,
-) -> Iterator[EntityDescription | ControlRequest | RequestError]:
+    envelopes: bool = False,
+) -> Iterator[EntityDescription | QueryRequest | ControlRequest | RequestError]:
     """Lenient JSONL scan: one item per non-blank line, errors included.
 
     Well-formed requests come out as
@@ -260,6 +287,11 @@ def iter_requests(
     :class:`RequestError` and the scan *continues*, so one garbage
     producer cannot take down the stream.  Blank lines are separators
     and yield nothing.
+
+    With ``envelopes=True`` (the server's mode) accepted queries come
+    out as :class:`QueryRequest` instead, carrying the line's optional
+    ``"source"`` traffic label for per-source admission quotas; plain
+    mode ignores the key, so the wire format is one and the same.
 
     Default URIs are positional over *accepted* requests: the N-th
     non-blank, well-formed request without a ``uri`` gets ``query-N``
@@ -293,13 +325,23 @@ def iter_requests(
             if isinstance(payload, dict) and "control" in payload:
                 yield control_from_json(payload, number)
                 continue
+            source = None
+            if envelopes and isinstance(payload, dict):
+                source = payload.get("source")
+                if source is not None and not isinstance(source, str):
+                    raise ValueError(
+                        f"'source' must be a string, got {source!r}"
+                    )
             entity = entity_from_json(payload, default_uri=f"query-{accepted + 1}")
         except (json.JSONDecodeError, ValueError, RuntimeError) as error:
             recorder.count("serving.request_errors")
             yield RequestError(number, f"bad request on line {number}: {error}")
             continue
         accepted += 1
-        yield entity
+        if envelopes:
+            yield QueryRequest(entity, number, source=source)
+        else:
+            yield entity
 
 
 def read_requests(stream: TextIO) -> Iterator[EntityDescription]:

@@ -47,6 +47,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import zlib
 from array import array
 from contextlib import contextmanager
 from pathlib import Path
@@ -55,6 +56,8 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 from repro.blocking.name_blocking import normalize_name
 from repro.kb.entity import EntityDescription
 from repro.kernels import CSRAdjacency, block_weight
+from repro.obs import current_recorder
+from repro.resilience.faults import inject
 from repro.serving.engine import SWEEP_MARGIN, MatchEngine
 from repro.serving.index import ResolutionIndex
 
@@ -103,21 +106,54 @@ def _entity_from_record(payload: Any, line: int) -> EntityDescription:
     return EntityDescription(payload["uri"], pairs)
 
 
+def _canonical_record(record: dict[str, Any]) -> bytes:
+    """The CRC input: canonical JSON of the record minus its ``crc`` key.
+
+    Canonical (sorted keys, compact separators) so verification is
+    independent of on-disk key order -- a hand-edited but intact ledger
+    still verifies.
+    """
+    body = {key: value for key, value in record.items() if key != "crc"}
+    return json.dumps(
+        body, separators=(",", ":"), sort_keys=True, ensure_ascii=False
+    ).encode("utf-8")
+
+
+def record_crc(record: dict[str, Any]) -> int:
+    """CRC32 of a ledger record's canonical form (crc key excluded)."""
+    return zlib.crc32(_canonical_record(record)) & 0xFFFFFFFF
+
+
 class UpsertLedger:
-    """Append-only JSONL event log of live-index mutations.
+    """Append-only, checksummed JSONL event log of live-index mutations.
 
     One JSON object per line::
 
-        {"op": "upsert", "entity": {"uri": "...", "pairs": [["a", "v"], ...]}}
-        {"op": "delete", "uri": "..."}
+        {"op": "upsert", "entity": {...}, "crc": 2859425017}
+        {"op": "delete", "uri": "...", "crc": 1948562170}
 
     The ledger is the durable record (Engram-style: immutable events,
     disposable projection): a serving process replays it over the
     frozen base at startup to recover the delta segment, and
     compaction folds it into a fresh base and truncates it.  Appends
-    flush to the OS on every record so a crashed server loses at most
-    the record being written; replay is strict and raises
-    :class:`LedgerError` naming the first bad line.
+    flush + fsync on every record so a crashed server loses at most
+    the record being written.
+
+    **Integrity.**  Every record carries a CRC32 over its canonical
+    JSON form (sorted keys, ``crc`` excluded), verified on replay;
+    records written before checksumming existed (no ``crc`` key) are
+    accepted and counted in :attr:`unverified`.
+
+    **Crash recovery.**  A crash mid-append leaves a *torn tail*: a
+    final record that is truncated, unterminated, or CRC-corrupt, with
+    nothing after it.  ``replay(recover=True)`` truncates the tail back
+    to the last intact record boundary (fsync'd), appends a checksummed
+    ``{"op": "recover", ...}`` marker (skipped by future replays, so
+    the repair itself is auditable), records the repair in
+    :attr:`recovered`, and counts ``ledger.recoveries``.  The default
+    ``recover=False`` stays strict and raises :class:`LedgerError`.
+    Corruption *before* the final record can never be a torn append and
+    always raises -- recovery never silently drops interior events.
     """
 
     def __init__(self, path: str | Path):
@@ -125,6 +161,10 @@ class UpsertLedger:
         self._lock = threading.Lock()
         #: Records appended through this instance (not the file total).
         self.appended = 0
+        #: Pre-CRC records accepted by the last :meth:`replay`.
+        self.unverified = 0
+        #: Details of the last torn-tail repair (``None`` if none ran).
+        self.recovered: dict[str, Any] | None = None
 
     def append_upsert(self, entity: EntityDescription) -> None:
         """Append one upsert event and flush it."""
@@ -135,6 +175,8 @@ class UpsertLedger:
         self._append({"op": "delete", "uri": uri})
 
     def _append(self, record: dict[str, Any]) -> None:
+        record = dict(record)
+        record["crc"] = record_crc(record)
         data = json.dumps(record, ensure_ascii=False) + "\n"
         with self._lock:
             with open(self.path, "a", encoding="utf-8") as handle:
@@ -143,43 +185,125 @@ class UpsertLedger:
                 os.fsync(handle.fileno())
             self.appended += 1
 
-    def replay(self) -> Iterator[tuple[str, Any]]:
+    def _parse(self, raw: bytes, number: int) -> tuple[str, Any] | None:
+        """One intact line -> event tuple, ``None`` for recovery markers.
+
+        Raises :class:`LedgerError` on any structural or checksum
+        problem; the caller decides whether that is fatal (interior
+        line) or a recoverable torn tail (final line).
+        """
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise LedgerError(f"ledger line {number}: not JSON ({error})") from None
+        if not isinstance(record, dict):
+            raise LedgerError(
+                f"ledger line {number}: expected an object, got "
+                f"{type(record).__name__}"
+            )
+        crc = record.get("crc")
+        if crc is not None:
+            if not isinstance(crc, int):
+                raise LedgerError(
+                    f"ledger line {number}: 'crc' must be an integer, got {crc!r}"
+                )
+            expected = record_crc(record)
+            if crc != expected:
+                raise LedgerError(
+                    f"ledger line {number}: CRC mismatch "
+                    f"(stored {crc}, computed {expected})"
+                )
+        else:
+            self.unverified += 1
+        op = record.get("op")
+        if op == "upsert":
+            return "upsert", _entity_from_record(record.get("entity"), number)
+        if op == "delete":
+            uri = record.get("uri")
+            if not isinstance(uri, str) or not uri:
+                raise LedgerError(
+                    f"ledger line {number}: 'delete' needs a "
+                    f"non-empty string 'uri'"
+                )
+            return "delete", uri
+        if op == "recover":
+            return None
+        raise LedgerError(
+            f"ledger line {number}: unknown op {op!r} "
+            f"(expected 'upsert', 'delete' or 'recover')"
+        )
+
+    def replay(self, recover: bool = False) -> Iterator[tuple[str, Any]]:
         """Yield ``("upsert", EntityDescription)`` / ``("delete", uri)``
-        events in append order; a missing file is an empty ledger."""
+        events in append order; a missing file is an empty ledger.
+
+        With ``recover=True``, a torn tail (see the class docstring) is
+        truncated and repaired instead of raising; interior corruption
+        raises :class:`LedgerError` in both modes.
+        """
+        self.unverified = 0
         if not self.path.exists():
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for number, line in enumerate(handle, start=1):
-                stripped = line.strip()
-                if not stripped:
+        with open(self.path, "rb") as handle:
+            good_end = 0
+            number = 0
+            while True:
+                raw = handle.readline()
+                if not raw:
+                    break
+                number += 1
+                stripped = raw.strip()
+                error: LedgerError | None = None
+                event: tuple[str, Any] | None = None
+                if not raw.endswith(b"\n"):
+                    # Only the final line can lack its newline; treat it
+                    # as torn even if its JSON happens to parse -- the
+                    # next append would fuse with it and corrupt both.
+                    if not stripped:
+                        break
+                    error = LedgerError(
+                        f"ledger line {number}: unterminated record "
+                        f"({len(raw)} bytes, no trailing newline)"
+                    )
+                elif not stripped:
+                    good_end = handle.tell()
                     continue
-                try:
-                    record = json.loads(stripped)
-                except ValueError as error:
-                    raise LedgerError(
-                        f"ledger line {number}: not JSON ({error})"
-                    ) from None
-                if not isinstance(record, dict):
-                    raise LedgerError(
-                        f"ledger line {number}: expected an object, got "
-                        f"{type(record).__name__}"
-                    )
-                op = record.get("op")
-                if op == "upsert":
-                    yield "upsert", _entity_from_record(record.get("entity"), number)
-                elif op == "delete":
-                    uri = record.get("uri")
-                    if not isinstance(uri, str) or not uri:
-                        raise LedgerError(
-                            f"ledger line {number}: 'delete' needs a "
-                            f"non-empty string 'uri'"
-                        )
-                    yield "delete", uri
                 else:
-                    raise LedgerError(
-                        f"ledger line {number}: unknown op {op!r} "
-                        f"(expected 'upsert' or 'delete')"
-                    )
+                    try:
+                        event = self._parse(stripped, number)
+                    except LedgerError as parse_error:
+                        error = parse_error
+                if error is not None:
+                    if handle.read().strip():
+                        # Bad line with content after it: interior
+                        # corruption, never a torn append.
+                        raise error
+                    if not recover:
+                        raise LedgerError(
+                            f"{error} -- torn tail; replay(recover=True) "
+                            f"truncates it"
+                        ) from None
+                    self._truncate_tail(good_end, number, str(error))
+                    return
+                good_end = handle.tell()
+                if event is not None:
+                    yield event
+
+    def _truncate_tail(self, good_end: int, number: int, reason: str) -> None:
+        """Drop the torn final record and leave an fsync'd audit marker."""
+        size = self.path.stat().st_size
+        with self._lock:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self.recovered = {
+            "line": number,
+            "dropped_bytes": size - good_end,
+            "reason": reason,
+        }
+        self._append({"op": "recover", **self.recovered})
+        current_recorder().count("ledger.recoveries")
 
     def clear(self) -> None:
         """Truncate the ledger (called after its events were compacted
@@ -904,21 +1028,21 @@ class LiveServingMixin:
         #: default to it.  The CLI sets it from ``--index``.
         self.index_path: Path | None = None
         self.swap_count = 0
+        #: Optional :class:`repro.serving.compaction.CompactionScheduler`
+        #: poked after every mutation so triggers fire promptly.
+        self.compaction = None
         self._refresh_gauges()
 
     # ------------------------------------------------------------------
     # Pinned query paths
     # ------------------------------------------------------------------
-    def match(self, entity):
+    def match(self, entity, **kwargs):
         with self.handle.pin():
-            return super().match(entity)
+            return super().match(entity, **kwargs)
 
-    def match_batch(self, entities):
+    def match_batch(self, entities, **kwargs):
         with self.handle.pin():
-            return self._pinned_match_batch(list(entities))
-
-    def _pinned_match_batch(self, batch):
-        return super().match_batch(batch)
+            return super().match_batch(list(entities), **kwargs)
 
     # ------------------------------------------------------------------
     # Mutations
@@ -930,6 +1054,8 @@ class LiveServingMixin:
             self.handle.bump()
             self.generation = self.handle.generation
             self._refresh_gauges()
+        if self.compaction is not None:
+            self.compaction.poke()
         return result
 
     def upsert(self, entity: EntityDescription, record: bool = True) -> int:
@@ -960,17 +1086,21 @@ class LiveServingMixin:
 
         return self._mutate(operation)
 
-    def attach_ledger(self, ledger: UpsertLedger, replay: bool = True) -> int:
+    def attach_ledger(
+        self, ledger: UpsertLedger, replay: bool = True, recover: bool = False
+    ) -> int:
         """Adopt ``ledger`` for durability; optionally replay it first.
 
         Returns the number of replayed events.  Replay applies the
         events without re-appending them, so restart recovery is
-        idempotent.
+        idempotent.  ``recover=True`` lets replay truncate a torn tail
+        left by a crash mid-append (see :meth:`UpsertLedger.replay`);
+        interior corruption raises :class:`LedgerError` regardless.
         """
         self.ledger = ledger
         if not replay:
             return 0
-        events = list(ledger.replay())
+        events = list(ledger.replay(recover=recover))
         if not events:
             return 0
 
@@ -1009,15 +1139,34 @@ class LiveServingMixin:
         truncated: its events now live in the base.  Queries drain
         before the flip and resume against the new base; returns the
         fresh index.
+
+        **Failure isolation**: a compaction that fails partway (the
+        ``live:compact`` chaos site, a full disk, a kernel error)
+        raises out of the drain gate *without* bumping the generation
+        -- the live delta, ledger, and served decisions are exactly as
+        if the compaction was never attempted, and the temp file is
+        removed.  The background scheduler
+        (:class:`repro.serving.compaction.CompactionScheduler`) relies
+        on this to retry failed compactions safely.
         """
         target = Path(path) if path is not None else self.index_path
 
         def operation():
+            inject("live:compact")
             fresh = self.index.compact()
             if target is not None:
                 tmp = target.with_name(target.name + ".tmp")
-                fresh.save(tmp)
-                os.replace(tmp, target)
+                try:
+                    fresh.save(tmp)
+                    os.replace(tmp, target)
+                finally:
+                    # A failed save/replace must not leave a stale temp
+                    # file shadowing the next compaction attempt.
+                    if tmp.exists():
+                        try:
+                            tmp.unlink()
+                        except OSError:
+                            pass
                 fresh = ResolutionIndex.load(target, mmap=self._mmap_flag())
             self._swap_workers(fresh, target, reshard=True)
             self._install_base(fresh)

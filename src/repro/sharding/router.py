@@ -46,8 +46,9 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.core.config import MinoanERConfig, config_to_dict
 from repro.kb.entity import EntityDescription
@@ -55,9 +56,11 @@ from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.statistics import KBStatistics
 from repro.obs import Recorder
 from repro.obs.recorder import percentile
+from repro.resilience.admission import RetryBudget
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.faults import FaultPlan, current_faults, inject
 from repro.resilience.policy import Deadline, DeadlineExpired, RetryPolicy
+from repro.resilience.supervisor import ReplicaSupervisor
 from repro.serving.cache import LRUCache
 from repro.serving.engine import MatchDecision, MatchEngine, _Outcome
 from repro.serving.index import ResolutionIndex
@@ -365,6 +368,22 @@ class ShardRouter(MatchEngine):
         #: ``service_ms``) of the most recent scatter; None for a shard
         #: that degraded.  Set on both scatter paths.
         self.last_service_ms: list[float | None] | None = None
+        #: Finagle-style retry budget shared by every shard call in
+        #: ``failure_mode="retry"``: retries stop when sustained
+        #: failures outpace real traffic (docs/resilience.md).
+        self.retry_budget = (
+            RetryBudget(ratio=self.config.retry_budget_ratio)
+            if self.config.retry_budget_ratio is not None
+            else None
+        )
+        #: ``shard -> replica`` factory used by :meth:`resurrect`;
+        #: :meth:`spawn` installs one over the shard files it launched
+        #: from.  ``None`` means dead replicas stay dead (constructed
+        #: routers own replicas the router cannot recreate).
+        self._replica_factory: Callable[[int], Any] | None = None
+        #: Attached :class:`~repro.resilience.supervisor.ReplicaSupervisor`
+        #: (``spawn(supervise=True)``); closed first by :meth:`close`.
+        self.supervisor: ReplicaSupervisor | None = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -383,6 +402,8 @@ class ShardRouter(MatchEngine):
         on_shard_error: Callable[[int, Exception], None] | None = None,
         index: ResolutionIndex | None = None,
         scatter: str = "auto",
+        supervise: bool = False,
+        supervisor_options: dict[str, Any] | None = None,
     ) -> "ShardRouter":
         """Launch ``count * replicas`` worker subprocesses and a router.
 
@@ -392,6 +413,13 @@ class ShardRouter(MatchEngine):
         missing or corrupt shard fails construction, not the first
         query.  ``index`` short-circuits re-loading the full index when
         the caller already holds it.
+
+        ``supervise=True`` attaches a started
+        :class:`~repro.resilience.supervisor.ReplicaSupervisor`
+        (tunable via ``supervisor_options``) that restarts crashed or
+        reload-failed replicas from the same shard files; the router
+        always installs the replica factory :meth:`resurrect` needs, so
+        a supervisor can also be attached later.
         """
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
@@ -407,14 +435,18 @@ class ShardRouter(MatchEngine):
         config_json = (
             json.dumps(config_to_dict(config)) if config is not None else None
         )
+
+        def factory(shard: int) -> "ProcessReplica":
+            return ProcessReplica(
+                paths[shard], shard, mmap=mmap, config_json=config_json
+            )
+
         replica_sets: list[list[ProcessReplica]] = []
         try:
-            for shard, path in enumerate(paths):
+            for shard in range(len(paths)):
                 group = []
                 for _ in range(replicas):
-                    replica = ProcessReplica(
-                        path, shard, mmap=mmap, config_json=config_json
-                    )
+                    replica = factory(shard)
                     group.append(replica)
                     replica.request("hello", timeout=120.0)
                 replica_sets.append(group)
@@ -423,7 +455,7 @@ class ShardRouter(MatchEngine):
                 for replica in group:
                     replica.kill()
             raise
-        return cls(
+        router = cls(
             index,
             replica_sets,
             config=config,
@@ -432,6 +464,12 @@ class ShardRouter(MatchEngine):
             on_shard_error=on_shard_error,
             scatter=scatter,
         )
+        router._replica_factory = factory
+        if supervise:
+            router.supervisor = ReplicaSupervisor(
+                router, **(supervisor_options or {})
+            ).start()
+        return router
 
     # ------------------------------------------------------------------
     # Engine overrides
@@ -465,14 +503,14 @@ class ShardRouter(MatchEngine):
         )
         return outcome, degraded
 
-    def match_batch(
-        self, entities: Iterable[EntityDescription]
-    ) -> list[MatchDecision]:
-        """The engine's batch pipeline with scattered value evidence."""
+    def _match_many(self, batch: list[EntityDescription]) -> list[MatchDecision]:
+        """The engine's batch pipeline with scattered value evidence.
+
+        Overrides the post-admission hook of
+        :meth:`MatchEngine.match_batch`, so admission control (queue
+        bound + per-source quota) applies before any scatter happens.
+        """
         started = time.perf_counter()
-        batch = list(entities)
-        if not batch:
-            return []
         deadline = self._query_deadline()
         try:
             inject("serve:batch")
@@ -571,15 +609,25 @@ class ShardRouter(MatchEngine):
         deadline: Deadline | None,
         plan: FaultPlan | None = None,
     ) -> dict[str, Any]:
-        """One shard's answer, retried per ``config.failure_mode``."""
+        """One shard's answer, retried per ``config.failure_mode``.
+
+        Retries are doubly bounded: backoff sleeps clamp to the
+        query's remaining deadline, and the router-wide
+        :attr:`retry_budget` (fed by real shard calls) stops retry
+        amplification once sustained failures outpace traffic.
+        """
         if self.config.failure_mode == "retry":
+            if self.retry_budget is not None:
+                self.retry_budget.note_request()
             policy = RetryPolicy(
                 max_attempts=self.config.retry_max_attempts,
                 base_delay_s=self.config.retry_base_delay_s,
                 retryable=(ShardFailure,),
             )
             return policy.call(
-                lambda: self._request_shard(shard, op, payload, deadline, plan)
+                lambda: self._request_shard(shard, op, payload, deadline, plan),
+                deadline=deadline,
+                budget=self.retry_budget,
             )
         return self._request_shard(shard, op, payload, deadline, plan)
 
@@ -728,6 +776,82 @@ class ShardRouter(MatchEngine):
         return percentile(sorted(window), 0.95) / 1e3
 
     # ------------------------------------------------------------------
+    # Resurrection (driven by ReplicaSupervisor)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _resurrection_gate(self) -> Iterator[None]:
+        """Mutual exclusion for readmitting a replica into its group.
+
+        The plain router only needs the round-robin lock (the group
+        list is never swapped); :class:`LiveShardRouter` overrides this
+        with the drain gate so readmission serialises with compaction's
+        worker-fleet swap.
+        """
+        with self._rr_lock:
+            yield
+
+    def _swap_epoch(self) -> int:
+        """Monotonic count of base swaps; a worker spawned before a
+        swap must not be readmitted after it (it mapped the old file)."""
+        return getattr(self, "swap_count", 0)
+
+    def resurrect(self, shard: int, position: int) -> bool:
+        """Replace a dead replica at ``(shard, position)`` with a fresh
+        worker spawned from the shard file on disk.
+
+        The expensive part -- spawn + ``hello`` handshake, which mmaps
+        and verifies the shard container -- happens *outside* any gate,
+        so queries keep flowing while the worker warms.  Readmission
+        itself is a short critical section that first re-checks the
+        swap epoch recorded before the spawn: if a compaction swapped
+        the shard files meanwhile, the fresh worker mapped a stale
+        file and is discarded (:class:`ShardFailure`; the supervisor
+        retries, and the retry maps the new file).  A readmitted worker
+        is decision-identical to one that never crashed: workers are
+        pure functions of the frozen shard file and the per-request
+        wire payload, and the live overlay always rides on the wire.
+
+        Returns ``False`` when the router has no replica factory
+        (replicas it cannot recreate) or the slot is alive again.
+        Counts ``shard.resurrections``.
+        """
+        factory = self._replica_factory
+        if factory is None or self._closed:
+            return False
+        group = self._replicas[shard]
+        dead = group[position]
+        if getattr(dead, "alive", False):
+            return False
+        epoch = self._swap_epoch()
+        replica = factory(shard)
+        try:
+            hello = replica.request("hello", timeout=120.0)
+            if int(hello.get("shard", -1)) != shard:
+                raise ShardFailure(
+                    f"shard {shard}: resurrected worker identifies as "
+                    f"shard {hello.get('shard')}"
+                )
+        except Exception:
+            replica.kill()
+            raise
+        if replica.breaker is None:
+            replica.breaker = CircuitBreaker(
+                failure_threshold=self.config.breaker_threshold,
+                reset_after_s=self.config.breaker_reset_s,
+                recorder=self.recorder,
+            )
+        with self._resurrection_gate():
+            if self._closed or self._swap_epoch() != epoch:
+                replica.kill()
+                raise ShardFailure(
+                    f"shard {shard}: index swapped during resurrection"
+                )
+            group[position] = replica
+        dead.kill()
+        self.recorder.count("shard.resurrections")
+        return True
+
+    # ------------------------------------------------------------------
     # Lifecycle / introspection
     # ------------------------------------------------------------------
     def wire_floor_ms(self, samples: int = 30) -> float:
@@ -760,7 +884,12 @@ class ShardRouter(MatchEngine):
             "hedge_fired": int(recorder.counter_value("shard.hedge.fired")),
             "hedge_won": int(recorder.counter_value("shard.hedge.won")),
             "hedge_lost": int(recorder.counter_value("shard.hedge.lost")),
+            "resurrections": int(recorder.counter_value("shard.resurrections")),
         }
+        if self.retry_budget is not None:
+            snapshot["sharding"]["retry_budget"] = self.retry_budget.stats()
+        if self.supervisor is not None:
+            snapshot["sharding"]["supervisor"] = self.supervisor.stats()
         return snapshot
 
     def close(self) -> None:
@@ -775,6 +904,10 @@ class ShardRouter(MatchEngine):
         """
         if self._closed:
             return
+        # Stop the supervisor before killing workers: a sweep racing
+        # shutdown would resurrect the very replicas being stopped.
+        if self.supervisor is not None:
+            self.supervisor.close()
         self._closed = True
         for shard, group in enumerate(self._replicas):
             for position, replica in enumerate(group):
@@ -878,11 +1011,20 @@ class LiveShardRouter(LiveServingMixin, ShardRouter):
         outcome = merge_single_evidence(self.config, self._cut, alpha, merged)
         return outcome, degraded
 
-    def _pinned_match_batch(self, batch: list[EntityDescription]):
+    def _match_many(self, batch: list[EntityDescription]):
         if self.index.delta_active:
             self.recorder.count("shard.batch_local")
-            return MatchEngine.match_batch(self, batch)
-        return super()._pinned_match_batch(batch)
+            return MatchEngine._match_many(self, batch)
+        return super()._match_many(batch)
+
+    @contextmanager
+    def _resurrection_gate(self):
+        """Readmission serialises with compaction through the drain
+        gate: ``_swap_workers`` runs under ``handle.exclusive()``, so a
+        resurrected worker can never slip into the fleet while the
+        shard files and worker generations are mid-swap."""
+        with self.handle.exclusive():
+            yield
 
     def _swap_workers(
         self, fresh: ResolutionIndex, path: Path | None, reshard: bool

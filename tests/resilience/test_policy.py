@@ -156,3 +156,76 @@ class TestRetryPolicyCall:
         thunk, calls = self._flaky(1, KeyError("k"))
         assert policy.call(thunk) == 2
         assert not policy.is_retryable(FaultInjected("not in the set"))
+
+
+class TestDeadlineClampedBackoff:
+    """A retry's backoff sleep must never outlive the caller's deadline."""
+
+    def _always_failing(self):
+        calls = {"n": 0}
+
+        def thunk():
+            calls["n"] += 1
+            raise TimeoutError("slow")
+
+        return thunk, calls
+
+    def test_backoff_sleep_is_clamped_to_remaining_budget(self, monkeypatch):
+        # Regression: a 10s backoff schedule under a 0.5s deadline used
+        # to sleep the full 10s before discovering the budget was gone.
+        from repro.resilience import policy as policy_module
+
+        sleeps: list[float] = []
+        monkeypatch.setattr(policy_module.time, "sleep", sleeps.append)
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        policy = RetryPolicy(max_attempts=3, base_delay_s=10.0, jitter_ratio=0.0)
+        thunk, calls = self._always_failing()
+        with pytest.raises(TimeoutError):
+            policy.call(thunk, deadline=deadline)
+        assert sleeps, "expected at least one clamped backoff sleep"
+        assert max(sleeps) <= 0.5
+
+    def test_expired_deadline_stops_retrying(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(2.0)
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        thunk, calls = self._always_failing()
+        with pytest.raises(TimeoutError):
+            policy.call(thunk, deadline=deadline)
+        assert calls["n"] == 1  # the error propagates, no blind retries
+
+
+class TestRetryBudgetIntegration:
+    def test_drained_budget_turns_retries_into_fail_fast(self):
+        from repro.resilience import RetryBudget
+
+        budget = RetryBudget(ratio=0.0, reserve=0.0)
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        calls = {"n": 0}
+
+        def thunk():
+            calls["n"] += 1
+            raise TimeoutError("down hard")
+
+        with pytest.raises(TimeoutError):
+            policy.call(thunk, budget=budget)
+        assert calls["n"] == 1
+        assert budget.denied == 1
+
+    def test_funded_budget_allows_recovery(self):
+        from repro.resilience import RetryBudget
+
+        budget = RetryBudget(ratio=0.2, reserve=2.0)
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        calls = {"n": 0}
+
+        def thunk():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TimeoutError("flaky")
+            return "ok"
+
+        assert policy.call(thunk, budget=budget) == "ok"
+        assert calls["n"] == 3

@@ -1,0 +1,206 @@
+"""Replica supervision driven deterministically through ``tick()``."""
+
+import pytest
+
+from repro.obs import Recorder
+from repro.resilience import ReplicaSupervisor
+from repro.resilience.supervisor import HEALTHY_RESET_S
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class StubReplica:
+    def __init__(self, alive: bool = True):
+        self.alive = alive
+        self.killed = 0
+
+    def kill(self):
+        self.alive = False
+        self.killed += 1
+
+
+class StubRouter:
+    """Duck-typed router: replica groups + a scriptable resurrect."""
+
+    def __init__(self, shards: int = 1, replicas: int = 1):
+        self._replicas = [
+            [StubReplica() for _ in range(replicas)] for _ in range(shards)
+        ]
+        self.recorder = Recorder()
+        self.resurrections: list[tuple[int, int]] = []
+        self.fail_next = 0
+
+    def resurrect(self, shard: int, position: int) -> bool:
+        self.resurrections.append((shard, position))
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            raise RuntimeError("spawn failed")
+        self._replicas[shard][position] = StubReplica()
+        return True
+
+
+def supervisor(router, clock, **kwargs):
+    options = dict(jitter_ratio=0.0, base_backoff_s=1.0, max_backoff_s=8.0)
+    options.update(kwargs)
+    return ReplicaSupervisor(router, clock=clock, **options)
+
+
+class TestSweep:
+    def test_healthy_fleet_is_untouched(self):
+        router = StubRouter(shards=2, replicas=2)
+        sup = supervisor(router, FakeClock())
+        assert sup.tick() == 0
+        assert router.resurrections == []
+
+    def test_dead_replica_is_restarted(self):
+        router = StubRouter(shards=2, replicas=2)
+        dead = router._replicas[1][0]
+        dead.alive = False
+        sup = supervisor(router, FakeClock())
+        assert sup.tick() == 1
+        assert router.resurrections == [(1, 0)]
+        assert router._replicas[1][0] is not dead
+        assert router._replicas[1][0].alive
+        assert sup.restarts == 1
+        assert router.recorder.counters()["supervisor.restarts"] == 1
+
+    def test_failed_restart_backs_off_exponentially(self):
+        clock = FakeClock()
+        router = StubRouter()
+        router._replicas[0][0].alive = False
+        router.fail_next = 10
+        sup = supervisor(router, clock)
+        assert sup.tick() == 0  # attempt 1 at t=0
+        assert sup.restart_failures == 1
+        sup.tick()  # still inside backoff: no new attempt
+        assert len(router.resurrections) == 1
+        clock.advance(1.0)  # base_backoff_s
+        sup.tick()  # attempt 2
+        clock.advance(1.0)
+        sup.tick()  # too early: attempt 2 backoff is 2s
+        assert len(router.resurrections) == 2
+        clock.advance(1.0)
+        sup.tick()  # attempt 3 at t=3
+        assert len(router.resurrections) == 3
+
+    def test_storm_budget_parks_a_crash_loop(self):
+        clock = FakeClock()
+        router = StubRouter()
+        router.fail_next = 10_000
+        router._replicas[0][0].alive = False
+        sup = supervisor(
+            router,
+            clock,
+            max_restarts=3,
+            window_s=100.0,
+            base_backoff_s=0.0,
+            max_backoff_s=0.0,
+        )
+        for _ in range(10):
+            sup.tick()
+            clock.advance(1.0)
+        assert len(router.resurrections) == 3  # budget, not tick count
+        assert sup.storm_suppressed == 1
+        assert sup.stats()["slots"]["0/0"]["suppressed"] is True
+        # The window slides: the first attempt (t=0) expires at t=100.
+        clock.now = 101.0
+        sup.tick()
+        assert len(router.resurrections) == 4
+
+    def test_sustained_health_resets_backoff(self):
+        clock = FakeClock()
+        router = StubRouter()
+        router._replicas[0][0].alive = False
+        sup = supervisor(router, clock, base_backoff_s=1.0)
+        sup.tick()  # successful restart: attempt 1
+        assert sup.stats()["slots"]["0/0"]["attempt"] == 1
+        clock.advance(HEALTHY_RESET_S)
+        sup.tick()  # healthy sweep resets the counter
+        assert sup.stats()["slots"]["0/0"]["attempt"] == 0
+
+    def test_successful_restart_still_backs_off_a_crash_loop(self):
+        # Each restart "succeeds" but the worker dies again immediately;
+        # next_due must space the attempts out.
+        clock = FakeClock()
+        router = StubRouter()
+        sup = supervisor(router, clock, base_backoff_s=4.0)
+        router._replicas[0][0].alive = False
+        assert sup.tick() == 1
+        router._replicas[0][0].alive = False  # dies again at once
+        assert sup.tick() == 0  # parked until t=4
+        clock.advance(4.0)
+        assert sup.tick() == 1
+
+    def test_backoff_is_seeded_and_bounded(self):
+        clock = FakeClock()
+        a = supervisor(
+            StubRouter(), clock, jitter_ratio=0.2, seed=7, base_backoff_s=1.0
+        )
+        b = supervisor(
+            StubRouter(), clock, jitter_ratio=0.2, seed=7, base_backoff_s=1.0
+        )
+        schedule = [a.backoff_s(n) for n in range(1, 6)]
+        assert schedule == [b.backoff_s(n) for n in range(1, 6)]
+        for attempt, delay in enumerate(schedule, start=1):
+            bare = min(8.0, 1.0 * 2.0 ** (attempt - 1))
+            assert bare <= delay <= bare * 1.2
+
+    def test_probe_kills_and_heals_a_hung_replica(self):
+        class HungReplica(StubReplica):
+            def request(self, op, timeout=None):
+                raise TimeoutError("no answer")
+
+        router = StubRouter()
+        router._replicas[0][0] = HungReplica()
+        sup = supervisor(router, FakeClock(), probe_every=1)
+        assert sup.tick() == 1
+        assert sup.probe_failures == 1
+        assert router.resurrections == [(0, 0)]
+
+    def test_dead_replicas_gauge(self):
+        router = StubRouter(shards=3)
+        for group in router._replicas:
+            group[0].alive = False
+        router.fail_next = 10_000
+        sup = supervisor(router, FakeClock())
+        sup.tick()
+        assert router.recorder.gauges()["supervisor.dead_replicas"] == 3.0
+
+    @pytest.mark.parametrize("kwargs", [{"interval_s": 0.0}, {"max_restarts": 0}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ReplicaSupervisor(StubRouter(), **kwargs)
+
+
+class TestLifecycle:
+    def test_thread_start_close_idempotent(self):
+        router = StubRouter()
+        sup = ReplicaSupervisor(router, interval_s=0.01)
+        try:
+            assert sup.start() is sup
+            sup.start()
+        finally:
+            sup.close()
+            sup.close()
+
+    def test_background_thread_heals(self):
+        import time
+
+        router = StubRouter()
+        router._replicas[0][0].alive = False
+        with ReplicaSupervisor(
+            router, interval_s=0.01, base_backoff_s=0.0, jitter_ratio=0.0
+        ):
+            deadline = time.monotonic() + 5.0
+            while not router.resurrections and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert router.resurrections == [(0, 0)]

@@ -1,0 +1,181 @@
+"""Background compaction: triggers, throttles, failure isolation."""
+
+import pytest
+
+from repro.core.config import MinoanERConfig
+from repro.kb.entity import EntityDescription
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.resilience import parse_chaos, use_faults
+from repro.serving import MatchEngine, ResolutionIndex
+from repro.serving.compaction import CompactionScheduler
+from repro.serving.live import LiveEngine
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def entity(i: int, word: str | None = None):
+    word = word or f"alpha{i}"
+    return EntityDescription(
+        f"http://kb2/e{i}", (("name", f"{word} tag{i}"), ("info", f"v{i}"))
+    )
+
+
+CONFIG = MinoanERConfig()
+
+
+def build_engine(n: int = 8) -> LiveEngine:
+    kb = KnowledgeBase([entity(i) for i in range(n)], "kb2")
+    return LiveEngine(ResolutionIndex.build(kb, CONFIG), CONFIG)
+
+
+def query(label: str, uri: str = "q"):
+    return EntityDescription(uri, (("name", label),))
+
+
+class TestTriggers:
+    def test_delta_trigger_counts_edits(self):
+        engine = build_engine()
+        scheduler = CompactionScheduler(engine, max_delta=3, clock=FakeClock())
+        assert scheduler.due() is None
+        engine.upsert(entity(90, "zeta90"))
+        engine.upsert(entity(91, "zeta91"))
+        assert scheduler.due() is None
+        engine.delete("http://kb2/e1")
+        assert scheduler.due() == "delta"
+
+    def test_tombstone_trigger_is_a_ratio(self):
+        engine = build_engine(n=10)
+        scheduler = CompactionScheduler(
+            engine, max_tombstone_ratio=0.3, clock=FakeClock()
+        )
+        engine.delete("http://kb2/e1")
+        engine.delete("http://kb2/e2")
+        assert scheduler.due() is None  # 2/10
+        engine.delete("http://kb2/e3")
+        assert scheduler.due() == "tombstones"
+
+    def test_requires_at_least_one_trigger(self):
+        with pytest.raises(ValueError, match="max_delta"):
+            CompactionScheduler(build_engine())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_delta": 0}, {"max_tombstone_ratio": 0.0},
+         {"max_tombstone_ratio": 1.5}, {"max_delta": 1, "interval_s": 0.0}],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CompactionScheduler(build_engine(), **kwargs)
+
+
+class TestTick:
+    def test_tick_compacts_and_throttles(self):
+        clock = FakeClock()
+        engine = build_engine()
+        scheduler = CompactionScheduler(
+            engine, max_delta=1, clock=clock, min_interval_s=10.0
+        )
+        engine.upsert(entity(90, "zeta90"))
+        generation = engine.generation
+        assert scheduler.tick() is True
+        assert engine.generation == generation + 1
+        assert engine.index.delta.allocated == 0
+        assert scheduler.last_reason == "delta"
+        # Immediately due again?  No: min_interval_s throttles.
+        engine.upsert(entity(91, "zeta91"))
+        assert scheduler.tick() is False
+        clock.advance(10.0)
+        assert scheduler.tick() is True
+
+    def test_decisions_identical_after_scheduled_compaction(self):
+        engine = build_engine()
+        engine.upsert(entity(99, "zeta99"))
+        probes = [query(f"alpha{i} tag{i}", uri=f"q{i}") for i in range(8)] + [
+            query("zeta99 tag99", uri="qnew")
+        ]
+        before = engine.match_batch(probes)
+        scheduler = CompactionScheduler(engine, max_delta=1, clock=FakeClock())
+        assert scheduler.tick()
+        after = engine.match_batch(probes)
+        assert [d.kb2_uri for d in before] == [d.kb2_uri for d in after]
+        assert [d.score for d in before] == [d.score for d in after]
+
+    def test_failed_compaction_leaves_live_generation_serving(self):
+        clock = FakeClock()
+        engine = build_engine()
+        engine.upsert(entity(99, "zeta99"))
+        generation = engine.generation
+        scheduler = CompactionScheduler(
+            engine, max_delta=1, clock=clock, failure_backoff_s=5.0
+        )
+        with use_faults(parse_chaos("live:compact=error*1")):
+            assert scheduler.tick() is False
+        assert scheduler.failures == 1
+        assert "FaultInjected" in scheduler.last_error
+        # The failed fold changed nothing: same generation, overlay
+        # intact, queries still see the upsert.
+        assert engine.generation == generation
+        assert engine.index.delta.allocated == 1
+        assert engine.match(query("zeta99 tag99")).kb2_uri == "http://kb2/e99"
+        # Backoff gates the retry; once it passes, the fold succeeds.
+        assert scheduler.tick() is False
+        clock.advance(5.0)
+        assert scheduler.tick() is True
+        assert engine.index.delta.allocated == 0
+
+    def test_failure_counters_reach_the_recorder(self):
+        engine = build_engine()
+        engine.upsert(entity(90, "zeta90"))
+        scheduler = CompactionScheduler(engine, max_delta=1, clock=FakeClock())
+        with use_faults(parse_chaos("live:compact=error*1")):
+            scheduler.tick()
+        counters = engine.recorder.counters()
+        assert counters["compaction.failures"] == 1
+
+    def test_compaction_writes_through_to_disk_path(self, tmp_path):
+        engine = build_engine()
+        path = tmp_path / "kb2.idx"
+        engine.index.base.save(path)
+        engine.upsert(entity(90, "zeta90"))
+        scheduler = CompactionScheduler(
+            engine, max_delta=1, path=path, clock=FakeClock()
+        )
+        assert scheduler.tick()
+        reloaded = MatchEngine(ResolutionIndex.load(path), CONFIG)
+        assert (
+            reloaded.match(query("zeta90 tag90")).kb2_uri == "http://kb2/e90"
+        )
+
+
+class TestThread:
+    def test_mutations_poke_the_scheduler(self):
+        import time
+
+        engine = build_engine()
+        with CompactionScheduler(engine, max_delta=2, interval_s=30.0) as scheduler:
+            assert engine.compaction is scheduler
+            engine.upsert(entity(90, "zeta90"))
+            engine.upsert(entity(91, "zeta91"))
+            # interval_s is 30s: only the poke can have woken it.
+            deadline = time.monotonic() + 5.0
+            while scheduler.compactions == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert scheduler.compactions >= 1
+        assert engine.compaction is None
+
+    def test_stats_shape(self):
+        engine = build_engine()
+        scheduler = CompactionScheduler(engine, max_delta=5, clock=FakeClock())
+        stats = scheduler.stats()
+        assert stats["max_delta"] == 5
+        assert stats["compactions"] == 0
+        assert stats["failures"] == 0

@@ -1,0 +1,190 @@
+"""Crash-safe ledger recovery: CRCs, torn tails, interior corruption.
+
+The corpus here simulates every way an ``UpsertLedger`` file can come
+back from a crash: truncated at each byte offset of its final record,
+bit-flipped in the middle, written by the pre-CRC format, or damaged
+in the interior.  The recovery contract under test:
+
+* a *torn tail* (partial final record, the signature of a writer killed
+  mid-append) is recoverable -- ``replay(recover=True)`` truncates it
+  behind an fsync'd audit marker and replays the intact prefix;
+* anything else (interior damage, CRC mismatch on a non-final record)
+  is **always** fatal, in both modes: silent data loss is worse than a
+  refused start.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.kb.entity import EntityDescription
+from repro.serving.live import LedgerError, UpsertLedger, record_crc
+
+
+def entity(i: int) -> EntityDescription:
+    return EntityDescription(
+        f"http://kb2/e{i}", (("name", f"alpha{i}"), ("info", f"v{i}"))
+    )
+
+
+def build_ledger(path, events: int = 4) -> UpsertLedger:
+    ledger = UpsertLedger(path)
+    for i in range(events):
+        ledger.append_upsert(entity(i))
+    ledger.append_delete("http://kb2/e0")
+    return ledger
+
+
+class TestChecksums:
+    def test_records_carry_crc32(self, tmp_path):
+        ledger = build_ledger(tmp_path / "ops.jsonl", events=1)
+        lines = ledger.path.read_text(encoding="utf-8").splitlines()
+        for line in lines:
+            record = json.loads(line)
+            crc = record.pop("crc")
+            body = json.dumps(
+                record, separators=(",", ":"), sort_keys=True, ensure_ascii=False
+            ).encode("utf-8")
+            assert crc == zlib.crc32(body) & 0xFFFFFFFF
+
+    def test_crc_is_key_order_independent(self, tmp_path):
+        # Verification must survive a rewrite that reorders JSON keys.
+        ledger = build_ledger(tmp_path / "ops.jsonl", events=2)
+        shuffled = []
+        for line in ledger.path.read_text(encoding="utf-8").splitlines():
+            record = json.loads(line)
+            shuffled.append(
+                json.dumps({k: record[k] for k in sorted(record, reverse=True)})
+            )
+        ledger.path.write_text("\n".join(shuffled) + "\n", encoding="utf-8")
+        assert len(list(UpsertLedger(ledger.path).replay())) == 3
+
+    def test_crc_mismatch_is_fatal_in_both_modes(self, tmp_path):
+        ledger = build_ledger(tmp_path / "ops.jsonl")
+        lines = ledger.path.read_text(encoding="utf-8").splitlines()
+        record = json.loads(lines[1])
+        record["crc"] ^= 0x1  # bit-flip an interior record's checksum
+        lines[1] = json.dumps(record)
+        ledger.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        for recover in (False, True):
+            with pytest.raises(LedgerError, match="CRC mismatch"):
+                list(UpsertLedger(ledger.path).replay(recover=recover))
+
+    def test_legacy_records_without_crc_still_replay(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            '{"op": "delete", "uri": "http://kb2/e1"}\n'
+            '{"op": "delete", "uri": "http://kb2/e2"}\n',
+            encoding="utf-8",
+        )
+        ledger = UpsertLedger(path)
+        assert len(list(ledger.replay())) == 2
+        assert ledger.unverified == 2
+
+    def test_record_crc_ignores_existing_crc_key(self):
+        record = {"op": "delete", "uri": "e"}
+        assert record_crc(record) == record_crc({**record, "crc": 123})
+
+
+class TestTornTail:
+    def test_truncation_at_every_byte_of_the_final_record(self, tmp_path):
+        reference = build_ledger(tmp_path / "ref.jsonl")
+        blob = reference.path.read_bytes()
+        prefix_end = blob.rfind(b"\n", 0, len(blob) - 1) + 1
+        intact = list(UpsertLedger(reference.path).replay())
+        for cut in range(prefix_end + 1, len(blob)):
+            path = tmp_path / f"cut{cut}.jsonl"
+            path.write_bytes(blob[:cut])
+            ledger = UpsertLedger(path)
+            events = list(ledger.replay(recover=True))
+            assert events == intact[:-1], f"cut at byte {cut}"
+            assert ledger.recovered is not None
+            assert ledger.recovered["dropped_bytes"] > 0
+
+    def test_recover_false_raises_with_guidance(self, tmp_path):
+        ledger = build_ledger(tmp_path / "ops.jsonl")
+        blob = ledger.path.read_bytes()
+        (tmp_path / "torn.jsonl").write_bytes(blob[:-4])
+        with pytest.raises(LedgerError, match="recover=True"):
+            list(UpsertLedger(tmp_path / "torn.jsonl").replay())
+
+    def test_unterminated_but_parseable_tail_is_still_torn(self, tmp_path):
+        # A final line missing its newline parses fine, but the next
+        # append would fuse with it -- it must be truncated anyway.
+        ledger = build_ledger(tmp_path / "ops.jsonl", events=1)
+        blob = ledger.path.read_bytes()
+        assert blob.endswith(b"\n")
+        ledger.path.write_bytes(blob[:-1])
+        recovered = UpsertLedger(ledger.path)
+        events = list(recovered.replay(recover=True))
+        assert len(events) == 1  # the delete at the tail was dropped
+        assert recovered.recovered["reason"]
+
+    def test_recovery_truncates_the_file_and_appends_a_marker(self, tmp_path):
+        ledger = build_ledger(tmp_path / "ops.jsonl")
+        blob = ledger.path.read_bytes()
+        ledger.path.write_bytes(blob[:-3])
+        recovered = UpsertLedger(ledger.path)
+        list(recovered.replay(recover=True))
+        lines = recovered.path.read_text(encoding="utf-8").splitlines()
+        marker = json.loads(lines[-1])
+        assert marker["op"] == "recover"
+        # Cutting 3 bytes ate the newline plus 2 record bytes; the torn
+        # tail is what was left of that final record.
+        assert marker["dropped_bytes"] == len(blob.rstrip(b"\n").rsplit(b"\n", 1)[-1]) - 2
+        assert isinstance(marker["crc"], int)
+
+    def test_replay_after_recovery_is_idempotent(self, tmp_path):
+        ledger = build_ledger(tmp_path / "ops.jsonl")
+        blob = ledger.path.read_bytes()
+        ledger.path.write_bytes(blob[:-5])
+        first = list(UpsertLedger(ledger.path).replay(recover=True))
+        again = UpsertLedger(ledger.path)
+        # The file is now clean: strict replay succeeds, skips the
+        # recovery marker, and yields the same events.
+        assert list(again.replay()) == first
+        assert again.recovered is None
+
+    def test_appends_after_recovery_extend_the_clean_file(self, tmp_path):
+        ledger = build_ledger(tmp_path / "ops.jsonl")
+        blob = ledger.path.read_bytes()
+        ledger.path.write_bytes(blob[:-5])
+        survivor = UpsertLedger(ledger.path)
+        list(survivor.replay(recover=True))
+        survivor.append_delete("http://kb2/e7")
+        events = list(UpsertLedger(ledger.path).replay())
+        assert events[-1] == ("delete", "http://kb2/e7")
+
+    def test_recovery_counts_on_the_recorder(self, tmp_path):
+        from repro.obs import Recorder, use_recorder
+
+        ledger = build_ledger(tmp_path / "ops.jsonl")
+        blob = ledger.path.read_bytes()
+        ledger.path.write_bytes(blob[:-2])
+        recorder = Recorder()
+        with use_recorder(recorder):
+            list(UpsertLedger(ledger.path).replay(recover=True))
+        assert recorder.counters()["ledger.recoveries"] == 1
+
+
+class TestInteriorCorruption:
+    @pytest.mark.parametrize("recover", [False, True])
+    def test_interior_garbage_is_fatal(self, tmp_path, recover):
+        ledger = build_ledger(tmp_path / "ops.jsonl")
+        lines = ledger.path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "@@@ not json @@@"
+        ledger.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(LedgerError, match="line 2"):
+            list(UpsertLedger(ledger.path).replay(recover=recover))
+
+    @pytest.mark.parametrize("recover", [False, True])
+    def test_hole_before_valid_records_is_fatal(self, tmp_path, recover):
+        # A truncated record *followed by more data* is not a torn tail:
+        # something rewrote the middle of the file.
+        ledger = build_ledger(tmp_path / "ops.jsonl")
+        lines = ledger.path.read_text(encoding="utf-8").splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]
+        ledger.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(LedgerError):
+            list(UpsertLedger(ledger.path).replay(recover=recover))
